@@ -1,0 +1,142 @@
+// Command rhbench regenerates the paper's evaluation figures over the
+// simulated-HTM substrate.
+//
+// Usage:
+//
+//	rhbench -experiment fig4            # RBTree, 4/10/40% mutations
+//	rhbench -experiment fig5            # Vacation-Low, Intruder, Genome
+//	rhbench -experiment fig6            # Vacation-High, SSCA2, Yada
+//	rhbench -experiment extra           # Kmeans, Labyrinth
+//	rhbench -experiment structures      # rbtree vs skiplist vs sortedlist
+//	rhbench -experiment ablation        # RH NOrec design-choice ablations
+//	rhbench -experiment all             # fig4+fig5+fig6+extra
+//	rhbench -experiment list            # list workloads and algorithms
+//
+// Useful knobs: -duration per point, -repeat N (median of N runs),
+// -threads CSV sweep, -algos CSV subset, -spurious environmental-abort
+// probability, -falseconf bloom false-conflict probability, -swcost
+// instrumentation-cost units, -tsv machine-readable rows. Throughput
+// numbers are simulator-relative: compare algorithms at equal thread
+// counts, not against the paper's absolute Haswell numbers (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rhnorec/internal/bench"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/tm"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | all | list")
+		duration   = flag.Duration("duration", 150*time.Millisecond, "measurement time per benchmark point")
+		threadsCSV = flag.String("threads", "1,2,4,8,12,16", "thread counts to sweep")
+		algosCSV   = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's five)")
+		spurious   = flag.Float64("spurious", 0.002, "per-operation spurious (environmental) HTM abort probability")
+		falseConf  = flag.Float64("falseconf", 0, "bloom-filter false-conflict probability per revalidation (hardware model ablation)")
+		tsv        = flag.Bool("tsv", false, "emit tab-separated rows instead of paper-style tables")
+		repeat     = flag.Int("repeat", 1, "runs per point; the median-throughput run is reported")
+		swcost     = flag.Int("swcost", tm.DefaultSoftwareAccessCost, "instrumentation-cost units per software-path access (see DESIGN.md)")
+		verbose    = flag.Bool("v", false, "print each point as it completes")
+	)
+	flag.Parse()
+	tm.SetSoftwareAccessCost(*swcost)
+
+	if *experiment == "list" {
+		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation all")
+		fmt.Print("algorithms:")
+		for _, a := range bench.StandardAlgos() {
+			fmt.Printf(" %s", a.Name)
+		}
+		fmt.Print("\nablation variants:")
+		for _, a := range bench.RHVariants() {
+			fmt.Printf(" %s", a.Name)
+		}
+		fmt.Println()
+		return
+	}
+
+	threads, err := parseThreads(*threadsCSV)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.FigureConfig{
+		Threads:  threads,
+		Duration: *duration,
+		HTM:      htm.Config{SpuriousAbortProb: *spurious, FalseConflictProb: *falseConf},
+		TSV:      *tsv,
+		Repeat:   *repeat,
+	}
+	if *algosCSV != "" {
+		for _, name := range strings.Split(*algosCSV, ",") {
+			a, ok := bench.AlgoByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown algorithm %q", name))
+			}
+			cfg.Algos = append(cfg.Algos, a)
+		}
+	}
+	if *verbose {
+		cfg.Progress = func(r bench.Result) {
+			fmt.Fprintf(os.Stderr, "  %-14s %-14s t=%-3d %12.0f ops/s\n", r.Workload, r.Algo, r.Threads, r.Throughput)
+		}
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig4":
+			return bench.Figure4(os.Stdout, cfg)
+		case "fig5":
+			return bench.Figure5(os.Stdout, cfg)
+		case "fig6":
+			return bench.Figure6(os.Stdout, cfg)
+		case "extra":
+			return bench.Extra(os.Stdout, cfg)
+		case "structures":
+			return bench.Structures(os.Stdout, cfg)
+		case "ablation":
+			acfg := cfg
+			if *algosCSV == "" {
+				acfg.Algos = bench.RHVariants()
+			}
+			return bench.Figure4(os.Stdout, acfg)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"fig4", "fig5", "fig6", "extra"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func parseThreads(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,221 @@
+// Command rhstress is a randomized correctness harness: it drives every TM
+// algorithm through high-contention invariant workloads (bank transfers
+// with in-transaction invariant observation, a shared red-black tree with
+// structural validation, and an allocation churn test) and reports any
+// safety violation. Use it for long soak runs beyond what `go test`
+// exercises.
+//
+// Usage:
+//
+//	rhstress -duration 10s -threads 8 [-algos rh-norec,hy-norec] [-spurious 0.001]
+//
+// Exit status is non-zero if any violation was detected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhnorec/internal/bench"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/rbtree"
+	"rhnorec/internal/tm"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 2*time.Second, "soak time per algorithm per scenario")
+		threads  = flag.Int("threads", 8, "worker threads")
+		algosCSV = flag.String("algos", "", "comma-separated algorithm subset (default: all)")
+		spurious = flag.Float64("spurious", 0.001, "spurious HTM abort probability")
+		tinyHTM  = flag.Bool("tiny-htm", false, "use tiny HTM capacities to force the slow paths")
+	)
+	flag.Parse()
+
+	algos := bench.StandardAlgos()
+	algos = append(algos,
+		mustVariant("rh-noprefix"), mustVariant("rh-nopostfix"), mustVariant("rh-allsoft"),
+		mustVariant("rh-tl2"), mustVariant("phased-tm"), mustVariant("hy-norec-lazy"), mustVariant("norec-lazy"))
+	if *algosCSV != "" {
+		algos = nil
+		for _, name := range strings.Split(*algosCSV, ",") {
+			algos = append(algos, mustVariant(strings.TrimSpace(name)))
+		}
+	}
+	hcfg := htm.Config{SpuriousAbortProb: *spurious}
+	if *tinyHTM {
+		hcfg.ReadCapacityLines = 16
+		hcfg.WriteCapacityLines = 8
+	}
+
+	failures := 0
+	for _, algo := range algos {
+		for _, scenario := range []struct {
+			name string
+			run  func(sys tm.System, threads int, d time.Duration) error
+		}{
+			{"bank", bankScenario},
+			{"rbtree", treeScenario},
+		} {
+			m := mem.New(1 << 22)
+			dev := htm.NewDevice(m, hcfg)
+			dev.SetActiveThreads(*threads)
+			sys := algo.New(m, dev, tm.RetryPolicy{})
+			start := time.Now()
+			err := scenario.run(sys, *threads, *duration)
+			status := "ok"
+			if err != nil {
+				status = "FAIL: " + err.Error()
+				failures++
+			}
+			fmt.Printf("%-14s %-8s %8s  %s\n", algo.Name, scenario.name, time.Since(start).Round(time.Millisecond), status)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "rhstress: %d scenario(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+func mustVariant(name string) bench.Algo {
+	a, ok := bench.AlgoByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rhstress: unknown algorithm %q\n", name)
+		os.Exit(2)
+	}
+	return a
+}
+
+// bankScenario: transfers must preserve the total, and every transaction
+// (including read-only observers) must see a consistent snapshot.
+func bankScenario(sys tm.System, threads int, d time.Duration) error {
+	const accounts = 64
+	const initial = 1000
+	setup := sys.NewThread()
+	var base mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		base = tx.Alloc(accounts * mem.LineWords)
+		for i := 0; i < accounts; i++ {
+			tx.Store(base+mem.Addr(i*mem.LineWords), initial)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	setup.Close()
+	acct := func(i int) mem.Addr { return base + mem.Addr(i*mem.LineWords) }
+	var stop atomic.Bool
+	var violations atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				if rng.Intn(4) == 0 { // observer
+					_ = th.RunReadOnly(func(tx tm.Tx) error {
+						var sum uint64
+						for k := 0; k < accounts; k++ {
+							sum += tx.Load(acct(k))
+						}
+						if sum != accounts*initial {
+							violations.Add(1)
+						}
+						return nil
+					})
+					continue
+				}
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				amt := uint64(rng.Intn(20))
+				_ = th.Run(func(tx tm.Tx) error {
+					bf := tx.Load(acct(from))
+					if bf < amt || from == to {
+						return nil
+					}
+					tx.Store(acct(from), bf-amt)
+					tx.Store(acct(to), tx.Load(acct(to))+amt)
+					return nil
+				})
+			}
+		}(int64(i + 1))
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		return fmt.Errorf("bank: %d opacity violations", v)
+	}
+	m := sys.Memory()
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += m.LoadPlain(acct(i))
+	}
+	if total != accounts*initial {
+		return fmt.Errorf("bank: total %d, want %d", total, accounts*initial)
+	}
+	return nil
+}
+
+// treeScenario: concurrent tree mutation must preserve the red-black
+// invariants.
+func treeScenario(sys tm.System, threads int, d time.Duration) error {
+	setup := sys.NewThread()
+	var tree rbtree.Tree
+	if err := setup.Run(func(tx tm.Tx) error {
+		tree = rbtree.New(tx)
+		for k := uint64(0); k < 128; k++ {
+			tree.Put(tx, k*2, k)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	setup.Close()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var opErr atomic.Value
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				k := uint64(rng.Intn(256))
+				var err error
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					err = th.Run(func(tx tm.Tx) error { tree.Put(tx, k, k); return nil })
+				case 3, 4:
+					err = th.Run(func(tx tm.Tx) error { tree.Delete(tx, k); return nil })
+				default:
+					err = th.RunReadOnly(func(tx tm.Tx) error { tree.Get(tx, k); return nil })
+				}
+				if err != nil {
+					opErr.Store(err)
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	if err, _ := opErr.Load().(error); err != nil {
+		return err
+	}
+	check := sys.NewThread()
+	defer check.Close()
+	return check.Run(func(tx tm.Tx) error { return tree.CheckInvariants(tx) })
+}

@@ -1,0 +1,64 @@
+package rhnorec
+
+import (
+	"rhnorec/internal/rbtree"
+	"rhnorec/internal/txds"
+)
+
+// Transactional data structures, usable over any System. Handles are
+// immutable values wrapping a header address; publish the header (Head)
+// through transactional memory to share a structure, and re-attach with the
+// corresponding Attach function.
+
+type (
+	// RBTree is a red-black tree keyed by uint64 (the paper's §3.5
+	// microbenchmark structure, derived from java.util.TreeMap).
+	RBTree = rbtree.Tree
+	// Queue is an unbounded transactional FIFO queue of words.
+	Queue = txds.Queue
+	// Stack is an unbounded transactional LIFO stack of words.
+	Stack = txds.Stack
+	// HashMap is a fixed-bucket chained transactional hash map.
+	HashMap = txds.HashMap
+	// SkipList is a transactional ordered map with skip-list structure.
+	SkipList = txds.SkipList
+	// SortedList is a transactional sorted singly-linked map.
+	SortedList = txds.SortedList
+)
+
+// NewRBTree allocates an empty red-black tree inside the transaction.
+func NewRBTree(tx Tx) RBTree { return rbtree.New(tx) }
+
+// AttachRBTree wraps a published tree header.
+func AttachRBTree(head Addr) RBTree { return rbtree.Attach(head) }
+
+// NewQueue allocates an empty queue inside the transaction.
+func NewQueue(tx Tx) Queue { return txds.NewQueue(tx) }
+
+// AttachQueue wraps a published queue header.
+func AttachQueue(head Addr) Queue { return txds.AttachQueue(head) }
+
+// NewStack allocates an empty stack inside the transaction.
+func NewStack(tx Tx) Stack { return txds.NewStack(tx) }
+
+// AttachStack wraps a published stack header.
+func AttachStack(head Addr) Stack { return txds.AttachStack(head) }
+
+// NewHashMap allocates a hash map with nbuckets chains inside the
+// transaction.
+func NewHashMap(tx Tx, nbuckets int) HashMap { return txds.NewHashMap(tx, nbuckets) }
+
+// AttachHashMap wraps a published map header.
+func AttachHashMap(head Addr) HashMap { return txds.AttachHashMap(head) }
+
+// NewSkipList allocates an empty skip list inside the transaction.
+func NewSkipList(tx Tx) SkipList { return txds.NewSkipList(tx) }
+
+// AttachSkipList wraps a published skip-list header.
+func AttachSkipList(head Addr) SkipList { return txds.AttachSkipList(head) }
+
+// NewSortedList allocates an empty sorted list inside the transaction.
+func NewSortedList(tx Tx) SortedList { return txds.NewSortedList(tx) }
+
+// AttachSortedList wraps a published sorted-list header.
+func AttachSortedList(head Addr) SortedList { return txds.AttachSortedList(head) }

@@ -1,0 +1,106 @@
+package rhnorec_test
+
+import (
+	"fmt"
+
+	"rhnorec"
+)
+
+// The basic usage pattern: create a memory, pick a TM system, run
+// transactions from per-goroutine threads.
+func Example() {
+	m := rhnorec.NewMemory(1 << 16)
+	sys, err := rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: 2})
+	if err != nil {
+		panic(err)
+	}
+	th := sys.NewThread()
+	defer th.Close()
+
+	var acct rhnorec.Addr
+	_ = th.Run(func(tx rhnorec.Tx) error {
+		acct = tx.Alloc(1)
+		tx.Store(acct, 100)
+		return nil
+	})
+	_ = th.Run(func(tx rhnorec.Tx) error {
+		tx.Store(acct, tx.Load(acct)+25)
+		return nil
+	})
+	_ = th.RunReadOnly(func(tx rhnorec.Tx) error {
+		fmt.Println("balance:", tx.Load(acct))
+		return nil
+	})
+	// Output: balance: 125
+}
+
+// Returning an error from the callback aborts the transaction with no
+// visible effects and no retry.
+func ExampleSystem_userAbort() {
+	m := rhnorec.NewMemory(1 << 16)
+	sys, _ := rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: 1})
+	th := sys.NewThread()
+	defer th.Close()
+
+	var a rhnorec.Addr
+	_ = th.Run(func(tx rhnorec.Tx) error { a = tx.Alloc(1); return nil })
+
+	err := th.Run(func(tx rhnorec.Tx) error {
+		tx.Store(a, 42)
+		return fmt.Errorf("changed my mind")
+	})
+	_ = th.RunReadOnly(func(tx rhnorec.Tx) error {
+		fmt.Println("err:", err, "| value:", tx.Load(a))
+		return nil
+	})
+	// Output: err: changed my mind | value: 0
+}
+
+// The transactional data structures compose inside transactions: here a
+// tree indexes per-user stacks.
+func ExampleNewRBTree() {
+	m := rhnorec.NewMemory(1 << 18)
+	sys, _ := rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: 1})
+	th := sys.NewThread()
+	defer th.Close()
+
+	var index rhnorec.RBTree
+	_ = th.Run(func(tx rhnorec.Tx) error {
+		index = rhnorec.NewRBTree(tx)
+		for user := uint64(1); user <= 3; user++ {
+			s := rhnorec.NewStack(tx)
+			s.Push(tx, user*100)
+			index.Put(tx, user, uint64(s.Head()))
+		}
+		return nil
+	})
+	// Pop mutates, so it runs in a writing transaction.
+	_ = th.Run(func(tx rhnorec.Tx) error {
+		head, _ := index.Get(tx, 2)
+		v, _ := rhnorec.AttachStack(rhnorec.Addr(head)).Pop(tx)
+		fmt.Println("user 2 top:", v)
+		return nil
+	})
+	// Output: user 2 top: 200
+}
+
+// Statistics expose the paper's analysis quantities per thread.
+func ExampleStats() {
+	m := rhnorec.NewMemory(1 << 16)
+	sys, _ := rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: 1})
+	th := sys.NewThread()
+	defer th.Close()
+	var a rhnorec.Addr
+	for i := 0; i < 10; i++ {
+		_ = th.Run(func(tx rhnorec.Tx) error {
+			if a == rhnorec.Nil {
+				a = tx.Alloc(1)
+			}
+			tx.Store(a, tx.Load(a)+1)
+			return nil
+		})
+	}
+	s := th.Stats()
+	fmt.Println("commits:", s.Commits, "fast-path:", s.FastPathCommits, "fallback ratio:", s.SlowPathRatio())
+	// Output: commits: 10 fast-path: 10 fallback ratio: 0
+}

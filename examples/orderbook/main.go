@@ -1,0 +1,190 @@
+// Order book: a miniature limit-order matching engine built on the
+// transactional data structures — a skip list of price levels on each side
+// of the book, a FIFO queue of resting orders per level. Each submitted
+// order runs as ONE transaction that either crosses against resting orders
+// (possibly walking several price levels) or joins the book, so concurrent
+// traders can never observe or produce a crossed book (best bid >= best
+// ask).
+//
+//	go run ./examples/orderbook
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"rhnorec"
+)
+
+const (
+	threads         = 6
+	ordersPerThread = 2000
+	priceLevels     = 64 // prices in [1, priceLevels]
+)
+
+// book holds both sides. Asks are keyed by price; bids are keyed by
+// (maxPrice - price) so that the skip list's minimum is always the best
+// price on either side.
+type book struct {
+	asks rhnorec.SkipList
+	bids rhnorec.SkipList
+}
+
+const bidKeyBase = priceLevels + 1
+
+func bidKey(price uint64) uint64 { return bidKeyBase - price }
+
+func main() {
+	m := rhnorec.NewMemory(1 << 22)
+	sys, err := rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup := sys.NewThread()
+	var b book
+	if err := setup.Run(func(tx rhnorec.Tx) error {
+		b = book{asks: rhnorec.NewSkipList(tx), bids: rhnorec.NewSkipList(tx)}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	setup.Close()
+
+	var trades, rested atomic.Uint64
+	var volumeTraded atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < ordersPerThread; j++ {
+				isBuy := rng.Intn(2) == 0
+				price := uint64(1 + rng.Intn(priceLevels))
+				qty := uint64(1 + rng.Intn(10))
+				var filled, restedQty uint64
+				if err := th.Run(func(tx rhnorec.Tx) error {
+					filled, restedQty = 0, 0
+					remaining := qty
+					// Cross against the opposite side while the price fits.
+					opp, own := b.asks, b.bids
+					ownKey := bidKey(price)
+					crossable := func(bestOppKey uint64) bool { return bestOppKey <= price }
+					if !isBuy {
+						opp, own = b.bids, b.asks
+						ownKey = price
+						crossable = func(bestOppKey uint64) bool { return bidKeyBase-bestOppKey >= price }
+					}
+					for remaining > 0 {
+						levelKey, qAddr, ok := minLevel(tx, opp)
+						if !ok || !crossable(levelKey) {
+							break
+						}
+						q := rhnorec.AttachQueue(rhnorec.Addr(qAddr))
+						for remaining > 0 {
+							orderQty, ok := q.Pop(tx)
+							if !ok {
+								break
+							}
+							take := min(orderQty, remaining)
+							remaining -= take
+							filled += take
+							if take < orderQty {
+								// Partial fill: the remainder goes back to
+								// the level (at the tail — the queue has no
+								// push-front; fine for the demo since the
+								// incoming order is exhausted here anyway).
+								q.Push(tx, orderQty-take)
+							}
+						}
+						if q.Size(tx) == 0 {
+							opp.Delete(tx, levelKey)
+							q.Dispose(tx)
+						}
+					}
+					if remaining > 0 {
+						// Join the book at our price level.
+						qAddr, ok := own.Get(tx, ownKey)
+						var q rhnorec.Queue
+						if !ok {
+							q = rhnorec.NewQueue(tx)
+							own.Put(tx, ownKey, uint64(q.Head()))
+						} else {
+							q = rhnorec.AttachQueue(rhnorec.Addr(qAddr))
+						}
+						q.Push(tx, remaining)
+						restedQty = remaining
+					}
+					return nil
+				}); err != nil {
+					log.Fatal(err)
+				}
+				if filled > 0 {
+					trades.Add(1)
+					volumeTraded.Add(filled)
+				}
+				if restedQty > 0 {
+					rested.Add(1)
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+
+	// Audit: the book must not be crossed, and all volume must be accounted.
+	audit := sys.NewThread()
+	defer audit.Close()
+	var bestBid, bestAsk uint64
+	var haveBid, haveAsk bool
+	var restingVolume uint64
+	if err := audit.Run(func(tx rhnorec.Tx) error {
+		bestBid, bestAsk, haveBid, haveAsk, restingVolume = 0, 0, false, false, 0
+		if k, qAddr, ok := b.bids.Min(tx); ok {
+			bestBid, haveBid = bidKeyBase-k, true
+			_ = qAddr
+		}
+		if k, _, ok := b.asks.Min(tx); ok {
+			bestAsk, haveAsk = k, true
+		}
+		sum := func(s rhnorec.SkipList) {
+			s.Range(tx, 0, ^uint64(0)>>1, func(_, qAddr uint64) bool {
+				rhnorec.AttachQueue(rhnorec.Addr(qAddr)).ForEach(tx, func(v uint64) {
+					restingVolume += v
+				})
+				return true
+			})
+		}
+		sum(b.bids)
+		sum(b.asks)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("orders: %d submitted, %d crossed (volume %d), %d rested\n",
+		threads*ordersPerThread, trades.Load(), volumeTraded.Load(), rested.Load())
+	switch {
+	case haveBid && haveAsk && bestBid >= bestAsk:
+		fmt.Printf("book CROSSED: best bid %d >= best ask %d — atomicity violated!\n", bestBid, bestAsk)
+	case haveBid && haveAsk:
+		fmt.Printf("book consistent: best bid %d < best ask %d, resting volume %d\n", bestBid, bestAsk, restingVolume)
+	default:
+		fmt.Printf("book one-sided or empty (bid:%v ask:%v), resting volume %d\n", haveBid, haveAsk, restingVolume)
+	}
+}
+
+// minLevel returns the best price level of a side (smallest skip-list key).
+func minLevel(tx rhnorec.Tx, side rhnorec.SkipList) (key, queueAddr uint64, ok bool) {
+	return side.Min(tx)
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

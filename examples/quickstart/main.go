@@ -1,0 +1,111 @@
+// Quickstart: a concurrent bank built on RH NOrec.
+//
+// Eight goroutines transfer money between accounts transactionally while
+// observers verify, inside read-only transactions, that the total balance
+// is always conserved — the opacity guarantee in action. At the end the
+// program prints the invariant check and the execution statistics
+// (fast-path vs slow-path commits, hardware aborts, prefix/postfix success
+// ratios).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"rhnorec"
+)
+
+const (
+	accounts           = 64
+	initial            = 1000
+	threads            = 8
+	transfersPerThread = 2000
+)
+
+func main() {
+	m := rhnorec.NewMemory(1 << 20)
+	sys, err := rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Set up the accounts, one per cache line to avoid false sharing.
+	setup := sys.NewThread()
+	var base rhnorec.Addr
+	if err := setup.Run(func(tx rhnorec.Tx) error {
+		base = tx.Alloc(accounts * rhnorec.LineWords)
+		for i := 0; i < accounts; i++ {
+			tx.Store(base+rhnorec.Addr(i*rhnorec.LineWords), initial)
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	setup.Close()
+	acct := func(i int) rhnorec.Addr { return base + rhnorec.Addr(i*rhnorec.LineWords) }
+
+	var total rhnorec.Stats
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < transfersPerThread; j++ {
+				if j%10 == 0 {
+					// Observer: a read-only audit of the whole bank.
+					err := th.RunReadOnly(func(tx rhnorec.Tx) error {
+						var sum uint64
+						for k := 0; k < accounts; k++ {
+							sum += tx.Load(acct(k))
+						}
+						if sum != accounts*initial {
+							return fmt.Errorf("audit saw inconsistent total %d", sum)
+						}
+						return nil
+					})
+					if err != nil {
+						log.Fatal(err) // opacity would have to be broken
+					}
+					continue
+				}
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				amount := uint64(rng.Intn(50))
+				_ = th.Run(func(tx rhnorec.Tx) error {
+					balance := tx.Load(acct(from))
+					if balance < amount || from == to {
+						return nil // commits as a no-op
+					}
+					tx.Store(acct(from), balance-amount)
+					tx.Store(acct(to), tx.Load(acct(to))+amount)
+					return nil
+				})
+			}
+			mu.Lock()
+			total.Add(th.Stats())
+			mu.Unlock()
+		}(int64(i + 1))
+	}
+	wg.Wait()
+
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		sum += m.LoadPlain(acct(i))
+	}
+	fmt.Printf("final total: %d (expected %d) — invariant %s\n",
+		sum, accounts*initial, map[bool]string{true: "HELD", false: "VIOLATED"}[sum == accounts*initial])
+	fmt.Printf("commits: %d (fast-path %d, slow-path %d)\n",
+		total.Commits, total.FastPathCommits, total.SlowPathCommits)
+	fmt.Printf("hardware aborts: %d conflict, %d capacity, %d explicit, %d environmental\n",
+		total.HTMConflictAborts, total.HTMCapacityAborts, total.HTMExplicitAborts, total.HTMSpuriousAborts)
+	fmt.Printf("slow-path ratio: %.4f\n", total.SlowPathRatio())
+	fmt.Printf("HTM prefix:  %d/%d committed\n", total.PrefixCommits, total.PrefixAttempts)
+	fmt.Printf("HTM postfix: %d/%d committed\n", total.PostfixCommits, total.PostfixAttempts)
+}

@@ -1,0 +1,124 @@
+// Red-black tree comparison: the paper's §3.5 microbenchmark scenario as a
+// library example. A shared ordered map (the transactional red-black tree)
+// is hammered by concurrent readers and writers under each TM algorithm in
+// turn; the program reports throughput and the abort/fallback profile so
+// you can see the Figure 4 contrast — RH NOrec sustaining the hardware fast
+// path where Hybrid NOrec burns it on false conflicts — on your own
+// machine.
+//
+//	go run ./examples/rbtree
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhnorec"
+)
+
+const (
+	treeSize = 4096
+	threads  = 8
+	duration = 300 * time.Millisecond
+	mutation = 0.20
+)
+
+func main() {
+	type mk struct {
+		name string
+		f    func(m *rhnorec.Memory) (rhnorec.System, error)
+	}
+	systems := []mk{
+		{"lock-elision", func(m *rhnorec.Memory) (rhnorec.System, error) {
+			return rhnorec.NewLockElision(m, rhnorec.Options{Threads: threads})
+		}},
+		{"norec (STM)", func(m *rhnorec.Memory) (rhnorec.System, error) { return rhnorec.NewNOrec(m, false), nil }},
+		{"tl2 (STM)", func(m *rhnorec.Memory) (rhnorec.System, error) { return rhnorec.NewTL2(m, 0), nil }},
+		{"hy-norec", func(m *rhnorec.Memory) (rhnorec.System, error) {
+			return rhnorec.NewHybridNOrec(m, rhnorec.Options{Threads: threads})
+		}},
+		{"rh-norec", func(m *rhnorec.Memory) (rhnorec.System, error) {
+			return rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: threads})
+		}},
+	}
+	fmt.Printf("%-14s %12s %14s %14s %12s\n", "system", "ops/sec", "conflicts/op", "slow-ratio", "tree-ok")
+	for _, s := range systems {
+		ops, stats, ok := run(s.name, s.f)
+		fmt.Printf("%-14s %12.0f %14.5f %14.4f %12v\n",
+			s.name, ops, stats.ConflictAbortsPerOp(), stats.SlowPathRatio(), ok)
+	}
+}
+
+func run(name string, f func(m *rhnorec.Memory) (rhnorec.System, error)) (opsPerSec float64, total rhnorec.Stats, ok bool) {
+	m := rhnorec.NewMemory(1 << 22)
+	sys, err := f(m)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	setup := sys.NewThread()
+	var head rhnorec.Addr
+	if err := setup.Run(func(tx rhnorec.Tx) error {
+		head = rhnorec.NewRBTree(tx).Head()
+		return nil
+	}); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	for k := 0; k < treeSize; k++ {
+		k := k
+		if err := setup.Run(func(tx rhnorec.Tx) error {
+			rhnorec.AttachRBTree(head).Put(tx, uint64(2*k), uint64(k))
+			return nil
+		}); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	setup.Close()
+
+	var stop atomic.Bool
+	var opCount atomic.Uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			tree := rhnorec.AttachRBTree(head)
+			rng := rand.New(rand.NewSource(seed))
+			var ops uint64
+			for !stop.Load() {
+				k := uint64(rng.Intn(2 * treeSize))
+				switch r := rng.Float64(); {
+				case r < mutation/2:
+					_ = th.Run(func(tx rhnorec.Tx) error { tree.Put(tx, k, k); return nil })
+				case r < mutation:
+					_ = th.Run(func(tx rhnorec.Tx) error { tree.Delete(tx, k); return nil })
+				default:
+					_ = th.RunReadOnly(func(tx rhnorec.Tx) error { tree.Get(tx, k); return nil })
+				}
+				ops++
+			}
+			opCount.Add(ops)
+			mu.Lock()
+			total.Add(th.Stats())
+			mu.Unlock()
+		}(int64(i + 1))
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	check := sys.NewThread()
+	defer check.Close()
+	ok = check.Run(func(tx rhnorec.Tx) error {
+		return rhnorec.AttachRBTree(head).CheckInvariants(tx)
+	}) == nil
+	return float64(opCount.Load()) / elapsed.Seconds(), total, ok
+}

@@ -1,0 +1,163 @@
+// Reservation service: a self-contained mini version of the paper's
+// Vacation scenario built purely on the public API, showing how the
+// transactional data structures compose into an application. An inventory
+// of rooms (a red-black tree of room id → availability) is booked and
+// cancelled concurrently; each customer's bookings live on a transactional
+// stack; a transaction either books atomically across several rooms or
+// aborts cleanly via a returned error, leaving no partial state.
+//
+//	go run ./examples/reservation
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"rhnorec"
+)
+
+const (
+	rooms           = 128
+	capacityPerRoom = 4
+	threads         = 6
+	opsPerThread    = 3000
+)
+
+var errFull = errors.New("not enough availability")
+
+func main() {
+	m := rhnorec.NewMemory(1 << 21)
+	sys, err := rhnorec.NewRHNOrec(m, rhnorec.Options{Threads: threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// inventory: room id -> remaining capacity; ledger: customer id -> stack head.
+	setup := sys.NewThread()
+	var invHead, ledgerHead rhnorec.Addr
+	if err := setup.Run(func(tx rhnorec.Tx) error {
+		inv := rhnorec.NewRBTree(tx)
+		for r := uint64(0); r < rooms; r++ {
+			inv.Put(tx, r, capacityPerRoom)
+		}
+		invHead = inv.Head()
+		ledgerHead = rhnorec.NewRBTree(tx).Head()
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	setup.Close()
+
+	var booked, rejected, cancelled atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(customer uint64, seed int64) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			inv := rhnorec.AttachRBTree(invHead)
+			ledger := rhnorec.AttachRBTree(ledgerHead)
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < opsPerThread; j++ {
+				if rng.Intn(3) == 0 {
+					// Cancel the most recent booking, returning capacity.
+					// Go-side counters must only move once per *committed*
+					// transaction, so the callback records the outcome in a
+					// local (reset at its top — restarts re-run the whole
+					// callback) and it is applied after Run returns.
+					didCancel := false
+					err := th.Run(func(tx rhnorec.Tx) error {
+						didCancel = false
+						head, ok := ledger.Get(tx, customer)
+						if !ok {
+							return nil
+						}
+						stack := rhnorec.AttachStack(rhnorec.Addr(head))
+						room, ok := stack.Pop(tx)
+						if !ok {
+							return nil
+						}
+						avail, _ := inv.Get(tx, room)
+						inv.Put(tx, room, avail+1)
+						didCancel = true
+						return nil
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					if didCancel {
+						cancelled.Add(1)
+					}
+					continue
+				}
+				// Book two random rooms atomically: both or neither.
+				r1 := uint64(rng.Intn(rooms))
+				r2 := uint64(rng.Intn(rooms))
+				err := th.Run(func(tx rhnorec.Tx) error {
+					a1, _ := inv.Get(tx, r1)
+					a2, _ := inv.Get(tx, r2)
+					if a1 == 0 || a2 == 0 || (r1 == r2 && a1 < 2) {
+						return errFull // aborts: nothing is booked
+					}
+					inv.Put(tx, r1, a1-1)
+					if r1 == r2 {
+						inv.Put(tx, r2, a1-2)
+					} else {
+						inv.Put(tx, r2, a2-1)
+					}
+					head, ok := ledger.Get(tx, customer)
+					var stack rhnorec.Stack
+					if !ok {
+						stack = rhnorec.NewStack(tx)
+						ledger.Put(tx, customer, uint64(stack.Head()))
+					} else {
+						stack = rhnorec.AttachStack(rhnorec.Addr(head))
+					}
+					stack.Push(tx, r1)
+					stack.Push(tx, r2)
+					return nil
+				})
+				switch {
+				case err == nil:
+					booked.Add(2)
+				case errors.Is(err, errFull):
+					rejected.Add(1)
+				default:
+					log.Fatal(err)
+				}
+			}
+		}(uint64(i), int64(i+99))
+	}
+	wg.Wait()
+
+	// Audit: outstanding bookings + remaining capacity == total capacity.
+	audit := sys.NewThread()
+	defer audit.Close()
+	var outstanding, remaining uint64
+	if err := audit.Run(func(tx rhnorec.Tx) error {
+		outstanding, remaining = 0, 0
+		inv := rhnorec.AttachRBTree(invHead)
+		for _, room := range inv.Keys(tx) {
+			avail, _ := inv.Get(tx, room)
+			remaining += avail
+		}
+		ledger := rhnorec.AttachRBTree(ledgerHead)
+		for _, cust := range ledger.Keys(tx) {
+			head, _ := ledger.Get(tx, cust)
+			rhnorec.AttachStack(rhnorec.Addr(head)).ForEach(tx, func(uint64) { outstanding++ })
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booked %d room-nights, rejected %d requests, cancellations %d\n",
+		booked.Load(), rejected.Load(), cancelled.Load())
+	fmt.Printf("audit: %d outstanding + %d remaining = %d (expected %d) — %s\n",
+		outstanding, remaining, outstanding+remaining, uint64(rooms*capacityPerRoom),
+		map[bool]string{true: "CONSISTENT", false: "INCONSISTENT"}[outstanding+remaining == rooms*capacityPerRoom])
+}

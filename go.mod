@@ -1,0 +1,3 @@
+module rhnorec
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation (Figures 4–6): duration-based throughput runs of every TM
+// algorithm over the RBTree microbenchmark and the STAMP-style
+// applications, with the per-figure analysis rows (HTM aborts per
+// operation, slow-path restarts, slow-path ratio, prefix/postfix success
+// ratios).
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhnorec/internal/core"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/hynorec"
+	"rhnorec/internal/lockelision"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/norec"
+	"rhnorec/internal/phasedtm"
+	"rhnorec/internal/rhtl2"
+	"rhnorec/internal/tl2"
+	"rhnorec/internal/tm"
+)
+
+// Workload is one benchmarkable application.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Setup builds the shared state (called once, single-threaded).
+	Setup(th tm.Thread) error
+	// NewOp returns the per-thread operation closure.
+	NewOp(th tm.Thread, seed int64) func() error
+}
+
+// Algo is a named TM-system constructor. STM algorithms ignore dev.
+type Algo struct {
+	Name string
+	New  func(m *mem.Memory, dev *htm.Device, pol tm.RetryPolicy) tm.System
+}
+
+// StandardAlgos returns the five systems the paper benchmarks (§3.1), in
+// presentation order.
+func StandardAlgos() []Algo {
+	return []Algo{
+		{Name: "lock-elision", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			return lockelision.New(m, d, p)
+		}},
+		{Name: "norec", New: func(m *mem.Memory, _ *htm.Device, _ tm.RetryPolicy) tm.System {
+			return norec.New(m, norec.Eager)
+		}},
+		{Name: "tl2", New: func(m *mem.Memory, _ *htm.Device, _ tm.RetryPolicy) tm.System {
+			return tl2.New(m, 0)
+		}},
+		{Name: "hy-norec", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			return hynorec.New(m, d, p)
+		}},
+		{Name: "rh-norec", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			return core.New(m, d, p)
+		}},
+	}
+}
+
+// RHVariants returns the RH NOrec ablation variants of DESIGN.md §5: the
+// full algorithm, prefix disabled, postfix disabled, prefix-length
+// adaptation frozen, both small transactions disabled (degenerating to the
+// Hybrid NOrec mixed path), and the lazy-NOrec STM contrast.
+func RHVariants() []Algo {
+	override := func(name string, tweak func(*tm.RetryPolicy)) Algo {
+		return Algo{Name: name, New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			tweak(&p)
+			return core.New(m, d, p)
+		}}
+	}
+	return []Algo{
+		override("rh-norec", func(*tm.RetryPolicy) {}),
+		override("rh-noprefix", func(p *tm.RetryPolicy) { p.DisablePrefix = true }),
+		override("rh-nopostfix", func(p *tm.RetryPolicy) { p.DisablePostfix = true }),
+		override("rh-noadapt", func(p *tm.RetryPolicy) { p.DisablePrefixAdaptation = true }),
+		override("rh-allsoft", func(p *tm.RetryPolicy) { p.DisablePrefix = true; p.DisablePostfix = true }),
+		{Name: "norec-lazy", New: func(m *mem.Memory, _ *htm.Device, _ tm.RetryPolicy) tm.System {
+			return norec.New(m, norec.Lazy)
+		}},
+		{Name: "rh-tl2", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			return rhtl2.New(m, d, p, 0)
+		}},
+		{Name: "hy-norec-lazy", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			return hynorec.NewVariant(m, d, p, hynorec.Lazy)
+		}},
+		{Name: "phased-tm", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			return phasedtm.New(m, d, p)
+		}},
+	}
+}
+
+// AlgoByName returns the standard or variant algorithm with the given name.
+func AlgoByName(name string) (Algo, bool) {
+	for _, a := range StandardAlgos() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	for _, a := range RHVariants() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algo{}, false
+}
+
+// RunConfig describes one benchmark point.
+type RunConfig struct {
+	Workload Workload
+	Algo     Algo
+	Threads  int
+	Duration time.Duration
+	// MemWords sizes the shared memory (default 1<<22).
+	MemWords int
+	// HTM configures the simulated hardware (zero fields take defaults).
+	HTM htm.Config
+	// Policy configures retries (zero fields take the paper's defaults).
+	Policy tm.RetryPolicy
+}
+
+// Result is one benchmark point's outcome.
+type Result struct {
+	Workload   string
+	Algo       string
+	Threads    int
+	Ops        uint64
+	Elapsed    time.Duration
+	Stats      tm.Stats
+	Throughput float64 // committed operations per second
+}
+
+// Run executes one benchmark point.
+func Run(cfg RunConfig) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 100 * time.Millisecond
+	}
+	if cfg.MemWords <= 0 {
+		cfg.MemWords = 1 << 22
+	}
+	// Each point allocates a fresh multi-megabyte memory; without a
+	// collection barrier the garbage of earlier points taxes later ones,
+	// biasing sweeps against whichever algorithm runs last.
+	runtime.GC()
+	m := mem.New(cfg.MemWords)
+	dev := htm.NewDevice(m, cfg.HTM)
+	dev.SetActiveThreads(cfg.Threads)
+	sys := cfg.Algo.New(m, dev, cfg.Policy)
+
+	setup := sys.NewThread()
+	if err := cfg.Workload.Setup(setup); err != nil {
+		return Result{}, fmt.Errorf("bench: %s setup on %s: %w", cfg.Workload.Name(), cfg.Algo.Name, err)
+	}
+	setup.Close()
+
+	var stop atomic.Bool
+	var totalOps atomic.Uint64
+	var agg tm.Stats
+	var aggMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			op := cfg.Workload.NewOp(th, seed)
+			var ops uint64
+			for !stop.Load() {
+				// Batch the stop check to keep it off the hot path.
+				for k := 0; k < 16; k++ {
+					if err := op(); err != nil {
+						stop.Store(true)
+						return
+					}
+					ops++
+				}
+			}
+			totalOps.Add(ops)
+			aggMu.Lock()
+			agg.Add(th.Stats())
+			aggMu.Unlock()
+		}(int64(i)*7919 + 17)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := totalOps.Load()
+	return Result{
+		Workload:   cfg.Workload.Name(),
+		Algo:       cfg.Algo.Name,
+		Threads:    cfg.Threads,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		Stats:      agg,
+		Throughput: float64(ops) / elapsed.Seconds(),
+	}, nil
+}

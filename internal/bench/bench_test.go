@@ -1,0 +1,141 @@
+package bench_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rhnorec/internal/bench"
+)
+
+func TestRunSinglePoint(t *testing.T) {
+	algo, ok := bench.AlgoByName("rh-norec")
+	if !ok {
+		t.Fatal("rh-norec not registered")
+	}
+	res, err := bench.Run(bench.RunConfig{
+		Workload: bench.RBTree(bench.RBTreeConfig{Size: 256, MutationRatio: 0.1})(),
+		Algo:     algo,
+		Threads:  2,
+		Duration: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Error("no operations completed")
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput not positive")
+	}
+	if res.Stats.Commits == 0 {
+		t.Error("no commits recorded")
+	}
+	if res.Workload != "rbtree-10" || res.Algo != "rh-norec" || res.Threads != 2 {
+		t.Errorf("result metadata wrong: %+v", res)
+	}
+}
+
+func TestStandardAlgosComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range bench.StandardAlgos() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"lock-elision", "norec", "tl2", "hy-norec", "rh-norec"} {
+		if !names[want] {
+			t.Errorf("missing standard algorithm %q", want)
+		}
+	}
+	if _, ok := bench.AlgoByName("nope"); ok {
+		t.Error("AlgoByName matched a bogus name")
+	}
+}
+
+func TestAllWorkloadsRunOnAllAlgos(t *testing.T) {
+	factories := map[string]bench.WorkloadFactory{
+		"rbtree":        bench.RBTree(bench.RBTreeConfig{Size: 128, MutationRatio: 0.2}),
+		"vacation-low":  bench.VacationLow(),
+		"vacation-high": bench.VacationHigh(),
+		"intruder":      bench.Intruder(),
+		"genome":        bench.Genome(),
+		"ssca2":         bench.SSCA2(),
+		"kmeans":        bench.Kmeans(),
+		"labyrinth":     bench.Labyrinth(),
+		"yada":          bench.Yada(),
+		"bayes":         bench.Bayes(),
+		"skiplist":      bench.SkipListWorkload(bench.RBTreeConfig{Size: 128, MutationRatio: 0.2}),
+		"sortedlist":    bench.SortedListWorkload(bench.RBTreeConfig{Size: 64, MutationRatio: 0.2}),
+	}
+	for wname, f := range factories {
+		for _, algo := range bench.StandardAlgos() {
+			t.Run(wname+"/"+algo.Name, func(t *testing.T) {
+				res, err := bench.Run(bench.RunConfig{
+					Workload: f(),
+					Algo:     algo,
+					Threads:  2,
+					Duration: 15 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 {
+					t.Error("no operations completed")
+				}
+			})
+		}
+	}
+}
+
+func TestSweepPrintFormat(t *testing.T) {
+	s, err := bench.RunSweep(bench.SweepConfig{
+		Factory:  bench.RBTree(bench.RBTreeConfig{Size: 64, MutationRatio: 0.4}),
+		Threads:  []int{1, 2},
+		Duration: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"workload: rbtree-40",
+		"throughput (ops/sec):",
+		"lock-elision",
+		"rh-norec",
+		"analysis: hy-norec",
+		"analysis: rh-norec",
+		"prefix-succ",
+		"postfix-succ",
+		"conflicts/op",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultThreadsMatchPaperRange(t *testing.T) {
+	ths := bench.DefaultThreads()
+	if ths[0] != 1 || ths[len(ths)-1] != 16 {
+		t.Errorf("DefaultThreads = %v, want 1..16", ths)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	count := 0
+	_, err := bench.RunSweep(bench.SweepConfig{
+		Factory:  bench.SSCA2(),
+		Algos:    bench.StandardAlgos()[:2],
+		Threads:  []int{1},
+		Duration: 10 * time.Millisecond,
+		Progress: func(bench.Result) { count++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("progress fired %d times, want 2", count)
+	}
+}

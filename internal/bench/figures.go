@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/tm"
+)
+
+// SweepConfig describes one workload's thread sweep across algorithms —
+// one column of a paper figure.
+type SweepConfig struct {
+	Factory  WorkloadFactory
+	Algos    []Algo
+	Threads  []int
+	Duration time.Duration
+	MemWords int
+	HTM      htm.Config
+	Policy   tm.RetryPolicy
+	// Repeat runs each point this many times and reports the
+	// median-throughput run (noise control; default 1).
+	Repeat int
+	// Progress, when non-nil, receives each point as it completes.
+	Progress func(Result)
+}
+
+// Sweep holds one workload's results across algorithms and thread counts.
+type Sweep struct {
+	Workload string
+	Threads  []int
+	Order    []string
+	Results  map[string][]Result
+}
+
+// DefaultThreads is the paper's sweep range on the 16-way Haswell.
+func DefaultThreads() []int { return []int{1, 2, 4, 8, 12, 16} }
+
+// RunSweep executes the sweep.
+func RunSweep(cfg SweepConfig) (*Sweep, error) {
+	if len(cfg.Algos) == 0 {
+		cfg.Algos = StandardAlgos()
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = DefaultThreads()
+	}
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 1
+	}
+	s := &Sweep{Threads: cfg.Threads, Results: make(map[string][]Result)}
+	for _, algo := range cfg.Algos {
+		s.Order = append(s.Order, algo.Name)
+		for _, n := range cfg.Threads {
+			runs := make([]Result, 0, cfg.Repeat)
+			for r := 0; r < cfg.Repeat; r++ {
+				res, err := Run(RunConfig{
+					Workload: cfg.Factory(),
+					Algo:     algo,
+					Threads:  n,
+					Duration: cfg.Duration,
+					MemWords: cfg.MemWords,
+					HTM:      cfg.HTM,
+					Policy:   cfg.Policy,
+				})
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, res)
+			}
+			sort.Slice(runs, func(i, j int) bool { return runs[i].Throughput < runs[j].Throughput })
+			res := runs[len(runs)/2] // median run
+			s.Workload = res.Workload
+			s.Results[algo.Name] = append(s.Results[algo.Name], res)
+			if cfg.Progress != nil {
+				cfg.Progress(res)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Print renders the sweep in the paper's figure layout: a throughput row
+// block followed by the per-hybrid analysis rows (Figure 4's rows 2–5).
+func (s *Sweep) Print(w io.Writer) {
+	fmt.Fprintf(w, "workload: %s\n", s.Workload)
+	fmt.Fprintf(w, "%-14s", "threads")
+	for _, n := range s.Threads {
+		fmt.Fprintf(w, "%12d", n)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "throughput (ops/sec):")
+	for _, name := range s.Order {
+		fmt.Fprintf(w, "%-14s", name)
+		for _, r := range s.Results[name] {
+			fmt.Fprintf(w, "%12.3g", r.Throughput)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, name := range s.Order {
+		if name != "hy-norec" && name != "rh-norec" {
+			continue
+		}
+		fmt.Fprintf(w, "analysis: %s\n", name)
+		rows := []struct {
+			label string
+			get   func(st *tm.Stats) float64
+		}{
+			{"  conflicts/op", func(st *tm.Stats) float64 { return st.ConflictAbortsPerOp() }},
+			{"  capacity/op", func(st *tm.Stats) float64 { return st.CapacityAbortsPerOp() }},
+			{"  restarts/slow", func(st *tm.Stats) float64 { return st.RestartsPerSlowPath() }},
+			{"  slow-ratio", func(st *tm.Stats) float64 { return st.SlowPathRatio() }},
+		}
+		if name == "rh-norec" {
+			rows = append(rows,
+				struct {
+					label string
+					get   func(st *tm.Stats) float64
+				}{"  prefix-succ", func(st *tm.Stats) float64 { return st.PrefixSuccessRatio() }},
+				struct {
+					label string
+					get   func(st *tm.Stats) float64
+				}{"  postfix-succ", func(st *tm.Stats) float64 { return st.PostfixSuccessRatio() }},
+			)
+		}
+		for _, row := range rows {
+			fmt.Fprintf(w, "%-14s", row.label)
+			for i := range s.Results[name] {
+				fmt.Fprintf(w, "%12.4f", row.get(&s.Results[name][i].Stats))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// PrintTSV renders the sweep as one tab-separated row per point, with a
+// header, for downstream plotting.
+func (s *Sweep) PrintTSV(w io.Writer) {
+	fmt.Fprintln(w, "workload\talgo\tthreads\tops\tthroughput\tconflicts_per_op\tcapacity_per_op\trestarts_per_slow\tslow_ratio\tprefix_succ\tpostfix_succ")
+	for _, name := range s.Order {
+		for i := range s.Results[name] {
+			r := &s.Results[name][i]
+			st := &r.Stats
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\t%.6f\t%.6f\t%.6f\t%.6f\t%.4f\t%.4f\n",
+				s.Workload, name, r.Threads, r.Ops, r.Throughput,
+				st.ConflictAbortsPerOp(), st.CapacityAbortsPerOp(),
+				st.RestartsPerSlowPath(), st.SlowPathRatio(),
+				st.PrefixSuccessRatio(), st.PostfixSuccessRatio())
+		}
+	}
+}
+
+// FigureConfig parameterizes a whole figure reproduction.
+type FigureConfig struct {
+	Algos    []Algo
+	Threads  []int
+	Duration time.Duration
+	MemWords int
+	HTM      htm.Config
+	Policy   tm.RetryPolicy
+	// Repeat runs each point this many times and keeps the
+	// median-throughput run (noise control; default 1).
+	Repeat   int
+	Progress func(Result)
+	// TSV switches output from the paper-style table to tab-separated rows.
+	TSV bool
+}
+
+func (c FigureConfig) sweep(f WorkloadFactory) SweepConfig {
+	return SweepConfig{
+		Factory: f, Algos: c.Algos, Threads: c.Threads, Duration: c.Duration,
+		MemWords: c.MemWords, HTM: c.HTM, Policy: c.Policy, Repeat: c.Repeat,
+		Progress: c.Progress,
+	}
+}
+
+func runAndPrint(w io.Writer, title string, cfg FigureConfig, factories []WorkloadFactory) error {
+	if !cfg.TSV {
+		fmt.Fprintf(w, "==== %s ====\n", title)
+	}
+	for _, f := range factories {
+		s, err := RunSweep(cfg.sweep(f))
+		if err != nil {
+			return err
+		}
+		if cfg.TSV {
+			s.PrintTSV(w)
+			continue
+		}
+		s.Print(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Structures runs the ordered-structure comparison (rbtree vs skip list vs
+// sorted list) under the configured algorithms.
+func Structures(w io.Writer, cfg FigureConfig) error {
+	return runAndPrint(w, "Structures: rbtree, skiplist, sortedlist (same op mix)", cfg,
+		[]WorkloadFactory{
+			RBTree(RBTreeConfig{Size: 2048, MutationRatio: 0.20}),
+			SkipListWorkload(RBTreeConfig{Size: 2048, MutationRatio: 0.20}),
+			SortedListWorkload(RBTreeConfig{Size: 128, MutationRatio: 0.20}),
+		})
+}
+
+// Figure4 reproduces the RBTree figure: 10,000 nodes at 4%, 10% and 40%
+// mutation ratios (paper §3.5).
+func Figure4(w io.Writer, cfg FigureConfig) error {
+	const size = 10000
+	return runAndPrint(w, "Figure 4: 10,000-node RBTree", cfg, []WorkloadFactory{
+		RBTree(RBTreeConfig{Size: size, MutationRatio: 0.04}),
+		RBTree(RBTreeConfig{Size: size, MutationRatio: 0.10}),
+		RBTree(RBTreeConfig{Size: size, MutationRatio: 0.40}),
+	})
+}
+
+// Figure5 reproduces the Vacation-Low, Intruder and Genome columns (paper
+// §3.6).
+func Figure5(w io.Writer, cfg FigureConfig) error {
+	return runAndPrint(w, "Figure 5: Vacation-Low, Intruder, Genome", cfg,
+		[]WorkloadFactory{VacationLow(), Intruder(), Genome()})
+}
+
+// Figure6 reproduces the Vacation-High, SSCA2 and Yada columns (paper
+// §3.6).
+func Figure6(w io.Writer, cfg FigureConfig) error {
+	return runAndPrint(w, "Figure 6: Vacation-High, SSCA2, Yada", cfg,
+		[]WorkloadFactory{VacationHigh(), SSCA2(), Yada()})
+}
+
+// Extra reproduces the workloads the paper folds into the SSCA2 discussion
+// (Kmeans and Labyrinth, §3.6) plus Bayes, which the paper omits for
+// inconsistent behaviour (no claims are made about it).
+func Extra(w io.Writer, cfg FigureConfig) error {
+	return runAndPrint(w, "Extra: Kmeans, Labyrinth (\"similar to SSCA2\"), Bayes (omitted by the paper), §3.6", cfg,
+		[]WorkloadFactory{Kmeans(), Labyrinth(), Bayes()})
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/rbtree"
+	"rhnorec/internal/stamp/bayes"
+	"rhnorec/internal/stamp/genome"
+	"rhnorec/internal/stamp/intruder"
+	"rhnorec/internal/stamp/kmeans"
+	"rhnorec/internal/stamp/labyrinth"
+	"rhnorec/internal/stamp/ssca2"
+	"rhnorec/internal/stamp/vacation"
+	"rhnorec/internal/stamp/yada"
+	"rhnorec/internal/tm"
+	"rhnorec/internal/txds"
+)
+
+// WorkloadFactory builds a fresh workload instance; the figure drivers
+// create one per benchmark point because each point runs over fresh memory.
+type WorkloadFactory func() Workload
+
+// RBTreeConfig parameterizes the paper's microbenchmark (§3.5).
+type RBTreeConfig struct {
+	// Size is the steady-state node count (the paper uses 10,000); keys
+	// are drawn from [0, 2*Size).
+	Size int
+	// MutationRatio is the fraction of operations that write (the paper
+	// sweeps 4%, 10%, 40%); writes split evenly between put and delete.
+	MutationRatio float64
+}
+
+// rbWorkload implements Workload for the red-black-tree microbenchmark.
+type rbWorkload struct {
+	cfg  RBTreeConfig
+	tree rbtree.Tree
+}
+
+// RBTree returns a factory for the §3.5 microbenchmark.
+func RBTree(cfg RBTreeConfig) WorkloadFactory {
+	return func() Workload { return &rbWorkload{cfg: cfg} }
+}
+
+func (w *rbWorkload) Name() string {
+	return fmt.Sprintf("rbtree-%d", int(w.cfg.MutationRatio*100+0.5))
+}
+
+func (w *rbWorkload) Setup(th tm.Thread) error {
+	if err := th.Run(func(tx tm.Tx) error {
+		w.tree = rbtree.New(tx)
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Populate every even key: Size nodes over a 2*Size key range, so puts
+	// and deletes hold the size steady.
+	const batch = 64
+	for start := 0; start < w.cfg.Size; start += batch {
+		end := start + batch
+		if end > w.cfg.Size {
+			end = w.cfg.Size
+		}
+		if err := th.Run(func(tx tm.Tx) error {
+			for k := start; k < end; k++ {
+				w.tree.Put(tx, uint64(2*k), uint64(k))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *rbWorkload) NewOp(th tm.Thread, seed int64) func() error {
+	rng := rand.New(rand.NewSource(seed))
+	keyRange := uint64(2 * w.cfg.Size)
+	return func() error {
+		k := rng.Uint64() % keyRange
+		r := rng.Float64()
+		switch {
+		case r < w.cfg.MutationRatio/2:
+			return th.Run(func(tx tm.Tx) error {
+				w.tree.Put(tx, k, k)
+				return nil
+			})
+		case r < w.cfg.MutationRatio:
+			return th.Run(func(tx tm.Tx) error {
+				w.tree.Delete(tx, k)
+				return nil
+			})
+		default:
+			return th.RunReadOnly(func(tx tm.Tx) error {
+				w.tree.Get(tx, k)
+				return nil
+			})
+		}
+	}
+}
+
+// orderedWorkload drives the same mixed key-value operation profile as the
+// RBTree microbenchmark over a different ordered structure (skip list or
+// sorted list), for structure-comparison benchmarks.
+type orderedWorkload struct {
+	cfg     RBTreeConfig
+	name    string
+	create  func(tx tm.Tx) mem.Addr
+	get     func(tx tm.Tx, head mem.Addr, k uint64)
+	put     func(tx tm.Tx, head mem.Addr, k uint64)
+	del     func(tx tm.Tx, head mem.Addr, k uint64)
+	headPtr mem.Addr
+}
+
+// SkipListWorkload is the RBTree microbenchmark profile over a skip list.
+func SkipListWorkload(cfg RBTreeConfig) WorkloadFactory {
+	return func() Workload {
+		return &orderedWorkload{
+			cfg:    cfg,
+			name:   "skiplist",
+			create: func(tx tm.Tx) mem.Addr { return txds.NewSkipList(tx).Head() },
+			get:    func(tx tm.Tx, h mem.Addr, k uint64) { txds.AttachSkipList(h).Get(tx, k) },
+			put:    func(tx tm.Tx, h mem.Addr, k uint64) { txds.AttachSkipList(h).Put(tx, k, k) },
+			del:    func(tx tm.Tx, h mem.Addr, k uint64) { txds.AttachSkipList(h).Delete(tx, k) },
+		}
+	}
+}
+
+// SortedListWorkload is the RBTree microbenchmark profile over a sorted
+// linked list (use small sizes: traversals are O(n)).
+func SortedListWorkload(cfg RBTreeConfig) WorkloadFactory {
+	return func() Workload {
+		return &orderedWorkload{
+			cfg:    cfg,
+			name:   "sortedlist",
+			create: func(tx tm.Tx) mem.Addr { return txds.NewSortedList(tx).Head() },
+			get:    func(tx tm.Tx, h mem.Addr, k uint64) { txds.AttachSortedList(h).Get(tx, k) },
+			put:    func(tx tm.Tx, h mem.Addr, k uint64) { txds.AttachSortedList(h).Put(tx, k, k) },
+			del:    func(tx tm.Tx, h mem.Addr, k uint64) { txds.AttachSortedList(h).Delete(tx, k) },
+		}
+	}
+}
+
+func (w *orderedWorkload) Name() string { return w.name }
+
+func (w *orderedWorkload) Setup(th tm.Thread) error {
+	if err := th.Run(func(tx tm.Tx) error {
+		w.headPtr = w.create(tx)
+		return nil
+	}); err != nil {
+		return err
+	}
+	const batch = 64
+	for start := 0; start < w.cfg.Size; start += batch {
+		end := start + batch
+		if end > w.cfg.Size {
+			end = w.cfg.Size
+		}
+		if err := th.Run(func(tx tm.Tx) error {
+			for k := start; k < end; k++ {
+				w.put(tx, w.headPtr, uint64(2*k))
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *orderedWorkload) NewOp(th tm.Thread, seed int64) func() error {
+	rng := rand.New(rand.NewSource(seed))
+	keyRange := uint64(2 * w.cfg.Size)
+	return func() error {
+		k := rng.Uint64() % keyRange
+		r := rng.Float64()
+		switch {
+		case r < w.cfg.MutationRatio/2:
+			return th.Run(func(tx tm.Tx) error { w.put(tx, w.headPtr, k); return nil })
+		case r < w.cfg.MutationRatio:
+			return th.Run(func(tx tm.Tx) error { w.del(tx, w.headPtr, k); return nil })
+		default:
+			return th.RunReadOnly(func(tx tm.Tx) error { w.get(tx, w.headPtr, k); return nil })
+		}
+	}
+}
+
+// appWorkload adapts the STAMP-style apps to the Workload interface.
+type appWorkload struct {
+	name  string
+	setup func(th tm.Thread) error
+	newOp func(th tm.Thread, seed int64) func() error
+}
+
+func (w *appWorkload) Name() string                                { return w.name }
+func (w *appWorkload) Setup(th tm.Thread) error                    { return w.setup(th) }
+func (w *appWorkload) NewOp(th tm.Thread, seed int64) func() error { return w.newOp(th, seed) }
+
+// VacationLow is the paper's Vacation-Low column (Figure 5).
+func VacationLow() WorkloadFactory {
+	return func() Workload {
+		app := vacation.New(vacation.Low())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// VacationHigh is the paper's Vacation-High column (Figure 6).
+func VacationHigh() WorkloadFactory {
+	return func() Workload {
+		app := vacation.New(vacation.High())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// Intruder is the paper's Intruder column (Figure 5).
+func Intruder() WorkloadFactory {
+	return func() Workload {
+		app := intruder.New(intruder.Default())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// Genome is the paper's Genome column (Figure 5).
+func Genome() WorkloadFactory {
+	return func() Workload {
+		app := genome.New(genome.Default())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// SSCA2 is the paper's SSCA2 column (Figure 6).
+func SSCA2() WorkloadFactory {
+	return func() Workload {
+		app := ssca2.New(ssca2.Default())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// Kmeans is noted in §3.6 as behaving like SSCA2.
+func Kmeans() WorkloadFactory {
+	return func() Workload {
+		app := kmeans.New(kmeans.Default())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// Labyrinth is noted in §3.6 as behaving like SSCA2.
+func Labyrinth() WorkloadFactory {
+	return func() Workload {
+		app := labyrinth.New(labyrinth.Default())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// Bayes is the STAMP app the paper omits "due to its inconsistent
+// behavior" (§3.6); provided for completeness, outside the figure
+// reproduction.
+func Bayes() WorkloadFactory {
+	return func() Workload {
+		app := bayes.New(bayes.Default())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}
+
+// Yada is the paper's Yada column (Figure 6).
+func Yada() WorkloadFactory {
+	return func() Workload {
+		app := yada.New(yada.Default())
+		return &appWorkload{
+			name:  app.Name(),
+			setup: app.Setup,
+			newOp: func(th tm.Thread, seed int64) func() error { return app.NewWorker(th, seed).Op },
+		}
+	}
+}

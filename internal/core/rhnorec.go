@@ -1,0 +1,594 @@
+// Package core implements Reduced Hardware NOrec (RH NOrec), the paper's
+// contribution (Matveev & Shavit, ASPLOS '15, Algorithms 1–3): a hybrid TM
+// whose fast path is a pure uninstrumented hardware transaction that touches
+// the global clock only at its commit point, and whose software slow path is
+// a *mixed* path strengthened by two short hardware transactions:
+//
+//   - The HTM prefix executes the largest possible run of initial reads
+//     speculatively, deferring the read of the global clock to the prefix's
+//     commit point. This shrinks the window in which a concurrent writer
+//     commit forces a slow-path restart. Its length adapts to the hardware
+//     abort feedback at runtime.
+//   - The HTM postfix encapsulates all of the slow path's writes in one
+//     hardware transaction, so concurrent fast paths can never observe a
+//     partial slow-path write set — which is what lets the fast path read
+//     the clock at the end instead of the beginning without losing opacity
+//     (Figure 2 of the paper).
+//
+// If either small transaction fails, the algorithm reverts to the Hybrid
+// NOrec behaviour for that transaction: the prefix is replaced by reading
+// the clock at the start and validating it on every read, and the postfix is
+// replaced by setting the global HTM lock (aborting all fast paths) and
+// writing in software. A serial lock provides the starvation escape of
+// §3.3.
+//
+// One deliberate deviation from the C implementation: when the HTM postfix
+// aborts mid-execution, real hardware rewinds registers to the XBEGIN
+// checkpoint inside handle_first_write and resumes there in software. Go
+// cannot checkpoint mid-function, so this implementation restarts the whole
+// attempt with the postfix disabled for the remainder of the transaction.
+// The committed histories are identical (nothing the failed postfix did was
+// visible, and the clock lock is released before the retry); the only
+// difference is a re-execution of the read prefix, which the statistics
+// report as an extra slow-path restart.
+package core
+
+import (
+	"runtime"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// XABORT payloads used by the protocol.
+const (
+	abortHTMLockTaken = 1
+	abortClockLocked  = 2
+	abortSerialTaken  = 3
+)
+
+// System is an RH NOrec TM over one shared memory.
+type System struct {
+	m      *mem.Memory
+	dev    *htm.Device
+	rec    *tm.Reclaimer
+	policy tm.RetryPolicy
+
+	gClock     mem.Addr
+	gHTMLock   mem.Addr
+	gFallbacks mem.Addr
+	serialLock mem.Addr
+}
+
+// New creates an RH NOrec system. dev must speculate over m; zero policy
+// fields take the paper's defaults (§3.3–§3.4).
+func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
+	if dev.Memory() != m {
+		panic("core: device bound to a different memory")
+	}
+	tc := m.NewThreadCache()
+	return &System{
+		m:          m,
+		dev:        dev,
+		rec:        tm.NewReclaimer(),
+		policy:     policy.WithDefaults(),
+		gClock:     tc.Alloc(mem.LineWords),
+		gHTMLock:   tc.Alloc(mem.LineWords),
+		gFallbacks: tc.Alloc(mem.LineWords),
+		serialLock: tc.Alloc(mem.LineWords),
+	}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "rh-norec" }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// Policy returns the effective retry policy (after defaulting).
+func (s *System) Policy() tm.RetryPolicy { return s.policy }
+
+// NewThread implements tm.System.
+func (s *System) NewThread() tm.Thread {
+	t := &thread{
+		sys:         s,
+		base:        tm.NewThreadBase(s.m, s.rec),
+		htx:         s.dev.NewTxn(),
+		expectedLen: s.policy.InitialPrefixLength,
+	}
+	t.base.Retry.InitRetry(s.policy)
+	return t
+}
+
+type thread struct {
+	sys  *System
+	base tm.ThreadBase
+	htx  *htm.Txn
+	ro   bool
+
+	// Mixed-slow-path attempt state.
+	txv                uint64 // clock snapshot; LSB set while we hold the clock lock
+	writeDetected      bool
+	prefixActive       bool
+	postfixActive      bool
+	fullSoftware       bool // we set the global HTM lock and write in software
+	fallbackRegistered bool // this Run is counted in num_of_fallbacks
+	prefixBanned       bool // §3.4: one prefix try per transaction
+	postfixBanned      bool // §3.4: one postfix try per transaction
+	serialHeld         bool
+	undo               []mem.WriteEntry
+
+	// Prefix-length adaptation (§2.4): expectedLen is the reads budget the
+	// next prefix will attempt; it halves on prefix aborts and grows again
+	// after sustained success.
+	expectedLen   int
+	prefixReads   int
+	maxReads      int
+	prefixStreak  int
+	prefixLimited bool // the current prefix was cut short by maxReads
+}
+
+func (t *thread) Stats() *tm.Stats { return &t.base.St }
+func (t *thread) Close()           { t.base.CloseBase() }
+
+func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
+func (t *thread) RunReadOnly(fn func(tm.Tx) error) error { return t.run(fn, true) }
+
+func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
+	if nested := t.base.Nested(); nested != nil {
+		// Flat nesting: execute inline in the enclosing transaction.
+		return fn(nested)
+	}
+	t.base.BeginTxn()
+	defer t.base.EndTxn()
+	t.ro = ro
+	retries := 0
+	for {
+		err, ab := t.fastAttempt(fn)
+		if ab == nil {
+			if err == nil {
+				t.base.Retry.OnFastCommit(retries)
+			}
+			return err
+		}
+		t.recordAbort(ab)
+		retries++
+		if !ab.MayRetry() && ab.Code != htm.Explicit {
+			break // NO_RETRY (capacity, environmental): straight to the mixed slow path
+		}
+		if retries >= t.base.Retry.Budget() {
+			break
+		}
+		t.waitOutAbortCause(ab)
+		if ab.Code == htm.Conflict {
+			t.sys.policy.Backoff(retries - 1)
+		}
+	}
+	t.base.Retry.OnFallback()
+	t.base.St.Fallbacks++
+	return t.mixedSlowRun(fn)
+}
+
+func (t *thread) recordAbort(ab *htm.Abort) {
+	switch ab.Code {
+	case htm.Conflict:
+		t.base.St.HTMConflictAborts++
+	case htm.Capacity:
+		t.base.St.HTMCapacityAborts++
+	case htm.Explicit:
+		t.base.St.HTMExplicitAborts++
+	case htm.Spurious:
+		t.base.St.HTMSpuriousAborts++
+	}
+}
+
+func (t *thread) waitOutAbortCause(ab *htm.Abort) {
+	m := t.base.M
+	if ab.Code != htm.Explicit {
+		return
+	}
+	switch ab.Arg {
+	case abortHTMLockTaken:
+		for m.LoadPlain(t.sys.gHTMLock) != 0 {
+			runtime.Gosched()
+		}
+	case abortClockLocked:
+		for m.LoadPlain(t.sys.gClock)&1 != 0 {
+			runtime.Gosched()
+		}
+	case abortSerialTaken:
+		for m.LoadPlain(t.sys.serialLock) != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// fastAttempt is Algorithm 1: a pure hardware transaction that subscribes
+// only to the global HTM lock at start and touches the clock only at its
+// commit point — the paper's key change relative to Hybrid NOrec.
+func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := htm.AsAbort(r); ok {
+				t.base.AbortCleanup()
+				err, ab = nil, a
+				return
+			}
+			t.htx.Cancel()
+			t.base.AbortCleanup()
+			if tm.IsRestart(r) {
+				err, ab = nil, &htm.Abort{Code: htm.Conflict}
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.htx.Begin()
+	if t.htx.Load(t.sys.gHTMLock) != 0 {
+		t.htx.Abort(abortHTMLockTaken)
+	}
+	if uerr := t.base.CallUser(fn, fastTx{t}); uerr != nil {
+		t.htx.Cancel()
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, nil
+	}
+	// Algorithm 1 commit: read-only transactions (compiler hint or no
+	// writes at runtime) commit without looking at the clock at all.
+	if !t.ro && t.htx.WriteLineCount() > 0 {
+		if t.htx.Load(t.sys.gFallbacks) > 0 {
+			if t.htx.Load(t.sys.serialLock) != 0 {
+				t.htx.Abort(abortSerialTaken)
+			}
+			c := t.htx.Load(t.sys.gClock)
+			if c&1 != 0 {
+				t.htx.Abort(abortClockLocked)
+			}
+			t.htx.Store(t.sys.gClock, c+2)
+		}
+	}
+	t.htx.Commit()
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.FastPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, nil
+}
+
+// mixedSlowRun drives mixed-slow-path attempts (Algorithms 2 and 3) with
+// the serial starvation escape of §3.3.
+func (t *thread) mixedSlowRun(fn func(tm.Tx) error) error {
+	m := t.base.M
+	t.fallbackRegistered = false
+	t.prefixBanned = false
+	t.postfixBanned = false
+	restarts := 0
+	defer func() {
+		if t.fallbackRegistered {
+			m.SubPlain(t.sys.gFallbacks, 1)
+			t.fallbackRegistered = false
+		}
+		if t.serialHeld {
+			m.StorePlain(t.sys.serialLock, 0)
+			t.serialHeld = false
+		}
+	}()
+	for {
+		t.base.St.SlowPathStarts++
+		err, restarted := t.mixedAttempt(fn)
+		if !restarted {
+			return err
+		}
+		t.base.St.SlowPathRestarts++
+		restarts++
+		if restarts >= t.sys.policy.MaxSlowPathRestarts && !t.serialHeld {
+			for !m.CASPlain(t.sys.serialLock, 0, 1) {
+				runtime.Gosched()
+			}
+			t.serialHeld = true
+		}
+	}
+}
+
+// mixedAttempt is one try of the mixed slow path.
+func (t *thread) mixedAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, isAbort := htm.AsAbort(r)
+			if isAbort {
+				t.recordAbort(ab)
+			} else if t.htx.Active() {
+				t.htx.Cancel()
+			}
+			t.mixedAbortCleanup()
+			if isAbort || tm.IsRestart(r) {
+				err, restarted = nil, true
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.writeDetected = false
+	t.prefixActive = false
+	t.postfixActive = false
+	t.fullSoftware = false
+	t.undo = t.undo[:0]
+	// Algorithm 3 start: try the HTM prefix; on no-go, the original
+	// (Algorithm 2) software start.
+	if t.prefixUsable() {
+		t.startPrefix()
+	} else {
+		t.softwareStart()
+	}
+	if uerr := t.base.CallUser(fn, mixedTx{t}); uerr != nil {
+		t.mixedUserAbort()
+		t.base.St.UserAborts++
+		return uerr, false
+	}
+	t.mixedCommit()
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.SlowPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, false
+}
+
+func (t *thread) prefixUsable() bool {
+	p := &t.sys.policy
+	return !p.DisablePrefix && !t.prefixBanned && t.expectedLen >= p.MinPrefixLength
+}
+
+// startPrefix is start_rh_htm_prefix (Algorithm 3 lines 9–26).
+func (t *thread) startPrefix() {
+	t.base.St.PrefixAttempts++
+	t.htx.Begin()
+	t.prefixActive = true
+	t.prefixLimited = false
+	if t.htx.Load(t.sys.gHTMLock) != 0 {
+		t.htx.Abort(abortHTMLockTaken)
+	}
+	t.maxReads = t.expectedLen
+	t.prefixReads = 0
+}
+
+// softwareStart is the original mixed_slow_path_start (Algorithm 2 lines
+// 1–8): register the fallback and snapshot the clock.
+func (t *thread) softwareStart() {
+	m := t.base.M
+	if !t.fallbackRegistered {
+		m.AddPlain(t.sys.gFallbacks, 1)
+		t.fallbackRegistered = true
+	}
+	for {
+		v := m.LoadPlain(t.sys.gClock)
+		if v&1 == 0 {
+			t.txv = v
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// commitPrefix is commit_rh_htm_prefix (Algorithm 3 lines 47–56): register
+// the fallback and read the clock *inside* the hardware transaction, so
+// both become visible atomically with everything the prefix read.
+func (t *thread) commitPrefix() {
+	if !t.fallbackRegistered {
+		f := t.htx.Load(t.sys.gFallbacks)
+		t.htx.Store(t.sys.gFallbacks, f+1)
+	}
+	v := t.htx.Load(t.sys.gClock)
+	if v&1 != 0 {
+		t.htx.Abort(abortClockLocked)
+	}
+	t.htx.Commit() // may abort: the whole attempt restarts
+	t.prefixActive = false
+	t.fallbackRegistered = true
+	t.txv = v
+	t.base.St.PrefixCommits++
+	t.adaptPrefixAfterSuccess()
+}
+
+// adaptPrefixAfterSuccess grows the prefix budget again after sustained
+// successful prefixes that were cut short by the budget (§2.4).
+func (t *thread) adaptPrefixAfterSuccess() {
+	if t.sys.policy.DisablePrefixAdaptation {
+		return
+	}
+	t.prefixStreak++
+	if t.prefixLimited && t.prefixStreak >= 4 && t.expectedLen < t.sys.policy.InitialPrefixLength {
+		t.expectedLen *= 2
+		if t.expectedLen > t.sys.policy.InitialPrefixLength {
+			t.expectedLen = t.sys.policy.InitialPrefixLength
+		}
+		t.prefixStreak = 0
+	}
+}
+
+// adaptPrefixAfterAbort shrinks the prefix budget after a hardware failure
+// (§2.4: reduce the length until it commits with high probability).
+func (t *thread) adaptPrefixAfterAbort() {
+	t.prefixStreak = 0
+	if t.sys.policy.DisablePrefixAdaptation {
+		return
+	}
+	t.expectedLen /= 2
+	if t.expectedLen < t.sys.policy.MinPrefixLength {
+		t.expectedLen = t.sys.policy.MinPrefixLength
+	}
+}
+
+// handleFirstWrite is Algorithm 2 lines 25–31: lock the clock, then start
+// the HTM postfix; if the postfix cannot run, take the global HTM lock and
+// continue in software.
+func (t *thread) handleFirstWrite() {
+	m := t.base.M
+	// acquire_clock_lock (lines 47–56). writeDetected is set only once the
+	// lock is ours, since abort cleanup releases the clock when it is set.
+	if !m.CASPlain(t.sys.gClock, t.txv, t.txv|1) {
+		tm.Restart()
+	}
+	t.txv |= 1
+	t.writeDetected = true
+	if !t.sys.policy.DisablePostfix && !t.postfixBanned {
+		t.base.St.PostfixAttempts++
+		t.htx.Begin()
+		t.postfixActive = true
+		return
+	}
+	t.goFullSoftware()
+}
+
+// goFullSoftware is the Algorithm 2 lines 28–30 fallback: abort all
+// hardware fast paths and perform the writes in software under the clock
+// lock, with full NOrec opacity.
+func (t *thread) goFullSoftware() {
+	t.base.M.StorePlain(t.sys.gHTMLock, 1)
+	t.fullSoftware = true
+}
+
+// mixedCommit is mixed_slow_path_commit (Algorithm 3 lines 58–64 falling
+// back to Algorithm 2 lines 58–72).
+func (t *thread) mixedCommit() {
+	m := t.base.M
+	if t.prefixActive {
+		// The entire transaction fit in the HTM prefix: commit it. No
+		// fallback was ever registered, no clock activity needed.
+		t.htx.Commit()
+		t.prefixActive = false
+		t.base.St.PrefixCommits++
+		t.adaptPrefixAfterSuccess()
+		return
+	}
+	if !t.writeDetected {
+		return // read-only software slow path
+	}
+	if t.postfixActive {
+		t.htx.Commit() // publish all writes atomically
+		t.postfixActive = false
+		t.base.St.PostfixCommits++
+	}
+	if t.fullSoftware {
+		m.StorePlain(t.sys.gHTMLock, 0)
+		t.fullSoftware = false
+	}
+	m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
+	t.writeDetected = false
+	t.undo = t.undo[:0]
+}
+
+// mixedUserAbort cleanly discards an attempt whose callback returned an
+// error: nothing it did may remain visible.
+func (t *thread) mixedUserAbort() {
+	if t.htx.Active() {
+		t.htx.Cancel()
+	}
+	t.mixedAbortCleanup()
+}
+
+// mixedAbortCleanup releases every lock and rolls back eager writes after a
+// restart, hardware abort, or user abort. The hardware transactions have
+// already discarded their buffers by this point.
+func (t *thread) mixedAbortCleanup() {
+	m := t.base.M
+	if t.prefixActive {
+		// A failed prefix: ban it for this transaction and shrink the
+		// budget (§3.4 single-try policy + §2.4 adaptation).
+		t.prefixActive = false
+		t.prefixBanned = true
+		t.adaptPrefixAfterAbort()
+	}
+	if t.postfixActive {
+		// A failed postfix: revert to the Hybrid NOrec software writes on
+		// the retry (see the package comment for the checkpoint
+		// deviation).
+		t.postfixActive = false
+		t.postfixBanned = true
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		m.StorePlain(t.undo[i].Addr, t.undo[i].Value)
+	}
+	t.undo = t.undo[:0]
+	if t.fullSoftware {
+		m.StorePlain(t.sys.gHTMLock, 0)
+		t.fullSoftware = false
+	}
+	if t.writeDetected {
+		// Memory is restored and nobody could observe the interim state
+		// (the clock was locked), so release without advancing.
+		m.StorePlain(t.sys.gClock, t.txv&^1)
+		t.writeDetected = false
+	}
+	t.base.AbortCleanup()
+}
+
+// fastTx is the pure, uninstrumented hardware view of Algorithm 1.
+type fastTx struct{ t *thread }
+
+func (v fastTx) Load(a mem.Addr) uint64 { return v.t.htx.Load(a) }
+
+func (v fastTx) Store(a mem.Addr, val uint64) {
+	if v.t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	v.t.htx.Store(a, val)
+}
+
+func (v fastTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v fastTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }
+
+// mixedTx is the mixed slow path view: reads route through the HTM prefix,
+// plain validated software loads, or the HTM postfix, depending on phase
+// (Algorithm 3 mixed_slow_path_read/write).
+type mixedTx struct{ t *thread }
+
+func (v mixedTx) Load(a mem.Addr) uint64 {
+	t := v.t
+	if t.prefixActive {
+		t.prefixReads++
+		if t.prefixReads < t.maxReads {
+			return t.htx.Load(a)
+		}
+		t.prefixLimited = true
+		t.commitPrefix()
+		// Fall through: this read executes in software.
+	}
+	if t.postfixActive {
+		return t.htx.Load(a)
+	}
+	t.base.InstrumentedAccess()
+	m := t.base.M
+	val := m.LoadPlain(a)
+	if m.LoadPlain(t.sys.gClock) != t.txv {
+		tm.Restart()
+	}
+	return val
+}
+
+func (v mixedTx) Store(a mem.Addr, val uint64) {
+	t := v.t
+	if t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	if t.prefixActive {
+		t.commitPrefix() // Algorithm 3 lines 40–45: first write ends the prefix
+	}
+	if !t.writeDetected {
+		t.handleFirstWrite()
+	}
+	if t.postfixActive {
+		t.htx.Store(a, val)
+		return
+	}
+	t.base.InstrumentedAccess()
+	t.undo = append(t.undo, mem.WriteEntry{Addr: a, Value: t.base.M.LoadPlain(a)})
+	t.base.M.StorePlain(a, val)
+}
+
+func (v mixedTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v mixedTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }

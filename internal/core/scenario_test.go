@@ -1,0 +1,224 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rhnorec/internal/core"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/hynorec"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// Scenario tests for the paper's protocol figures (Figures 1–3). Figure 2's
+// postfix-atomicity scenario lives in rhnorec_test.go (TestScenarioFigure2);
+// this file covers the Figure 1 hazard on Hybrid NOrec and the Figure 3
+// concurrency schedule.
+
+// TestScenarioFigure1HybridNOrec: the Figure 1 hazard — a slow path updates
+// X then Y while a hardware fast path reads both — must be prevented by
+// Hybrid NOrec too (its htm-lock subscription kills the fast path instead).
+// The observable property is the same as Figure 2's: no fast path ever
+// returns new-X with old-Y.
+func TestScenarioFigure1HybridNOrec(t *testing.T) {
+	m := mem.New(1 << 18)
+	dev := htm.NewDevice(m, htm.Config{ReadCapacityLines: 4, WriteCapacityLines: 2})
+	dev.SetActiveThreads(2)
+	sys := hynorec.New(m, dev, tm.RetryPolicy{})
+	setup := sys.NewThread()
+	var x, y, filler mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		x = tx.Alloc(mem.LineWords)
+		y = tx.Alloc(mem.LineWords)
+		filler = tx.Alloc(64 * mem.LineWords)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // capacity-bound writer: always the software slow path
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = th.Run(func(tx tm.Tx) error {
+				for k := 0; k < 8; k++ {
+					tx.Store(filler+mem.Addr(k*8*mem.LineWords), i)
+				}
+				tx.Store(x, i)
+				tx.Store(y, i)
+				return nil
+			})
+		}
+	}()
+	th := sys.NewThread()
+	defer th.Close()
+	torn := 0
+	for i := 0; i < 2000; i++ {
+		_ = th.RunReadOnly(func(tx tm.Tx) error {
+			if tx.Load(x) != tx.Load(y) {
+				torn++
+			}
+			return nil
+		})
+	}
+	close(done)
+	wg.Wait()
+	if torn != 0 {
+		t.Errorf("Hybrid NOrec admitted %d torn X/Y reads (Figure 1 hazard)", torn)
+	}
+}
+
+// TestScenarioFigure3Concurrency reproduces Figure 3's schedule property:
+// hardware fast paths keep committing while a mixed slow path is executing
+// — including read-only fast paths during the slow path's write phase. In
+// Hybrid NOrec the first slow-path write (htm lock) would abort them all;
+// in RH NOrec the postfix keeps the htm lock free, so concurrent read-only
+// fast paths must keep succeeding throughout.
+func TestScenarioFigure3Concurrency(t *testing.T) {
+	m := mem.New(1 << 18)
+	// Read capacity forces the mixed path; write capacity comfortably fits
+	// the postfix.
+	dev := htm.NewDevice(m, htm.Config{ReadCapacityLines: 8, WriteCapacityLines: 64})
+	dev.SetActiveThreads(2)
+	sys := core.New(m, dev, tm.RetryPolicy{})
+	setup := sys.NewThread()
+	var big, obs mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		big = tx.Alloc(32 * mem.LineWords)
+		obs = tx.Alloc(mem.LineWords)
+		tx.Store(obs, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var slowStats tm.Stats
+	wg.Add(1)
+	go func() { // the mixed slow path: long read prefix + postfix writes
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-done:
+				slowStats = *th.Stats()
+				return
+			default:
+			}
+			_ = th.Run(func(tx tm.Tx) error {
+				var sum uint64
+				for k := 0; k < 32; k++ {
+					sum += tx.Load(big + mem.Addr(k*mem.LineWords))
+				}
+				for k := 0; k < 4; k++ {
+					tx.Store(big+mem.Addr(k*mem.LineWords), sum+i)
+				}
+				return nil
+			})
+		}
+	}()
+
+	th := sys.NewThread()
+	defer th.Close()
+	var roCommits atomic.Uint64
+	for i := 0; i < 3000; i++ {
+		if err := th.RunReadOnly(func(tx tm.Tx) error {
+			if tx.Load(obs) != 7 {
+				t.Error("observer read corrupted data")
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		roCommits.Add(1)
+	}
+	close(done)
+	wg.Wait()
+
+	if slowStats.SlowPathCommits == 0 || slowStats.PostfixCommits == 0 {
+		t.Fatalf("slow path never exercised the postfix: %+v", slowStats)
+	}
+	fast := th.Stats()
+	if fast.FastPathCommits != 3000 {
+		t.Errorf("read-only observer fell back %d times; Figure 3 concurrency requires the fast path to survive slow-path writers", fast.Fallbacks)
+	}
+	// The htm lock must never have been taken (postfix succeeded), so the
+	// observer should have seen almost no explicit aborts.
+	if fast.HTMExplicitAborts > uint64(slowStats.PostfixAttempts-slowStats.PostfixCommits+5) {
+		t.Errorf("observer saw %d htm-lock aborts with only %d failed postfixes",
+			fast.HTMExplicitAborts, slowStats.PostfixAttempts-slowStats.PostfixCommits)
+	}
+}
+
+// TestScenarioFigure3HybridContrast runs the same schedule on Hybrid NOrec
+// and asserts the opposite: the observer *is* disturbed (it suffers aborts
+// caused by the slow-path writers taking the htm lock), demonstrating what
+// the RH postfix buys.
+func TestScenarioFigure3HybridContrast(t *testing.T) {
+	m := mem.New(1 << 18)
+	dev := htm.NewDevice(m, htm.Config{ReadCapacityLines: 8, WriteCapacityLines: 64})
+	dev.SetActiveThreads(2)
+	sys := hynorec.New(m, dev, tm.RetryPolicy{})
+	setup := sys.NewThread()
+	var big, obs mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		big = tx.Alloc(32 * mem.LineWords)
+		obs = tx.Alloc(mem.LineWords)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = th.Run(func(tx tm.Tx) error {
+				var sum uint64
+				for k := 0; k < 32; k++ {
+					sum += tx.Load(big + mem.Addr(k*mem.LineWords))
+				}
+				for k := 0; k < 4; k++ {
+					tx.Store(big+mem.Addr(k*mem.LineWords), sum+i)
+				}
+				return nil
+			})
+		}
+	}()
+	th := sys.NewThread()
+	defer th.Close()
+	for i := 0; i < 3000; i++ {
+		_ = th.RunReadOnly(func(tx tm.Tx) error {
+			_ = tx.Load(obs)
+			return nil
+		})
+	}
+	close(done)
+	wg.Wait()
+	if th.Stats().HTMAborts() == 0 {
+		t.Error("Hybrid NOrec observer saw zero aborts despite slow-path writers — the htm-lock cost did not manifest")
+	}
+}

@@ -1,0 +1,93 @@
+package htm
+
+import (
+	"sync/atomic"
+
+	"rhnorec/internal/mem"
+)
+
+// Device is one simulated processor's transactional-memory facility. All
+// hardware transactions over the same mem.Memory must share one Device so
+// that capacity scaling and statistics are coherent.
+type Device struct {
+	m   *mem.Memory
+	cfg Config
+
+	// activeThreads is the number of simulated hardware threads currently
+	// running; above cfg.Cores, HyperThreading halves capacity.
+	activeThreads atomic.Int64
+
+	// seedCounter hands out distinct RNG seeds to transactions.
+	seedCounter atomic.Uint64
+
+	starts  atomic.Uint64
+	commits atomic.Uint64
+	aborts  [Spurious + 1]atomic.Uint64
+}
+
+// NewDevice creates a transactional device over m. Zero fields of cfg take
+// their defaults.
+func NewDevice(m *mem.Memory, cfg Config) *Device {
+	return &Device{m: m, cfg: cfg.withDefaults()}
+}
+
+// Memory returns the memory this device speculates over.
+func (d *Device) Memory() *mem.Memory { return d.m }
+
+// Config returns the effective device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// SetActiveThreads tells the device how many simulated hardware threads are
+// running; the benchmark harness calls this before each run. When the count
+// exceeds the core count, per-transaction capacities halve.
+func (d *Device) SetActiveThreads(n int) { d.activeThreads.Store(int64(n)) }
+
+// ActiveThreads reports the current simulated thread count.
+func (d *Device) ActiveThreads() int { return int(d.activeThreads.Load()) }
+
+// hyperThreaded reports whether capacity halving is in effect.
+func (d *Device) hyperThreaded() bool {
+	return int(d.activeThreads.Load()) > d.cfg.Cores
+}
+
+// effectiveCaps returns the current read and write line capacities.
+func (d *Device) effectiveCaps() (readCap, writeCap int) {
+	readCap, writeCap = d.cfg.ReadCapacityLines, d.cfg.WriteCapacityLines
+	if d.hyperThreaded() {
+		readCap /= 2
+		writeCap /= 2
+	}
+	return readCap, writeCap
+}
+
+// DeviceStats is a snapshot of device-wide counters.
+type DeviceStats struct {
+	Starts         uint64
+	Commits        uint64
+	ConflictAborts uint64
+	CapacityAborts uint64
+	ExplicitAborts uint64
+	SpuriousAborts uint64
+}
+
+// Stats returns a snapshot of the device-wide counters.
+func (d *Device) Stats() DeviceStats {
+	return DeviceStats{
+		Starts:         d.starts.Load(),
+		Commits:        d.commits.Load(),
+		ConflictAborts: d.aborts[Conflict].Load(),
+		CapacityAborts: d.aborts[Capacity].Load(),
+		ExplicitAborts: d.aborts[Explicit].Load(),
+		SpuriousAborts: d.aborts[Spurious].Load(),
+	}
+}
+
+// NewTxn creates a reusable hardware-transaction context bound to this
+// device. A Txn belongs to one thread; each simulated hardware thread
+// creates its own.
+func (d *Device) NewTxn() *Txn {
+	return &Txn{
+		d:        d,
+		rngState: d.seedCounter.Add(1)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+	}
+}

@@ -1,0 +1,160 @@
+// Package htm simulates a best-effort hardware transactional memory in the
+// style of Intel Haswell RTM, which the paper's fast paths and the RH NOrec
+// prefix/postfix transactions run on. Go exposes no HTM intrinsics, so this
+// package is the reproduction's stand-in substrate (see DESIGN.md §1).
+//
+// Semantics provided, matching what the paper relies on from real RTM:
+//
+//   - Opacity: a speculative Load never returns a value inconsistent with a
+//     single memory snapshot. The transaction value-logs its reads and
+//     revalidates the whole log whenever the global memory clock has moved,
+//     exactly the way NOrec validates; a failed revalidation is a conflict
+//     abort.
+//   - Isolation of speculative writes: Stores are buffered privately and
+//     published atomically at Commit (under the memory's writeback lock), so
+//     no other thread — transactional or not — ever observes a partial
+//     write set. This is the property Figure 2 of the paper leans on.
+//   - Strong atomicity with plain accesses: every plain mutation moves the
+//     memory clock, so it aborts (at their next validation point) all
+//     hardware transactions that have read the mutated locations.
+//   - Best effort: transactions abort on conflicts, on read/write-set
+//     capacity overflow (accounted in distinct 64-byte lines, like a
+//     transactional L1), on explicit request (XABORT), and — optionally —
+//     spuriously, modelling interrupts, page faults and other environmental
+//     aborts. There is no progress guarantee; callers must provide a
+//     software fallback.
+//
+// Timing fidelity: a real HTM aborts a reader the instant a conflicting
+// cache line is invalidated; this simulator aborts it at its next Load or at
+// Commit. Both orderings admit exactly the same committed histories, which
+// is what the algorithms above care about.
+//
+// Aborts unwind as panics carrying *Abort, mirroring how RTM aborts transfer
+// control back to the XBEGIN checkpoint. The TM drivers (packages
+// lockelision, hynorec, core, ...) recover them at their attempt loop.
+package htm
+
+import (
+	"fmt"
+)
+
+// Code classifies why a hardware transaction aborted, mirroring the RTM
+// abort status bits the paper's retry policy (§3.3) inspects.
+type Code uint8
+
+const (
+	// Conflict: another thread's commit or plain store invalidated the
+	// transaction's read or write set. Retrying in hardware may help.
+	Conflict Code = iota + 1
+	// Capacity: the read or write set overflowed the transactional cache.
+	// Retrying in hardware is futile (the paper's NO_RETRY case).
+	Capacity
+	// Explicit: the transaction executed Abort (XABORT), e.g. after
+	// observing a taken global_htm_lock. The payload distinguishes causes.
+	Explicit
+	// Spurious: an environmental abort (interrupt, page fault, TLB miss,
+	// ...). Like most such aborts on Haswell, it clears the retry hint:
+	// the condition that killed the transaction is likely to recur
+	// immediately, so the right response is the software fallback.
+	Spurious
+)
+
+func (c Code) String() string {
+	switch c {
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case Explicit:
+		return "explicit"
+	case Spurious:
+		return "spurious"
+	default:
+		return fmt.Sprintf("htm.Code(%d)", uint8(c))
+	}
+}
+
+// Abort is the panic payload of a hardware abort. Arg carries the XABORT
+// immediate for explicit aborts and is zero otherwise.
+type Abort struct {
+	Code Code
+	Arg  uint64
+}
+
+func (a *Abort) Error() string {
+	if a.Code == Explicit {
+		return fmt.Sprintf("htm abort: explicit(%d)", a.Arg)
+	}
+	return "htm abort: " + a.Code.String()
+}
+
+// MayRetry reports whether the RTM status would set the "retry may succeed"
+// hint: true only for conflicts; capacity, explicit and environmental
+// aborts fall back (the paper's NO_RETRY case, §3.3).
+func (a *Abort) MayRetry() bool { return a.Code == Conflict }
+
+// AsAbort extracts an *Abort from a recovered panic value.
+func AsAbort(r any) (*Abort, bool) {
+	a, ok := r.(*Abort)
+	return a, ok
+}
+
+// Config describes the simulated transactional hardware.
+type Config struct {
+	// Cores is the number of simulated physical cores. When more active
+	// threads than cores run, per-transaction capacity halves, modelling
+	// HyperThreading's split of the L1 (paper §3.2).
+	Cores int
+	// ReadCapacityLines bounds the distinct cache lines a transaction may
+	// read (Haswell tracks reads in an L2-sized bloom filter, so this is
+	// larger than the write capacity).
+	ReadCapacityLines int
+	// WriteCapacityLines bounds the distinct cache lines a transaction may
+	// write (L1-bounded on Haswell).
+	WriteCapacityLines int
+	// SpuriousAbortProb is the per-operation probability of an
+	// environmental abort. Zero disables spurious aborts.
+	SpuriousAbortProb float64
+	// FalseConflictProb models Haswell's bloom-filter read-set tracking
+	// (§3.2 of the paper): with this probability, a revalidation event
+	// triggered by a foreign commit aborts the transaction even though no
+	// tracked value actually changed — a filter false positive. Zero
+	// disables the model.
+	FalseConflictProb float64
+	// YieldPeriod makes every Nth speculative operation yield the
+	// processor. Real hardware threads interleave at instruction
+	// granularity; goroutines on few OS threads do not, which would hide
+	// exactly the transaction overlaps the paper measures. Yield points
+	// restore that interleaving. Zero takes the default; negative
+	// disables.
+	YieldPeriod int
+}
+
+// DefaultConfig mirrors the paper's testbed: 8 cores, a 32 KiB L1 write
+// domain (512 lines) and a larger read domain.
+func DefaultConfig() Config {
+	return Config{
+		Cores:              8,
+		ReadCapacityLines:  2048,
+		WriteCapacityLines: 512,
+		SpuriousAbortProb:  0,
+		YieldPeriod:        7,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Cores <= 0 {
+		c.Cores = d.Cores
+	}
+	if c.ReadCapacityLines <= 0 {
+		c.ReadCapacityLines = d.ReadCapacityLines
+	}
+	if c.WriteCapacityLines <= 0 {
+		c.WriteCapacityLines = d.WriteCapacityLines
+	}
+	if c.YieldPeriod == 0 {
+		c.YieldPeriod = d.YieldPeriod
+	}
+	return c
+}

@@ -1,0 +1,128 @@
+package htm
+
+import (
+	"rhnorec/internal/mem"
+)
+
+// smallSetCap is the inline capacity of lineSet and writeSet. Typical
+// transactions stay under it and never touch a map; larger ones spill.
+const smallSetCap = 16
+
+// lineSet tracks distinct cache lines. Small sets live in an inline array
+// (linear scan beats hashing at this size and reset is free); big sets
+// spill to a map.
+type lineSet struct {
+	arr [smallSetCap]mem.Line
+	n   int
+	m   map[mem.Line]struct{} // nil until first spill
+}
+
+func (s *lineSet) reset() {
+	s.n = 0
+	if len(s.m) > 0 {
+		clear(s.m)
+	}
+}
+
+// add inserts l, reporting whether it was new.
+func (s *lineSet) add(l mem.Line) bool {
+	if len(s.m) > 0 {
+		if _, ok := s.m[l]; ok {
+			return false
+		}
+		s.m[l] = struct{}{}
+		return true
+	}
+	for i := 0; i < s.n; i++ {
+		if s.arr[i] == l {
+			return false
+		}
+	}
+	if s.n < smallSetCap {
+		s.arr[s.n] = l
+		s.n++
+		return true
+	}
+	// Spill to the map.
+	if s.m == nil {
+		s.m = make(map[mem.Line]struct{}, 4*smallSetCap)
+	}
+	for i := 0; i < s.n; i++ {
+		s.m[s.arr[i]] = struct{}{}
+	}
+	s.n = 0
+	s.m[l] = struct{}{}
+	return true
+}
+
+func (s *lineSet) count() int {
+	if len(s.m) > 0 {
+		return len(s.m)
+	}
+	return s.n
+}
+
+// writeSet is the speculative write buffer: insertion-ordered address/value
+// pairs with an index map for large transactions.
+type writeSet struct {
+	addrs []mem.Addr
+	vals  []uint64
+	idx   map[mem.Addr]int // nil until first spill
+}
+
+func (s *writeSet) reset() {
+	s.addrs = s.addrs[:0]
+	s.vals = s.vals[:0]
+	if len(s.idx) > 0 {
+		clear(s.idx)
+	}
+}
+
+func (s *writeSet) len() int { return len(s.addrs) }
+
+// get returns the buffered value for a, if any.
+func (s *writeSet) get(a mem.Addr) (uint64, bool) {
+	if s.idx != nil && len(s.idx) > 0 {
+		if i, ok := s.idx[a]; ok {
+			return s.vals[i], true
+		}
+		return 0, false
+	}
+	for i := len(s.addrs) - 1; i >= 0; i-- {
+		if s.addrs[i] == a {
+			return s.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// put buffers a write, reporting whether the address was new.
+func (s *writeSet) put(a mem.Addr, v uint64) bool {
+	if len(s.idx) > 0 {
+		if i, ok := s.idx[a]; ok {
+			s.vals[i] = v
+			return false
+		}
+		s.idx[a] = len(s.addrs)
+		s.addrs = append(s.addrs, a)
+		s.vals = append(s.vals, v)
+		return true
+	}
+	for i := range s.addrs {
+		if s.addrs[i] == a {
+			s.vals[i] = v
+			return false
+		}
+	}
+	s.addrs = append(s.addrs, a)
+	s.vals = append(s.vals, v)
+	if len(s.addrs) > smallSetCap {
+		if s.idx == nil {
+			s.idx = make(map[mem.Addr]int, 4*smallSetCap)
+		}
+		for i, addr := range s.addrs {
+			s.idx[addr] = i
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package htm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rhnorec/internal/mem"
+)
+
+// TestQuickLineSetMatchesMap: lineSet must behave exactly like a map-based
+// set across any insertion sequence, including across the spill boundary
+// and resets.
+func TestQuickLineSetMatchesMap(t *testing.T) {
+	f := func(ops []uint8, resetAt uint8) bool {
+		var s lineSet
+		ref := make(map[mem.Line]struct{})
+		for i, raw := range ops {
+			if resetAt > 0 && i == int(resetAt) {
+				s.reset()
+				ref = make(map[mem.Line]struct{})
+			}
+			l := mem.Line(raw % 40) // force duplicates and spills
+			_, had := ref[l]
+			ref[l] = struct{}{}
+			if added := s.add(l); added == had {
+				return false
+			}
+			if s.count() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWriteSetMatchesMap: writeSet must behave exactly like a map
+// across puts, overwrite updates, lookups, and the spill boundary.
+func TestQuickWriteSetMatchesMap(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s writeSet
+		ref := make(map[mem.Addr]uint64)
+		for i := 0; i < int(n)+40; i++ { // cross the spill threshold
+			a := mem.Addr(rng.Intn(30) + 1)
+			switch rng.Intn(3) {
+			case 0, 1: // put
+				v := rng.Uint64()
+				_, had := ref[a]
+				isNew := s.put(a, v)
+				if isNew == had {
+					return false
+				}
+				ref[a] = v
+			case 2: // get
+				v, ok := s.get(a)
+				want, wok := ref[a]
+				if ok != wok || (ok && v != want) {
+					return false
+				}
+			}
+			if s.len() != len(ref) {
+				return false
+			}
+		}
+		// Full content check via the commit iteration order.
+		seen := make(map[mem.Addr]uint64)
+		for i, a := range s.addrs {
+			seen[a] = s.vals[i]
+		}
+		if len(seen) != len(ref) {
+			return false
+		}
+		for a, v := range ref {
+			if seen[a] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteSetResetReusable(t *testing.T) {
+	var s writeSet
+	for i := 0; i < 3; i++ {
+		for a := mem.Addr(1); a <= 30; a++ { // spill every round
+			s.put(a, uint64(a)*7)
+		}
+		if s.len() != 30 {
+			t.Fatalf("round %d: len = %d, want 30", i, s.len())
+		}
+		if v, ok := s.get(15); !ok || v != 105 {
+			t.Fatalf("round %d: get(15) = %d,%v", i, v, ok)
+		}
+		s.reset()
+		if s.len() != 0 {
+			t.Fatalf("round %d: len after reset = %d", i, s.len())
+		}
+		if _, ok := s.get(15); ok {
+			t.Fatalf("round %d: stale entry visible after reset", i)
+		}
+	}
+}
+
+func TestLineSetSpillExactlyAtBoundary(t *testing.T) {
+	var s lineSet
+	for i := 0; i <= smallSetCap; i++ {
+		if !s.add(mem.Line(i)) {
+			t.Fatalf("line %d reported duplicate", i)
+		}
+	}
+	if s.count() != smallSetCap+1 {
+		t.Fatalf("count = %d, want %d", s.count(), smallSetCap+1)
+	}
+	// Every pre-spill element must still be a duplicate.
+	for i := 0; i <= smallSetCap; i++ {
+		if s.add(mem.Line(i)) {
+			t.Fatalf("line %d lost across the spill", i)
+		}
+	}
+}

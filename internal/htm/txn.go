@@ -1,0 +1,268 @@
+package htm
+
+import (
+	"runtime"
+
+	"rhnorec/internal/mem"
+)
+
+// readEntry value-logs one speculative read for revalidation.
+type readEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+// Txn is one thread's hardware-transaction context. It is reusable: Begin
+// resets it for a fresh speculation. Methods must be called from the owning
+// thread only.
+//
+// Load, Store, Commit and Abort unwind with a panic carrying *Abort when the
+// transaction dies; the caller's attempt loop recovers it (this mirrors RTM
+// transferring control to the XBEGIN checkpoint).
+type Txn struct {
+	d      *Device
+	active bool
+
+	// snap is the even memory-clock value the read log is valid at.
+	snap uint64
+
+	// reads value-logs every speculative read (duplicates allowed; the
+	// line set below does the capacity accounting).
+	reads     []readEntry
+	readLines lineSet
+
+	writes writeSet
+	wLines lineSet
+
+	// Per-transaction cached limits and probability thresholds.
+	readCap, writeCap int
+	spuriousThresh    uint64
+	falseConfThresh   uint64
+
+	// scratch buffer reused for commit write-back.
+	commitBuf []mem.WriteEntry
+
+	rngState uint64
+	opCount  int
+}
+
+// Begin starts a hardware transaction. The Txn must not already be active.
+func (t *Txn) Begin() {
+	if t.active {
+		panic("htm: Begin inside an active transaction (no nesting in this simulator)")
+	}
+	t.active = true
+	t.reads = t.reads[:0]
+	t.readLines.reset()
+	if t.writes.len() > 0 {
+		t.writes.reset()
+		t.wLines.reset()
+	}
+	t.readCap, t.writeCap = t.d.effectiveCaps()
+	if p := t.d.cfg.SpuriousAbortProb; p > 0 {
+		t.spuriousThresh = uint64(p * (1 << 53))
+	} else {
+		t.spuriousThresh = 0
+	}
+	if p := t.d.cfg.FalseConflictProb; p > 0 {
+		t.falseConfThresh = uint64(p * (1 << 53))
+	} else {
+		t.falseConfThresh = 0
+	}
+	t.snap = t.d.m.ClockStable()
+	t.d.starts.Add(1)
+}
+
+// Active reports whether a speculation is in progress.
+func (t *Txn) Active() bool { return t.active }
+
+// ReadLineCount reports the distinct cache lines currently in the read set.
+func (t *Txn) ReadLineCount() int { return t.readLines.count() }
+
+// WriteLineCount reports the distinct cache lines currently in the write set.
+func (t *Txn) WriteLineCount() int { return t.wLines.count() }
+
+func (t *Txn) mustActive(op string) {
+	if !t.active {
+		panic("htm: " + op + " outside a transaction")
+	}
+}
+
+// fail aborts the transaction and unwinds.
+func (t *Txn) fail(code Code, arg uint64) {
+	t.active = false
+	t.d.aborts[code].Add(1)
+	panic(&Abort{Code: code, Arg: arg})
+}
+
+// nextRand is a xorshift64* step for the spurious-abort dice.
+func (t *Txn) nextRand() uint64 {
+	x := t.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rngState = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// maybeYield periodically yields the processor so that simulated hardware
+// threads interleave mid-transaction even on few OS threads.
+func (t *Txn) maybeYield() {
+	p := t.d.cfg.YieldPeriod
+	if p <= 0 {
+		return
+	}
+	t.opCount++
+	if t.opCount%p == 0 {
+		runtime.Gosched()
+	}
+}
+
+// maybeSpurious rolls for an environmental abort against a 53-bit
+// fixed-point threshold precomputed at Begin.
+func (t *Txn) maybeSpurious() {
+	if t.spuriousThresh == 0 {
+		return
+	}
+	if t.nextRand()>>11 < t.spuriousThresh {
+		t.fail(Spurious, 0)
+	}
+}
+
+// Load speculatively reads a word. It aborts (conflict) if the read set can
+// no longer be validated, and (capacity) if the read set overflows.
+func (t *Txn) Load(a mem.Addr) uint64 {
+	t.mustActive("Load")
+	t.maybeYield()
+	t.maybeSpurious()
+	if t.writes.len() > 0 {
+		if v, ok := t.writes.get(a); ok {
+			return v
+		}
+	}
+	v := t.readConsistent(a)
+	t.reads = append(t.reads, readEntry{a, v})
+	if t.readLines.add(mem.LineOf(a)) && t.readLines.count() > t.readCap {
+		t.fail(Capacity, 0)
+	}
+	return v
+}
+
+// readConsistent returns a's value at a snapshot the whole read log is valid
+// at, extending the snapshot if the clock moved (NOrec-style incremental
+// validation — this is what makes the simulated HTM opaque).
+func (t *Txn) readConsistent(a mem.Addr) uint64 {
+	m := t.d.m
+	for {
+		c0 := m.Clock()
+		if c0&1 == 1 {
+			runtime.Gosched() // a write-back is in flight
+			continue
+		}
+		v := m.LoadPlain(a)
+		if m.Clock() != c0 {
+			continue // raced with a mutation
+		}
+		if c0 == t.snap {
+			return v
+		}
+		// The clock moved since our snapshot: revalidate every logged read
+		// by value, then confirm the clock still reads c0 so the validation
+		// itself was not torn. A bloom-filter hardware would not compare
+		// values — model its false positives first.
+		if t.falseConfThresh != 0 && len(t.reads) > 0 && t.nextRand()>>11 < t.falseConfThresh {
+			t.fail(Conflict, 0)
+		}
+		for _, r := range t.reads {
+			if m.LoadPlain(r.addr) != r.val {
+				t.fail(Conflict, 0)
+			}
+		}
+		if m.Clock() != c0 {
+			continue
+		}
+		t.snap = c0
+		return v
+	}
+}
+
+// Store speculatively writes a word into the private write buffer. It aborts
+// (capacity) if the write set overflows.
+func (t *Txn) Store(a mem.Addr, v uint64) {
+	t.mustActive("Store")
+	t.maybeYield()
+	t.maybeSpurious()
+	if t.writes.put(a, v) {
+		if t.wLines.add(mem.LineOf(a)) && t.wLines.count() > t.writeCap {
+			t.fail(Capacity, 0)
+		}
+	}
+}
+
+// Abort explicitly aborts the transaction (XABORT) with a payload code.
+func (t *Txn) Abort(arg uint64) {
+	t.mustActive("Abort")
+	t.fail(Explicit, arg)
+}
+
+// Cancel quietly discards an active speculation without panicking. TM
+// drivers use it when an outer restart (not a hardware abort) unwinds
+// through an active hardware transaction.
+func (t *Txn) Cancel() {
+	t.active = false
+}
+
+// Commit atomically publishes the write buffer after a final validation. On
+// success the transaction becomes inactive; on failure it aborts (conflict).
+func (t *Txn) Commit() {
+	t.mustActive("Commit")
+	t.maybeSpurious()
+	m := t.d.m
+	t.commitBuf = t.commitBuf[:0]
+	for i, a := range t.writes.addrs {
+		t.commitBuf = append(t.commitBuf, mem.WriteEntry{Addr: a, Value: t.writes.vals[i]})
+	}
+	ok := m.CommitWrites(t.commitBuf, func() bool {
+		// Bloom-filter false positives hit commit-time validation too:
+		// if memory moved since our snapshot, a filter-based hardware
+		// might see a phantom intersection.
+		if t.falseConfThresh != 0 && len(t.reads) > 0 && m.Clock() != t.snap &&
+			t.nextRand()>>11 < t.falseConfThresh {
+			return false
+		}
+		for _, r := range t.reads {
+			if m.LoadPlain(r.addr) != r.val {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.fail(Conflict, 0)
+	}
+	t.active = false
+	t.d.commits.Add(1)
+}
+
+// Attempt runs body inside a fresh hardware transaction and commits it,
+// recovering any hardware abort. It returns nil on commit and the *Abort
+// otherwise. Non-abort panics propagate. Convenience for all-hardware
+// paths; drivers needing mid-function commits use Begin/Commit directly.
+func (t *Txn) Attempt(body func()) (ab *Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := AsAbort(r); ok {
+				ab = a
+				return
+			}
+			if t.active {
+				t.Cancel()
+			}
+			panic(r)
+		}
+	}()
+	t.Begin()
+	body()
+	t.Commit()
+	return nil
+}

@@ -1,0 +1,506 @@
+package htm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rhnorec/internal/mem"
+)
+
+func newTestDevice(cfg Config) (*mem.Memory, *Device, *mem.ThreadCache) {
+	m := mem.New(1 << 18)
+	d := NewDevice(m, cfg)
+	d.SetActiveThreads(1)
+	return m, d, m.NewThreadCache()
+}
+
+// attempt runs body in a transaction, returning the abort if any.
+func attempt(t *Txn, body func()) *Abort {
+	return t.Attempt(body)
+}
+
+func TestCommitPublishesWrites(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(4)
+	tx := d.NewTxn()
+	if ab := attempt(tx, func() {
+		tx.Store(a, 10)
+		tx.Store(a+1, 20)
+	}); ab != nil {
+		t.Fatalf("unexpected abort: %v", ab)
+	}
+	if m.LoadPlain(a) != 10 || m.LoadPlain(a+1) != 20 {
+		t.Error("committed writes not visible")
+	}
+}
+
+func TestWritesInvisibleBeforeCommit(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	tx.Begin()
+	tx.Store(a, 99)
+	if m.LoadPlain(a) != 0 {
+		t.Error("speculative write escaped before commit")
+	}
+	tx.Commit()
+	if m.LoadPlain(a) != 99 {
+		t.Error("write lost at commit")
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	_, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	tx.Begin()
+	tx.Store(a, 7)
+	if got := tx.Load(a); got != 7 {
+		t.Errorf("Load after own Store = %d, want 7", got)
+	}
+	tx.Commit()
+}
+
+func TestExplicitAbort(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		tx.Store(a, 1)
+		tx.Abort(42)
+	})
+	if ab == nil || ab.Code != Explicit || ab.Arg != 42 {
+		t.Fatalf("abort = %v, want explicit(42)", ab)
+	}
+	if ab.MayRetry() {
+		t.Error("explicit abort should not suggest retry")
+	}
+	if m.LoadPlain(a) != 0 {
+		t.Error("aborted write escaped")
+	}
+	if tx.Active() {
+		t.Error("txn still active after abort")
+	}
+}
+
+func TestConflictAbortOnPlainStore(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		_ = tx.Load(a)
+		m.StorePlain(a, 5) // simulate another thread's plain store
+		_ = tx.Load(a + 1) // next speculative access must notice
+	})
+	if ab == nil || ab.Code != Conflict {
+		t.Fatalf("abort = %v, want conflict", ab)
+	}
+	if !ab.MayRetry() {
+		t.Error("conflict abort should suggest retry")
+	}
+}
+
+func TestConflictAbortAtCommit(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		_ = tx.Load(a)
+		m.StorePlain(a, 5)
+		// no further loads: the conflict must be caught by commit validation
+	})
+	if ab == nil || ab.Code != Conflict {
+		t.Fatalf("abort = %v, want conflict at commit", ab)
+	}
+}
+
+func TestUnrelatedPlainStoreDoesNotAbort(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(2)
+	b := c.Alloc(2)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		_ = tx.Load(a)
+		m.StorePlain(b, 5) // disjoint location: value-based validation passes
+		_ = tx.Load(a + 1)
+	})
+	if ab != nil {
+		t.Fatalf("unexpected abort on disjoint plain store: %v", ab)
+	}
+}
+
+func TestWriteCapacityAbort(t *testing.T) {
+	_, d, c := newTestDevice(Config{WriteCapacityLines: 4})
+	base := c.Alloc(16 * mem.LineWords)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		for i := 0; i < 16; i++ {
+			tx.Store(base+mem.Addr(i*mem.LineWords), 1)
+		}
+	})
+	if ab == nil || ab.Code != Capacity {
+		t.Fatalf("abort = %v, want capacity", ab)
+	}
+	if ab.MayRetry() {
+		t.Error("capacity abort must not suggest retry")
+	}
+}
+
+func TestReadCapacityAbort(t *testing.T) {
+	_, d, c := newTestDevice(Config{ReadCapacityLines: 4})
+	base := c.Alloc(16 * mem.LineWords)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		for i := 0; i < 16; i++ {
+			_ = tx.Load(base + mem.Addr(i*mem.LineWords))
+		}
+	})
+	if ab == nil || ab.Code != Capacity {
+		t.Fatalf("abort = %v, want capacity", ab)
+	}
+}
+
+func TestSameLineDoesNotConsumeCapacity(t *testing.T) {
+	_, d, c := newTestDevice(Config{ReadCapacityLines: 2, WriteCapacityLines: 2})
+	base := c.Alloc(mem.LineWords)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		for i := 0; i < mem.LineWords; i++ {
+			_ = tx.Load(base + mem.Addr(i))
+			tx.Store(base+mem.Addr(i), uint64(i))
+		}
+	})
+	if ab != nil {
+		t.Fatalf("unexpected abort within a single line: %v", ab)
+	}
+}
+
+func TestHyperThreadingHalvesCapacity(t *testing.T) {
+	_, d, c := newTestDevice(Config{Cores: 2, WriteCapacityLines: 8})
+	base := c.Alloc(8 * mem.LineWords)
+	write6 := func(tx *Txn) *Abort {
+		return attempt(tx, func() {
+			for i := 0; i < 6; i++ {
+				tx.Store(base+mem.Addr(i*mem.LineWords), 1)
+			}
+		})
+	}
+	tx := d.NewTxn()
+	d.SetActiveThreads(2)
+	if ab := write6(tx); ab != nil {
+		t.Fatalf("6 lines should fit at full capacity: %v", ab)
+	}
+	d.SetActiveThreads(3) // oversubscribed: capacity halves to 4
+	if ab := write6(tx); ab == nil || ab.Code != Capacity {
+		t.Fatalf("abort = %v, want capacity with HyperThreading", ab)
+	}
+}
+
+func TestSpuriousAborts(t *testing.T) {
+	_, d, c := newTestDevice(Config{SpuriousAbortProb: 1.0})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() { _ = tx.Load(a) })
+	if ab == nil || ab.Code != Spurious {
+		t.Fatalf("abort = %v, want spurious with probability 1", ab)
+	}
+	if ab.MayRetry() {
+		t.Error("spurious (fault-like) abort should clear the retry hint")
+	}
+}
+
+// TestFalseConflictModel: with the bloom false-positive probability at 1,
+// any foreign commit that forces a revalidation kills the reader even
+// though no tracked value changed.
+func TestFalseConflictModel(t *testing.T) {
+	m, d, c := newTestDevice(Config{FalseConflictProb: 1.0})
+	a := c.Alloc(2 * mem.LineWords)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		_ = tx.Load(a)
+		m.StorePlain(a+mem.LineWords, 9) // disjoint foreign mutation
+		_ = tx.Load(a)                   // triggers revalidation -> false positive
+	})
+	if ab == nil || ab.Code != Conflict {
+		t.Fatalf("abort = %v, want false-positive conflict", ab)
+	}
+	// Without a foreign mutation there is no revalidation, hence no false
+	// positive.
+	if ab := attempt(tx, func() { _ = tx.Load(a) }); ab != nil {
+		t.Fatalf("unexpected abort without revalidation: %v", ab)
+	}
+}
+
+func TestReadOnlyCommitDoesNotMoveClock(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	before := m.Clock()
+	if ab := attempt(tx, func() { _ = tx.Load(a) }); ab != nil {
+		t.Fatalf("unexpected abort: %v", ab)
+	}
+	if m.Clock() != before {
+		t.Error("read-only commit moved the memory clock")
+	}
+}
+
+func TestNoNesting(t *testing.T) {
+	_, d, _ := newTestDevice(Config{})
+	tx := d.NewTxn()
+	tx.Begin()
+	defer tx.Cancel()
+	defer func() {
+		if recover() == nil {
+			t.Error("nested Begin did not panic")
+		}
+	}()
+	tx.Begin()
+}
+
+func TestOpsOutsideTxnPanic(t *testing.T) {
+	_, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	for name, f := range map[string]func(){
+		"load":   func() { tx.Load(a) },
+		"store":  func() { tx.Store(a, 1) },
+		"commit": func() { tx.Commit() },
+		"abort":  func() { tx.Abort(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s outside txn did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTxnReusableAfterAbort(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	if ab := attempt(tx, func() { tx.Abort(1) }); ab == nil {
+		t.Fatal("expected abort")
+	}
+	if ab := attempt(tx, func() { tx.Store(a, 3) }); ab != nil {
+		t.Fatalf("reuse after abort failed: %v", ab)
+	}
+	if m.LoadPlain(a) != 3 {
+		t.Error("write after reuse lost")
+	}
+}
+
+func TestDeviceStatsCount(t *testing.T) {
+	_, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	tx := d.NewTxn()
+	attempt(tx, func() { tx.Store(a, 1) })
+	attempt(tx, func() { tx.Abort(0) })
+	s := d.Stats()
+	if s.Starts != 2 || s.Commits != 1 || s.ExplicitAborts != 1 {
+		t.Errorf("stats = %+v, want starts=2 commits=1 explicit=1", s)
+	}
+}
+
+// TestConflictBetweenHardwareTxns: two transactions race on one word; exactly
+// one of each conflicting pair commits, and the final value reflects a
+// serial order.
+func TestConflictBetweenHardwareTxns(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	d.SetActiveThreads(4)
+	a := c.Alloc(1)
+	const threads, per = 4, 300
+	var commits atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := d.NewTxn()
+			for j := 0; j < per; j++ {
+				for { // retry until commit
+					ab := attempt(tx, func() {
+						v := tx.Load(a)
+						tx.Store(a, v+1)
+					})
+					if ab == nil {
+						commits.Add(1)
+						break
+					}
+					if ab.Code != Conflict {
+						t.Errorf("unexpected abort code %v", ab.Code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.LoadPlain(a); got != threads*per {
+		t.Errorf("counter = %d, want %d (lost updates)", got, threads*per)
+	}
+	if commits.Load() != threads*per {
+		t.Errorf("commits = %d, want %d", commits.Load(), threads*per)
+	}
+}
+
+// TestOpacityInvariant: writers keep x+y constant transactionally; readers
+// (including doomed ones) must never observe a violated invariant at the
+// moment both loads have returned.
+func TestOpacityInvariant(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	d.SetActiveThreads(4)
+	base := c.Alloc(mem.LineWords * 2)
+	x, y := base, base+mem.LineWords // separate lines
+	m.StorePlain(x, 1000)
+	var stop atomic.Bool
+	var bad atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() { // writer: move value between x and y
+			defer wg.Done()
+			tx := d.NewTxn()
+			for !stop.Load() {
+				attempt(tx, func() {
+					vx := tx.Load(x)
+					vy := tx.Load(y)
+					if vx > 0 {
+						tx.Store(x, vx-1)
+						tx.Store(y, vy+1)
+					} else {
+						tx.Store(x, vx+vy)
+						tx.Store(y, 0)
+					}
+				})
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() { // reader: check the invariant inside the transaction
+			defer wg.Done()
+			tx := d.NewTxn()
+			for !stop.Load() {
+				attempt(tx, func() {
+					vx := tx.Load(x)
+					vy := tx.Load(y)
+					if vx+vy != 1000 {
+						bad.Add(1)
+					}
+				})
+			}
+		}()
+	}
+	for i := 0; i < 200000 && bad.Load() == 0; i++ {
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Errorf("opacity violated %d times: a speculative reader saw x+y != 1000", bad.Load())
+	}
+	if got := m.LoadPlain(x) + m.LoadPlain(y); got != 1000 {
+		t.Errorf("final x+y = %d, want 1000", got)
+	}
+}
+
+// TestStrongAtomicityWithPlainWriter: a plain (non-transactional) writer
+// keeps x+y constant under the writeback lock one word at a time is NOT
+// atomic, so instead it updates both words in one CommitWrites; hardware
+// readers must never see a torn pair.
+func TestStrongAtomicityWithPlainWriter(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	d.SetActiveThreads(3)
+	base := c.Alloc(mem.LineWords * 2)
+	x, y := base, base+mem.LineWords
+	m.StorePlain(x, 500)
+	m.StorePlain(y, 500)
+	var stop atomic.Bool
+	var bad atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // plain writer using an atomic two-word publish
+		defer wg.Done()
+		v := uint64(500)
+		for !stop.Load() {
+			v++
+			m.CommitWrites([]mem.WriteEntry{{Addr: x, Value: v}, {Addr: y, Value: 1000 - v%1000}}, nil)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := d.NewTxn()
+			for !stop.Load() {
+				attempt(tx, func() {
+					vx := tx.Load(x)
+					vy := tx.Load(y)
+					if vx%1000+vy != 1000 && !(vx%1000 == 0 && vy == 1000) {
+						bad.Add(1)
+					}
+				})
+			}
+		}()
+	}
+	for i := 0; i < 200000 && bad.Load() == 0; i++ {
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Errorf("strong atomicity violated %d times", bad.Load())
+	}
+}
+
+func TestAbortStringAndError(t *testing.T) {
+	if (&Abort{Code: Conflict}).Error() != "htm abort: conflict" {
+		t.Error("conflict Error() text")
+	}
+	if (&Abort{Code: Explicit, Arg: 7}).Error() != "htm abort: explicit(7)" {
+		t.Error("explicit Error() text")
+	}
+	for c, want := range map[Code]string{Conflict: "conflict", Capacity: "capacity", Explicit: "explicit", Spurious: "spurious", Code(99): "htm.Code(99)"} {
+		if c.String() != want {
+			t.Errorf("Code(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestAsAbort(t *testing.T) {
+	if _, ok := AsAbort("boom"); ok {
+		t.Error("AsAbort matched a non-abort")
+	}
+	if a, ok := AsAbort(&Abort{Code: Capacity}); !ok || a.Code != Capacity {
+		t.Error("AsAbort failed to match an abort")
+	}
+}
+
+func TestAttemptPropagatesForeignPanics(t *testing.T) {
+	_, d, _ := newTestDevice(Config{})
+	tx := d.NewTxn()
+	defer func() {
+		if r := recover(); r != "user bug" {
+			t.Errorf("recovered %v, want user bug", r)
+		}
+		if tx.Active() {
+			t.Error("txn left active after foreign panic")
+		}
+	}()
+	tx.Attempt(func() { panic("user bug") })
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	def := DefaultConfig()
+	if cfg.Cores != def.Cores || cfg.ReadCapacityLines != def.ReadCapacityLines || cfg.WriteCapacityLines != def.WriteCapacityLines {
+		t.Errorf("withDefaults = %+v, want %+v", cfg, def)
+	}
+	custom := Config{Cores: 4, ReadCapacityLines: 10, WriteCapacityLines: 5}.withDefaults()
+	if custom.Cores != 4 || custom.ReadCapacityLines != 10 || custom.WriteCapacityLines != 5 {
+		t.Errorf("withDefaults clobbered explicit values: %+v", custom)
+	}
+}

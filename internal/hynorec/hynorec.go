@@ -1,0 +1,479 @@
+// Package hynorec implements the Hybrid NOrec HyTM of Dalessandro et al. in
+// the eager flavour the paper benchmarks (§3.1, "HY-NOrec").
+//
+// Coordination uses three global variables (plus the serial starvation
+// lock of §3.3), all living in transactional memory so hardware
+// transactions subscribe to them exactly as on real hardware:
+//
+//   - global clock: LSB is the lock bit; writer commits advance it by 2.
+//   - global htm lock: set by a software slow path at its first write,
+//     aborting every hardware fast path at once (their subscription covers
+//     it from their first instruction). This is the scheme's false-abort
+//     source: a slow-path writer to unrelated data still kills every
+//     hardware transaction — the cost RH NOrec's postfix removes.
+//   - fallback count: the number of active slow paths; fast-path writers
+//     bump the clock only when it is non-zero.
+package hynorec
+
+import (
+	"runtime"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// XABORT payloads used by the protocol.
+const (
+	abortHTMLockTaken = 1
+	abortClockLocked  = 2
+	abortSerialTaken  = 3
+)
+
+// Variant selects the software slow path's write strategy.
+type Variant int
+
+const (
+	// Eager writes in place under the clock lock from the first write on —
+	// the variant the paper found faster at its concurrency levels and the
+	// one it benchmarks (§3.1).
+	Eager Variant = iota
+	// Lazy buffers writes and publishes them at commit (the classic
+	// Hybrid NOrec design; §3.1 notes it was implemented and outperformed
+	// by the eager one).
+	Lazy
+)
+
+// System is a Hybrid NOrec TM over one shared memory.
+type System struct {
+	m       *mem.Memory
+	dev     *htm.Device
+	rec     *tm.Reclaimer
+	policy  tm.RetryPolicy
+	variant Variant
+
+	gClock     mem.Addr
+	gHTMLock   mem.Addr
+	gFallbacks mem.Addr
+	serialLock mem.Addr
+}
+
+// New creates an eager Hybrid NOrec system. dev must speculate over m; zero
+// policy fields take the paper's defaults.
+func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
+	return NewVariant(m, dev, policy, Eager)
+}
+
+// NewVariant creates a Hybrid NOrec system with the chosen slow-path
+// variant.
+func NewVariant(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy, v Variant) *System {
+	if dev.Memory() != m {
+		panic("hynorec: device bound to a different memory")
+	}
+	tc := m.NewThreadCache()
+	return &System{
+		m:          m,
+		dev:        dev,
+		rec:        tm.NewReclaimer(),
+		policy:     policy.WithDefaults(),
+		variant:    v,
+		gClock:     tc.Alloc(mem.LineWords),
+		gHTMLock:   tc.Alloc(mem.LineWords),
+		gFallbacks: tc.Alloc(mem.LineWords),
+		serialLock: tc.Alloc(mem.LineWords),
+	}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string {
+	if s.variant == Lazy {
+		return "hy-norec-lazy"
+	}
+	return "hy-norec"
+}
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// NewThread implements tm.System.
+func (s *System) NewThread() tm.Thread {
+	t := &thread{
+		sys:      s,
+		base:     tm.NewThreadBase(s.m, s.rec),
+		htx:      s.dev.NewTxn(),
+		writeMap: make(map[mem.Addr]uint64, 16),
+	}
+	t.base.Retry.InitRetry(s.policy)
+	return t
+}
+
+type readEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+type thread struct {
+	sys  *System
+	base tm.ThreadBase
+	htx  *htm.Txn
+	ro   bool
+
+	// Slow-path state. Eager: undo log under the clock lock. Lazy: value
+	// read set with extension plus a buffered write set.
+	txv           uint64
+	writeDetected bool
+	undo          []mem.WriteEntry
+	readSet       []readEntry
+	writeMap      map[mem.Addr]uint64
+	wOrder        []mem.Addr
+	serialHeld    bool
+}
+
+func (t *thread) Stats() *tm.Stats { return &t.base.St }
+func (t *thread) Close()           { t.base.CloseBase() }
+
+func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
+func (t *thread) RunReadOnly(fn func(tm.Tx) error) error { return t.run(fn, true) }
+
+func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
+	if nested := t.base.Nested(); nested != nil {
+		// Flat nesting: execute inline in the enclosing transaction.
+		return fn(nested)
+	}
+	t.base.BeginTxn()
+	defer t.base.EndTxn()
+	t.ro = ro
+	retries := 0
+	for {
+		err, ab := t.fastAttempt(fn)
+		if ab == nil {
+			if err == nil {
+				t.base.Retry.OnFastCommit(retries)
+			}
+			return err
+		}
+		t.recordAbort(ab)
+		retries++
+		if !t.shouldRetryFast(ab, retries) {
+			break
+		}
+		t.waitOutAbortCause(ab)
+		if ab.Code == htm.Conflict {
+			t.sys.policy.Backoff(retries - 1)
+		}
+	}
+	t.base.Retry.OnFallback()
+	t.base.St.Fallbacks++
+	return t.slowRun(fn)
+}
+
+func (t *thread) recordAbort(ab *htm.Abort) {
+	switch ab.Code {
+	case htm.Conflict:
+		t.base.St.HTMConflictAborts++
+	case htm.Capacity:
+		t.base.St.HTMCapacityAborts++
+	case htm.Explicit:
+		t.base.St.HTMExplicitAborts++
+	case htm.Spurious:
+		t.base.St.HTMSpuriousAborts++
+	}
+}
+
+// shouldRetryFast applies the paper's retry policy (§3.3): aborts whose
+// status clears the retry hint (capacity, environmental) fall back
+// immediately; conflicts and protocol-explicit aborts retry up to the
+// budget.
+func (t *thread) shouldRetryFast(ab *htm.Abort, retries int) bool {
+	if !ab.MayRetry() && ab.Code != htm.Explicit {
+		return false
+	}
+	return retries < t.base.Retry.Budget()
+}
+
+// waitOutAbortCause avoids restarting straight into a certain abort when
+// the explicit-abort payload names a lock that is still held.
+func (t *thread) waitOutAbortCause(ab *htm.Abort) {
+	m := t.base.M
+	if ab.Code != htm.Explicit {
+		return
+	}
+	switch ab.Arg {
+	case abortHTMLockTaken:
+		for m.LoadPlain(t.sys.gHTMLock) != 0 {
+			runtime.Gosched()
+		}
+	case abortClockLocked:
+		for m.LoadPlain(t.sys.gClock)&1 != 0 {
+			runtime.Gosched()
+		}
+	case abortSerialTaken:
+		for m.LoadPlain(t.sys.serialLock) != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// fastAttempt is Algorithm-1-style: subscribe to the HTM lock at start, run
+// fn uninstrumented, and at commit notify slow paths via the clock when any
+// exist.
+func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := htm.AsAbort(r); ok {
+				t.base.AbortCleanup()
+				err, ab = nil, a
+				return
+			}
+			t.htx.Cancel()
+			t.base.AbortCleanup()
+			if tm.IsRestart(r) {
+				err, ab = nil, &htm.Abort{Code: htm.Conflict}
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.htx.Begin()
+	if t.htx.Load(t.sys.gHTMLock) != 0 {
+		t.htx.Abort(abortHTMLockTaken)
+	}
+	if uerr := t.base.CallUser(fn, fastTx{t}); uerr != nil {
+		t.htx.Cancel()
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, nil
+	}
+	if t.htx.WriteLineCount() > 0 {
+		// Writer commit: tell the slow paths memory changed, but only if
+		// any exist (fallback-count subscription happens here, at the very
+		// end, keeping the common no-fallback case clock-free).
+		if t.htx.Load(t.sys.gFallbacks) > 0 {
+			if t.htx.Load(t.sys.serialLock) != 0 {
+				t.htx.Abort(abortSerialTaken)
+			}
+			c := t.htx.Load(t.sys.gClock)
+			if c&1 != 0 {
+				t.htx.Abort(abortClockLocked)
+			}
+			t.htx.Store(t.sys.gClock, c+2)
+		}
+	}
+	t.htx.Commit()
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.FastPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, nil
+}
+
+// slowRun executes the eager NOrec software slow path with the hybrid
+// coordination, including the serial starvation escape of §3.3.
+func (t *thread) slowRun(fn func(tm.Tx) error) error {
+	m := t.base.M
+	m.AddPlain(t.sys.gFallbacks, 1)
+	defer m.SubPlain(t.sys.gFallbacks, 1)
+	restarts := 0
+	for {
+		t.base.St.SlowPathStarts++
+		err, restarted := t.slowAttempt(fn)
+		if !restarted {
+			if t.serialHeld {
+				m.StorePlain(t.sys.serialLock, 0)
+				t.serialHeld = false
+			}
+			return err
+		}
+		t.base.St.SlowPathRestarts++
+		restarts++
+		if restarts >= t.sys.policy.MaxSlowPathRestarts && !t.serialHeld {
+			for !m.CASPlain(t.sys.serialLock, 0, 1) {
+				runtime.Gosched()
+			}
+			t.serialHeld = true
+		}
+	}
+}
+
+func (t *thread) slowAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.slowAbortCleanup()
+			if tm.IsRestart(r) {
+				err, restarted = nil, true
+				return
+			}
+			panic(r)
+		}
+	}()
+	m := t.base.M
+	t.writeDetected = false
+	t.undo = t.undo[:0]
+	t.readSet = t.readSet[:0]
+	clear(t.writeMap)
+	t.wOrder = t.wOrder[:0]
+	for {
+		v := m.LoadPlain(t.sys.gClock)
+		if v&1 == 0 {
+			t.txv = v
+			break
+		}
+		runtime.Gosched()
+	}
+	if uerr := t.base.CallUser(fn, slowTx{t}); uerr != nil {
+		t.slowAbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, false
+	}
+	switch t.sys.variant {
+	case Eager:
+		if t.writeDetected {
+			// Algorithm-2 ordering: release the HTM lock, then unlock and
+			// advance the clock.
+			m.StorePlain(t.sys.gHTMLock, 0)
+			m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
+			t.writeDetected = false
+		}
+	case Lazy:
+		if len(t.wOrder) > 0 {
+			t.lazyCommit()
+		}
+	}
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.SlowPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, false
+}
+
+// lazyCommit publishes the lazy variant's buffered writes: lock the clock
+// (validating or extending the snapshot as needed), kill the hardware fast
+// paths for the non-atomic write-back, publish, release.
+func (t *thread) lazyCommit() {
+	m := t.base.M
+	for !m.CASPlain(t.sys.gClock, t.txv, t.txv|1) {
+		t.txv = t.validate()
+	}
+	m.StorePlain(t.sys.gHTMLock, 1)
+	for _, a := range t.wOrder {
+		m.StorePlain(a, t.writeMap[a])
+	}
+	m.StorePlain(t.sys.gHTMLock, 0)
+	m.StorePlain(t.sys.gClock, t.txv+2)
+}
+
+// validate re-checks the lazy read set by value, returning the even clock
+// the set is valid at; it restarts on a mismatch.
+func (t *thread) validate() uint64 {
+	m := t.base.M
+	for {
+		time := m.LoadPlain(t.sys.gClock)
+		if time&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		for _, r := range t.readSet {
+			if m.LoadPlain(r.addr) != r.val {
+				tm.Restart()
+			}
+		}
+		if m.LoadPlain(t.sys.gClock) == time {
+			return time
+		}
+	}
+}
+
+// slowAbortCleanup rolls back eager writes and releases the hybrid locks.
+// Only user errors or application panics can abort after the first write
+// (the clock lock makes validation failures impossible), so no concurrent
+// transaction can have observed the undone values.
+func (t *thread) slowAbortCleanup() {
+	m := t.base.M
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		m.StorePlain(t.undo[i].Addr, t.undo[i].Value)
+	}
+	t.undo = t.undo[:0]
+	if t.writeDetected {
+		m.StorePlain(t.sys.gHTMLock, 0)
+		m.StorePlain(t.sys.gClock, t.txv&^1)
+		t.writeDetected = false
+	}
+	t.base.AbortCleanup()
+}
+
+// fastTx is the uninstrumented hardware view.
+type fastTx struct{ t *thread }
+
+func (v fastTx) Load(a mem.Addr) uint64 { return v.t.htx.Load(a) }
+
+func (v fastTx) Store(a mem.Addr, val uint64) {
+	if v.t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	v.t.htx.Store(a, val)
+}
+
+func (v fastTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v fastTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }
+
+// slowTx is the NOrec software view with hybrid coordination (eager or
+// lazy per the system variant).
+type slowTx struct{ t *thread }
+
+func (v slowTx) Load(a mem.Addr) uint64 {
+	t := v.t
+	t.base.InstrumentedAccess()
+	m := t.base.M
+	if t.sys.variant == Eager {
+		val := m.LoadPlain(a)
+		if m.LoadPlain(t.sys.gClock) != t.txv {
+			tm.Restart()
+		}
+		return val
+	}
+	if val, ok := t.writeMap[a]; ok {
+		return val
+	}
+	val := m.LoadPlain(a)
+	for m.LoadPlain(t.sys.gClock) != t.txv {
+		t.txv = t.validate()
+		val = m.LoadPlain(a)
+	}
+	t.readSet = append(t.readSet, readEntry{a, val})
+	return val
+}
+
+func (v slowTx) Store(a mem.Addr, val uint64) {
+	t := v.t
+	if t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	t.base.InstrumentedAccess()
+	m := t.base.M
+	if t.sys.variant == Lazy {
+		if _, ok := t.writeMap[a]; !ok {
+			t.wOrder = append(t.wOrder, a)
+		}
+		t.writeMap[a] = val
+		return
+	}
+	if !t.writeDetected {
+		// First write: lock the clock, then kill every hardware fast path
+		// by taking the HTM lock (their subscription reads it).
+		if !m.CASPlain(t.sys.gClock, t.txv, t.txv|1) {
+			tm.Restart()
+		}
+		t.txv |= 1
+		t.writeDetected = true
+		m.StorePlain(t.sys.gHTMLock, 1)
+	}
+	t.undo = append(t.undo, mem.WriteEntry{Addr: a, Value: m.LoadPlain(a)})
+	m.StorePlain(a, val)
+}
+
+func (v slowTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v slowTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }

@@ -1,0 +1,186 @@
+// Package linearize checks recorded concurrent histories of key-value
+// operations for linearizability against sequential map semantics, in the
+// style of Wing & Gong's algorithm with Lowe's refinements (as popularized
+// by the porcupine checker): operations carry real-time invoke/return
+// intervals; the checker searches for a total order that respects real time
+// and reproduces every recorded result.
+//
+// Histories are partitioned by key — map operations on distinct keys
+// commute, so each key's subhistory is checked independently, which keeps
+// the NP-hard search tractable for test-sized histories.
+//
+// The TM stress tests use it to verify that transactional data structures
+// over every TM system are linearizable, a stronger statement than the
+// structural invariants alone.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is the operation type.
+type Kind uint8
+
+const (
+	// Get reads a key: Out reports the value and presence observed.
+	Get Kind = iota
+	// Put writes a key: Out reports the previous value and whether one
+	// was replaced.
+	Put
+	// Delete removes a key: Out reports the removed value and presence.
+	Delete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is one completed operation of a history.
+type Op struct {
+	Kind Kind
+	Key  uint64
+	// Val is the argument of a Put.
+	Val uint64
+	// OutVal and OutOK are the recorded result (see Kind docs).
+	OutVal uint64
+	OutOK  bool
+	// Invoke and Return are real-time stamps with Invoke < Return; the
+	// operation's linearization point lies somewhere inside.
+	Invoke uint64
+	Return uint64
+}
+
+// keyState is the sequential model: a single optional value.
+type keyState struct {
+	val     uint64
+	present bool
+}
+
+// apply runs op against s, reporting whether the recorded result matches
+// and the successor state.
+func (s keyState) apply(op Op) (keyState, bool) {
+	switch op.Kind {
+	case Get:
+		if op.OutOK != s.present || (s.present && op.OutVal != s.val) {
+			return s, false
+		}
+		return s, true
+	case Put:
+		if op.OutOK != s.present || (s.present && op.OutVal != s.val) {
+			return s, false
+		}
+		return keyState{val: op.Val, present: true}, true
+	case Delete:
+		if op.OutOK != s.present || (s.present && op.OutVal != s.val) {
+			return s, false
+		}
+		return keyState{}, true
+	default:
+		return s, false
+	}
+}
+
+// Result reports a check outcome.
+type Result struct {
+	Linearizable bool
+	// FailedKey identifies the first key whose subhistory admitted no
+	// linearization (when !Linearizable).
+	FailedKey uint64
+	// Ops is the size of the offending subhistory.
+	Ops int
+}
+
+// Check verifies the history. Each per-key subhistory must have at most 64
+// operations (the search uses a bitmask); CheckErr reports a descriptive
+// error otherwise.
+func Check(history []Op) Result {
+	res, err := CheckErr(history)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// CheckErr verifies the history, returning an error for malformed input
+// (inverted intervals, oversized partitions).
+func CheckErr(history []Op) (Result, error) {
+	byKey := make(map[uint64][]Op)
+	for _, op := range history {
+		if op.Return <= op.Invoke {
+			return Result{}, fmt.Errorf("linearize: op %v on key %d has Return <= Invoke", op.Kind, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	for key, ops := range byKey {
+		if len(ops) > 64 {
+			return Result{}, fmt.Errorf("linearize: key %d has %d ops (max 64 per key)", key, len(ops))
+		}
+		if !checkKey(ops) {
+			return Result{Linearizable: false, FailedKey: key, Ops: len(ops)}, nil
+		}
+	}
+	return Result{Linearizable: true}, nil
+}
+
+// memoKey identifies a visited search node: which ops are already
+// linearized and the model state they produced.
+type memoKey struct {
+	mask  uint64
+	state keyState
+}
+
+// checkKey searches for a valid linearization of one key's subhistory.
+func checkKey(ops []Op) bool {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+	n := len(ops)
+	full := uint64(1)<<n - 1
+	visited := make(map[memoKey]bool)
+	var dfs func(done uint64, state keyState) bool
+	dfs = func(done uint64, state keyState) bool {
+		if done == full {
+			return true
+		}
+		mk := memoKey{done, state}
+		if visited[mk] {
+			return false
+		}
+		visited[mk] = true
+		// An operation may linearize next only if no other pending
+		// operation returned before it was invoked (real-time order).
+		minReturn := ^uint64(0)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && ops[i].Return < minReturn {
+				minReturn = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			if ops[i].Invoke > minReturn {
+				// Sorted by invoke: nothing later can precede minReturn
+				// either.
+				break
+			}
+			next, ok := state.apply(ops[i])
+			if !ok {
+				continue
+			}
+			if dfs(done|1<<i, next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, keyState{})
+}

@@ -1,0 +1,40 @@
+package linearize
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder collects a concurrent history with a shared logical clock. It is
+// safe for concurrent use; Do wraps one operation execution with invoke and
+// return stamps.
+type Recorder struct {
+	clock atomic.Uint64
+	mu    sync.Mutex
+	ops   []Op
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Do executes exec, stamping its real-time interval, and records the
+// operation. exec returns the operation's observed result.
+func (r *Recorder) Do(kind Kind, key, val uint64, exec func() (outVal uint64, outOK bool)) {
+	invoke := r.clock.Add(1)
+	outVal, outOK := exec()
+	ret := r.clock.Add(1)
+	r.mu.Lock()
+	r.ops = append(r.ops, Op{
+		Kind: kind, Key: key, Val: val,
+		OutVal: outVal, OutOK: outOK,
+		Invoke: invoke, Return: ret,
+	})
+	r.mu.Unlock()
+}
+
+// History returns the recorded operations.
+func (r *Recorder) History() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.ops...)
+}

@@ -1,0 +1,252 @@
+// Package lockelision implements transactional lock elision (paper §3.1,
+// "Lock Elision"): transactions execute as pure hardware transactions that
+// subscribe to a global lock, and a transaction that repeatedly fails in
+// hardware acquires the lock — aborting every speculating transaction and
+// serializing execution to guarantee progress.
+package lockelision
+
+import (
+	"runtime"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// abortLockTaken is the XABORT payload used when the subscription check
+// finds the global lock held.
+const abortLockTaken = 1
+
+// System is a lock-elision TM over one shared memory.
+type System struct {
+	m      *mem.Memory
+	dev    *htm.Device
+	rec    *tm.Reclaimer
+	policy tm.RetryPolicy
+	gLock  mem.Addr
+}
+
+// New creates a lock-elision system. dev must speculate over m. Zero policy
+// fields take the paper's defaults.
+func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
+	if dev.Memory() != m {
+		panic("lockelision: device bound to a different memory")
+	}
+	tc := m.NewThreadCache()
+	s := &System{
+		m:      m,
+		dev:    dev,
+		rec:    tm.NewReclaimer(),
+		policy: policy.WithDefaults(),
+		gLock:  tc.Alloc(mem.LineWords), // the lock gets its own cache line
+	}
+	return s
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "lock-elision" }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// NewThread implements tm.System.
+func (s *System) NewThread() tm.Thread {
+	t := &thread{
+		sys:  s,
+		base: tm.NewThreadBase(s.m, s.rec),
+		htx:  s.dev.NewTxn(),
+	}
+	t.base.Retry.InitRetry(s.policy)
+	return t
+}
+
+type thread struct {
+	sys  *System
+	base tm.ThreadBase
+	htx  *htm.Txn
+	undo []mem.WriteEntry
+	ro   bool
+}
+
+func (t *thread) Stats() *tm.Stats { return &t.base.St }
+func (t *thread) Close()           { t.base.CloseBase() }
+
+func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
+func (t *thread) RunReadOnly(fn func(tm.Tx) error) error { return t.run(fn, true) }
+
+func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
+	if nested := t.base.Nested(); nested != nil {
+		// Flat nesting: execute inline in the enclosing transaction.
+		return fn(nested)
+	}
+	t.base.BeginTxn()
+	defer t.base.EndTxn()
+	t.ro = ro
+	retries := 0
+	for {
+		t.waitLockFree()
+		err, ab := t.fastAttempt(fn)
+		if ab == nil {
+			if err == nil {
+				t.base.Retry.OnFastCommit(retries)
+			}
+			return err
+		}
+		t.recordAbort(ab)
+		retries++
+		if !ab.MayRetry() && ab.Code != htm.Explicit {
+			break // capacity: hardware retry is futile
+		}
+		if retries >= t.base.Retry.Budget() {
+			break
+		}
+		if ab.Code == htm.Conflict {
+			t.sys.policy.Backoff(retries - 1)
+		}
+	}
+	t.base.Retry.OnFallback()
+	t.base.St.Fallbacks++
+	return t.lockFallback(fn)
+}
+
+// waitLockFree avoids starting a speculation that is doomed to abort on its
+// subscription check.
+func (t *thread) waitLockFree() {
+	for t.base.M.LoadPlain(t.sys.gLock) != 0 {
+		runtime.Gosched()
+	}
+}
+
+func (t *thread) recordAbort(ab *htm.Abort) {
+	switch ab.Code {
+	case htm.Conflict:
+		t.base.St.HTMConflictAborts++
+	case htm.Capacity:
+		t.base.St.HTMCapacityAborts++
+	case htm.Explicit:
+		t.base.St.HTMExplicitAborts++
+	case htm.Spurious:
+		t.base.St.HTMSpuriousAborts++
+	}
+}
+
+// fastAttempt runs fn once inside a hardware transaction. It returns
+// (userErr, nil) when the transaction finished (committed, or user-aborted
+// with no effects), and (nil, abort) when the hardware aborted.
+func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := htm.AsAbort(r); ok {
+				t.base.AbortCleanup()
+				err, ab = nil, a
+				return
+			}
+			t.htx.Cancel()
+			t.base.AbortCleanup()
+			if tm.IsRestart(r) {
+				// An explicit tm.Restart from application code behaves
+				// like a conflict abort.
+				err, ab = nil, &htm.Abort{Code: htm.Conflict}
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.htx.Begin()
+	// Subscribe to the global lock (elision): abort if it is held, and keep
+	// it in the read set so a later acquisition kills this speculation.
+	if t.htx.Load(t.sys.gLock) != 0 {
+		t.htx.Abort(abortLockTaken)
+	}
+	if uerr := t.base.CallUser(fn, fastTx{t}); uerr != nil {
+		t.htx.Cancel() // discard speculative writes; nothing became visible
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, nil
+	}
+	t.htx.Commit()
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.FastPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, nil
+}
+
+// lockFallback acquires the global lock and runs fn non-speculatively. The
+// acquisition's plain store aborts all current speculations (they subscribed
+// to the lock), preserving opacity.
+func (t *thread) lockFallback(fn func(tm.Tx) error) error {
+	m := t.base.M
+	for !m.CASPlain(t.sys.gLock, 0, 1) {
+		runtime.Gosched()
+	}
+	t.undo = t.undo[:0]
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.rollback()
+				m.StorePlain(t.sys.gLock, 0)
+				t.base.AbortCleanup()
+				panic(r)
+			}
+		}()
+		return t.base.CallUser(fn, slowTx{t})
+	}()
+	if err != nil {
+		t.rollback()
+		m.StorePlain(t.sys.gLock, 0)
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return err
+	}
+	m.StorePlain(t.sys.gLock, 0)
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.SerialCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil
+}
+
+func (t *thread) rollback() {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.base.M.StorePlain(t.undo[i].Addr, t.undo[i].Value)
+	}
+	t.undo = t.undo[:0]
+}
+
+// fastTx is the uninstrumented hardware view: loads and stores go straight
+// to the speculation buffer.
+type fastTx struct{ t *thread }
+
+func (v fastTx) Load(a mem.Addr) uint64 { return v.t.htx.Load(a) }
+
+func (v fastTx) Store(a mem.Addr, val uint64) {
+	if v.t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	v.t.htx.Store(a, val)
+}
+
+func (v fastTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v fastTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }
+
+// slowTx is the serialized view under the global lock, with an undo log for
+// user aborts.
+type slowTx struct{ t *thread }
+
+func (v slowTx) Load(a mem.Addr) uint64 { return v.t.base.M.LoadPlain(a) }
+
+func (v slowTx) Store(a mem.Addr, val uint64) {
+	if v.t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	v.t.undo = append(v.t.undo, mem.WriteEntry{Addr: a, Value: v.t.base.M.LoadPlain(a)})
+	v.t.base.M.StorePlain(a, val)
+}
+
+func (v slowTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v slowTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }

@@ -1,0 +1,179 @@
+package lockelision_test
+
+import (
+	"sync"
+	"testing"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/lockelision"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+	"rhnorec/internal/tmtest"
+)
+
+func factory(m *mem.Memory) tm.System {
+	dev := htm.NewDevice(m, htm.Config{})
+	dev.SetActiveThreads(4)
+	return lockelision.New(m, dev, tm.RetryPolicy{})
+}
+
+func TestConformance(t *testing.T) {
+	tmtest.RunConformance(t, factory, tmtest.Options{})
+}
+
+func TestName(t *testing.T) {
+	m := mem.New(1024)
+	sys := lockelision.New(m, htm.NewDevice(m, htm.Config{}), tm.RetryPolicy{})
+	if sys.Name() != "lock-elision" {
+		t.Errorf("Name = %q", sys.Name())
+	}
+	if sys.Memory() != m {
+		t.Error("Memory accessor broken")
+	}
+}
+
+func TestMismatchedDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for device over a different memory")
+		}
+	}()
+	lockelision.New(mem.New(1024), htm.NewDevice(mem.New(1024), htm.Config{}), tm.RetryPolicy{})
+}
+
+// TestFastPathUsedWhenUncontended: single-threaded transactions must all
+// commit in hardware, never taking the lock.
+func TestFastPathUsedWhenUncontended(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := factory(m)
+	th := sys.NewThread()
+	defer th.Close()
+	var a mem.Addr
+	for i := 0; i < 50; i++ {
+		if err := th.Run(func(tx tm.Tx) error {
+			if a == mem.Nil {
+				a = tx.Alloc(1)
+			}
+			tx.Store(a, tx.Load(a)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := th.Stats()
+	if s.FastPathCommits != 50 {
+		t.Errorf("FastPathCommits = %d, want 50", s.FastPathCommits)
+	}
+	if s.SerialCommits != 0 || s.Fallbacks != 0 {
+		t.Errorf("unexpected fallbacks: %+v", s)
+	}
+}
+
+// TestCapacityOverflowFallsBackToLock: a transaction exceeding the write
+// capacity must complete via the lock fallback.
+func TestCapacityOverflowFallsBackToLock(t *testing.T) {
+	m := mem.New(1 << 20)
+	dev := htm.NewDevice(m, htm.Config{WriteCapacityLines: 8})
+	dev.SetActiveThreads(1)
+	sys := lockelision.New(m, dev, tm.RetryPolicy{})
+	th := sys.NewThread()
+	defer th.Close()
+	var base mem.Addr
+	if err := th.Run(func(tx tm.Tx) error { base = tx.Alloc(64 * mem.LineWords); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Run(func(tx tm.Tx) error {
+		for i := 0; i < 64; i++ {
+			tx.Store(base+mem.Addr(i*mem.LineWords), uint64(i))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := th.Stats()
+	if s.SerialCommits != 1 {
+		t.Errorf("SerialCommits = %d, want 1 (capacity fallback)", s.SerialCommits)
+	}
+	if s.HTMCapacityAborts == 0 {
+		t.Error("no capacity abort recorded")
+	}
+	if s.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", s.Fallbacks)
+	}
+	// And the writes landed.
+	for i := 0; i < 64; i++ {
+		if got := m.LoadPlain(base + mem.Addr(i*mem.LineWords)); got != uint64(i) {
+			t.Fatalf("word %d = %d after fallback commit", i, got)
+		}
+	}
+}
+
+// TestLockSerializesWithSpeculation: hammer a counter with a mix of huge
+// (fallback-forcing) and small transactions; no update may be lost even
+// though paths interleave.
+func TestLockSerializesWithSpeculation(t *testing.T) {
+	m := mem.New(1 << 20)
+	dev := htm.NewDevice(m, htm.Config{WriteCapacityLines: 8})
+	dev.SetActiveThreads(4)
+	sys := lockelision.New(m, dev, tm.RetryPolicy{})
+	setup := sys.NewThread()
+	var ctr, big mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		ctr = tx.Alloc(1)
+		big = tx.Alloc(64 * mem.LineWords)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	const threads, per = 4, 150
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			for j := 0; j < per; j++ {
+				if err := th.Run(func(tx tm.Tx) error {
+					tx.Store(ctr, tx.Load(ctr)+1)
+					if id == 0 { // thread 0 overflows capacity every time
+						for k := 0; k < 64; k++ {
+							tx.Store(big+mem.Addr(k*mem.LineWords), tx.Load(ctr))
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("run error: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := m.LoadPlain(ctr); got != threads*per {
+		t.Errorf("counter = %d, want %d", got, threads*per)
+	}
+}
+
+// TestRestartFromApplicationRetries: tm.Restart inside fn behaves as a
+// conflict (retries, eventually falling back) rather than crashing.
+func TestRestartFromApplicationRetries(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := factory(m)
+	th := sys.NewThread()
+	defer th.Close()
+	calls := 0
+	if err := th.Run(func(tx tm.Tx) error {
+		calls++
+		if calls < 3 {
+			tm.Restart()
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("callback ran %d times, want 3", calls)
+	}
+}

@@ -1,0 +1,223 @@
+package mem
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, wantSize int }{
+		{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 6}, {6, 6}, {7, 8}, {8, 8},
+		{9, 12}, {17, 24}, {100, 128}, {4096, 4096},
+	}
+	for _, c := range cases {
+		cl := classFor(c.n)
+		if cl < 0 {
+			t.Errorf("classFor(%d) = -1", c.n)
+			continue
+		}
+		if classSizes[cl] != c.wantSize {
+			t.Errorf("classFor(%d) -> size %d, want %d", c.n, classSizes[cl], c.wantSize)
+		}
+	}
+	if classFor(4097) != -1 {
+		t.Error("classFor(4097) should be oversize (-1)")
+	}
+}
+
+func TestClassSizesSortedAndCounted(t *testing.T) {
+	if len(classSizes) != numClasses {
+		t.Fatalf("numClasses = %d but len(classSizes) = %d", numClasses, len(classSizes))
+	}
+	for i := 1; i < len(classSizes); i++ {
+		if classSizes[i] <= classSizes[i-1] {
+			t.Fatalf("classSizes not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestAllocZeroesReusedBlocks(t *testing.T) {
+	m := New(1 << 14)
+	c := m.NewThreadCache()
+	a := c.Alloc(8)
+	for i := 0; i < 8; i++ {
+		m.StorePlain(a+Addr(i), ^uint64(0))
+	}
+	c.Free(a, 8)
+	b := c.Alloc(8)
+	if a != b {
+		t.Logf("allocator did not reuse block immediately (a=%d b=%d); still checking zeroing", a, b)
+	}
+	for i := 0; i < 8; i++ {
+		if got := m.LoadPlain(b + Addr(i)); got != 0 {
+			t.Fatalf("reused block word %d = %d, want 0", i, got)
+		}
+	}
+}
+
+func TestAllocDistinctBlocks(t *testing.T) {
+	m := New(1 << 16)
+	c := m.NewThreadCache()
+	seen := make(map[Addr]bool)
+	for i := 0; i < 500; i++ {
+		a := c.Alloc(6)
+		if seen[a] {
+			t.Fatalf("Alloc returned live address %d twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestFreeNilIsNoop(t *testing.T) {
+	m := New(1 << 12)
+	c := m.NewThreadCache()
+	before := m.LiveBlocks()
+	c.Free(Nil, 8)
+	if m.LiveBlocks() != before {
+		t.Error("Free(Nil) changed live-block accounting")
+	}
+}
+
+func TestLiveAccountingBalances(t *testing.T) {
+	m := New(1 << 16)
+	c := m.NewThreadCache()
+	rng := rand.New(rand.NewSource(1))
+	type blk struct {
+		a Addr
+		n int
+	}
+	var live []blk
+	for i := 0; i < 2000; i++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			n := 1 + rng.Intn(64)
+			live = append(live, blk{c.Alloc(n), n})
+		} else {
+			j := rng.Intn(len(live))
+			c.Free(live[j].a, live[j].n)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	for _, b := range live {
+		c.Free(b.a, b.n)
+	}
+	c.Drain()
+	if m.LiveBlocks() != 0 {
+		t.Errorf("LiveBlocks = %d after freeing everything", m.LiveBlocks())
+	}
+	if m.LiveWords() != 0 {
+		t.Errorf("LiveWords = %d after freeing everything", m.LiveWords())
+	}
+}
+
+func TestHugeAllocationRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	c := m.NewThreadCache()
+	a := c.Alloc(10000)
+	m.StorePlain(a+9999, 5)
+	c.Free(a, 10000)
+	b := c.Alloc(10000)
+	if b != a {
+		t.Errorf("huge block not recycled: got %d, want %d", b, a)
+	}
+	if m.LoadPlain(b+9999) != 0 {
+		t.Error("recycled huge block not zeroed")
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	m := New(64)
+	c := m.NewThreadCache()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on arena exhaustion")
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		c.Alloc(8)
+	}
+}
+
+// TestConcurrentAllocFree hammers the central lists from several thread
+// caches and verifies no block is ever handed to two owners at once.
+func TestConcurrentAllocFree(t *testing.T) {
+	m := New(1 << 20)
+	const threads = 8
+	var mu sync.Mutex
+	owned := make(map[Addr]int)
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := m.NewThreadCache()
+			rng := rand.New(rand.NewSource(int64(id)))
+			var mine []Addr
+			for i := 0; i < 1000; i++ {
+				if len(mine) == 0 || rng.Intn(2) == 0 {
+					a := c.Alloc(8)
+					mu.Lock()
+					if prev, dup := owned[a]; dup {
+						mu.Unlock()
+						t.Errorf("block %d double-allocated (owners %d and %d)", a, prev, id)
+						return
+					}
+					owned[a] = id
+					mu.Unlock()
+					mine = append(mine, a)
+				} else {
+					j := rng.Intn(len(mine))
+					a := mine[j]
+					mu.Lock()
+					delete(owned, a)
+					mu.Unlock()
+					c.Free(a, 8)
+					mine[j] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+				}
+			}
+			for _, a := range mine {
+				mu.Lock()
+				delete(owned, a)
+				mu.Unlock()
+				c.Free(a, 8)
+			}
+			c.Drain()
+		}(id)
+	}
+	wg.Wait()
+	if m.LiveBlocks() != 0 {
+		t.Errorf("LiveBlocks = %d at end", m.LiveBlocks())
+	}
+}
+
+// TestQuickAllocSizes property: any size in [1, 4096] yields a block whose
+// words are all addressable and zero.
+func TestQuickAllocSizes(t *testing.T) {
+	m := New(1 << 20)
+	c := m.NewThreadCache()
+	f := func(raw uint16) bool {
+		n := 1 + int(raw)%4096
+		a := c.Alloc(n)
+		for i := 0; i < n; i++ {
+			if m.LoadPlain(a+Addr(i)) != 0 {
+				return false
+			}
+		}
+		c.Free(a, n)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefillBatchPositive(t *testing.T) {
+	for cl := range classSizes {
+		if refillBatch(cl) < 2 {
+			t.Errorf("refillBatch(%d) = %d, want >= 2", cl, refillBatch(cl))
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package mem provides the word-addressable shared memory on which every
+// transactional-memory implementation in this repository operates.
+//
+// The memory plays the role of RAM in the reproduction: hardware
+// transactions (package htm) speculate over it, software transactions read
+// and write it directly, and non-transactional ("plain") code accesses it
+// through the atomic helpers below. A single global modification counter,
+// the memory clock, orders all mutations; the simulated HTM uses it to
+// detect that memory moved underneath a speculative read set.
+//
+// Two properties are load-bearing for the rest of the system:
+//
+//  1. The memory clock is a seqlock: every mutation — a plain store, a plain
+//     read-modify-write, or an HTM commit write-back — moves the clock to an
+//     odd value before touching memory and back to an even value afterwards.
+//     A speculative reader that observes an even, unchanged clock around a
+//     read therefore observed a stable snapshot; any reader that can see a
+//     new value is guaranteed to also see the clock move, and revalidates.
+//  2. HTM commits publish their entire write buffer while holding the
+//     writeback lock that plain mutators also take, so a commit is atomic
+//     with respect to all other memory traffic (strong isolation).
+package mem
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is a word index into a Memory. Address 0 is reserved and is never
+// returned by the allocator, so it can serve as a nil pointer when
+// applications store addresses inside transactional memory.
+type Addr uint64
+
+// Nil is the reserved null address.
+const Nil Addr = 0
+
+// LineWords is the number of 8-byte words per simulated cache line (64-byte
+// lines, matching the Haswell L1 the paper evaluates on). HTM capacity is
+// accounted in distinct lines, as real transactional caches do.
+const LineWords = 8
+
+// lineShift is log2(LineWords).
+const lineShift = 3
+
+// Line identifies a cache line within a Memory.
+type Line uint64
+
+// LineOf returns the cache line containing addr.
+func LineOf(a Addr) Line { return Line(a >> lineShift) }
+
+// Memory is a flat array of 64-bit words with a global modification clock.
+// All fields are private; access goes through the methods below so that the
+// clock discipline can never be bypassed by accident.
+type Memory struct {
+	words []uint64
+	clock atomic.Uint64
+
+	// wb serializes HTM commit write-backs and plain mutations so that a
+	// commit's whole write set becomes visible atomically.
+	wb sync.Mutex
+
+	alloc allocState
+}
+
+// New creates a memory of the given size in words. The first line is
+// reserved (address 0 is nil), so the usable arena starts at LineWords.
+func New(sizeWords int) *Memory {
+	if sizeWords < 2*LineWords {
+		sizeWords = 2 * LineWords
+	}
+	m := &Memory{words: make([]uint64, sizeWords)}
+	m.alloc.init(Addr(LineWords), Addr(sizeWords))
+	return m
+}
+
+// Size returns the memory size in words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Clock returns the current value of the global memory clock. The clock
+// advances on every mutation and never decreases; an odd value means a
+// mutation is in flight (seqlock discipline).
+func (m *Memory) Clock() uint64 { return m.clock.Load() }
+
+// ClockStable spins until the clock is even (no mutation in flight) and
+// returns that stable value.
+func (m *Memory) ClockStable() uint64 {
+	for {
+		c := m.clock.Load()
+		if c&1 == 0 {
+			return c
+		}
+		runtime.Gosched()
+	}
+}
+
+// beginMutate takes the writeback lock and moves the clock to an odd value;
+// endMutate returns it to even and releases the lock. Every mutation of word
+// contents is bracketed by this pair.
+func (m *Memory) beginMutate() {
+	m.wb.Lock()
+	m.clock.Add(1)
+}
+
+func (m *Memory) endMutate() {
+	m.clock.Add(1)
+	m.wb.Unlock()
+}
+
+func (m *Memory) check(a Addr) {
+	if a == Nil || int(a) >= len(m.words) {
+		panic(fmt.Sprintf("mem: address %d out of range [%d, %d)", a, LineWords, len(m.words)))
+	}
+}
+
+// LoadPlain performs a non-transactional atomic read of a word.
+func (m *Memory) LoadPlain(a Addr) uint64 {
+	m.check(a)
+	return atomic.LoadUint64(&m.words[a])
+}
+
+// StorePlain performs a non-transactional atomic write of a word under the
+// seqlock discipline described in the package comment.
+func (m *Memory) StorePlain(a Addr, v uint64) {
+	m.check(a)
+	m.beginMutate()
+	atomic.StoreUint64(&m.words[a], v)
+	m.endMutate()
+}
+
+// CASPlain performs a non-transactional compare-and-swap. The clock advances
+// only when the swap succeeds.
+func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
+	m.check(a)
+	m.wb.Lock()
+	if atomic.LoadUint64(&m.words[a]) != old {
+		m.wb.Unlock()
+		return false
+	}
+	m.clock.Add(1)
+	atomic.StoreUint64(&m.words[a], new)
+	m.clock.Add(1)
+	m.wb.Unlock()
+	return true
+}
+
+// AddPlain performs a non-transactional atomic fetch-and-add and returns the
+// new value.
+func (m *Memory) AddPlain(a Addr, delta uint64) uint64 {
+	m.check(a)
+	m.beginMutate()
+	v := atomic.LoadUint64(&m.words[a]) + delta
+	atomic.StoreUint64(&m.words[a], v)
+	m.endMutate()
+	return v
+}
+
+// SubPlain performs a non-transactional atomic fetch-and-subtract and
+// returns the new value.
+func (m *Memory) SubPlain(a Addr, delta uint64) uint64 {
+	return m.AddPlain(a, ^(delta - 1)) // two's-complement subtraction
+}
+
+// loadRaw reads a word without bounds checking; used on the commit path
+// where addresses were validated at log time.
+func (m *Memory) loadRaw(a Addr) uint64 { return atomic.LoadUint64(&m.words[a]) }
+
+// WriteEntry is one buffered speculative write, as published by CommitWrites.
+type WriteEntry struct {
+	Addr  Addr
+	Value uint64
+}
+
+// CommitWrites atomically publishes a speculative write buffer. It takes the
+// writeback lock, calls validate (which must re-check the caller's read set
+// by value while no other mutation can interleave), and on success advances
+// the clock once and stores every entry. It reports whether the commit
+// succeeded. A read-only caller may pass an empty writes slice, in which
+// case validation still runs under the lock but the clock does not move.
+func (m *Memory) CommitWrites(writes []WriteEntry, validate func() bool) bool {
+	m.wb.Lock()
+	defer m.wb.Unlock()
+	if validate != nil && !validate() {
+		return false
+	}
+	if len(writes) == 0 {
+		return true
+	}
+	m.clock.Add(1)
+	for _, w := range writes {
+		atomic.StoreUint64(&m.words[w.Addr], w.Value)
+	}
+	m.clock.Add(1)
+	return true
+}
+
+// Snapshot copies n words starting at a into dst for debugging and test
+// assertions. It is not atomic across words.
+func (m *Memory) Snapshot(a Addr, dst []uint64) {
+	for i := range dst {
+		dst[i] = m.LoadPlain(a + Addr(i))
+	}
+}

@@ -1,0 +1,285 @@
+// Package norec implements the NOrec STM of Dalessandro, Spear and Scott,
+// in the two flavours the paper evaluates (§3.1, "NOrec"):
+//
+//   - Eager: encounter-time writes. A transaction spins on the global clock
+//     at start, restarts whenever the clock moves during its read phase,
+//     locks the clock at its first write, then writes directly to memory.
+//     No read-set or write-set logging — the variant the paper found
+//     fastest at its concurrency levels, and the slow path used by the
+//     hybrid systems.
+//   - Lazy: the classic NOrec. Value-logged read set with snapshot
+//     extension, buffered write set, commit-time clock lock and write-back.
+//
+// The single piece of global metadata is the NOrec clock: LSB is the lock
+// bit, committed writer transactions advance it by 2.
+package norec
+
+import (
+	"runtime"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// Variant selects the NOrec flavour.
+type Variant int
+
+const (
+	// Eager is the encounter-time-write variant (paper default).
+	Eager Variant = iota
+	// Lazy is the classic deferred-write variant.
+	Lazy
+)
+
+func (v Variant) String() string {
+	if v == Lazy {
+		return "norec-lazy"
+	}
+	return "norec"
+}
+
+// System is a NOrec STM over one shared memory.
+type System struct {
+	m       *mem.Memory
+	rec     *tm.Reclaimer
+	variant Variant
+	clock   mem.Addr
+}
+
+// New creates a NOrec system of the given variant.
+func New(m *mem.Memory, variant Variant) *System {
+	tc := m.NewThreadCache()
+	return &System{
+		m:       m,
+		rec:     tm.NewReclaimer(),
+		variant: variant,
+		clock:   tc.Alloc(mem.LineWords),
+	}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return s.variant.String() }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// NewThread implements tm.System.
+func (s *System) NewThread() tm.Thread {
+	return &thread{
+		sys:      s,
+		base:     tm.NewThreadBase(s.m, s.rec),
+		writeMap: make(map[mem.Addr]uint64, 32),
+	}
+}
+
+type readEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+type thread struct {
+	sys  *System
+	base tm.ThreadBase
+	ro   bool
+
+	// txv is the transaction's clock snapshot; LSB set means this thread
+	// holds the clock lock (eager variant only).
+	txv uint64
+
+	// Eager state.
+	writeDetected bool
+	undo          []mem.WriteEntry
+
+	// Lazy state.
+	readSet  []readEntry
+	writeMap map[mem.Addr]uint64
+	wOrder   []mem.Addr
+}
+
+func (t *thread) Stats() *tm.Stats { return &t.base.St }
+func (t *thread) Close()           { t.base.CloseBase() }
+
+func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
+func (t *thread) RunReadOnly(fn func(tm.Tx) error) error { return t.run(fn, true) }
+
+func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
+	if nested := t.base.Nested(); nested != nil {
+		// Flat nesting: execute inline in the enclosing transaction.
+		return fn(nested)
+	}
+	t.base.BeginTxn()
+	defer t.base.EndTxn()
+	t.ro = ro
+	for {
+		err, restarted := t.attempt(fn)
+		if !restarted {
+			return err
+		}
+		t.base.St.STMRestarts++
+	}
+}
+
+// attempt runs one try of fn. It reports a restart instead of committing
+// when the transaction was invalidated.
+func (t *thread) attempt(fn func(tm.Tx) error) (err error, restarted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.cleanupAfterAbort()
+			if tm.IsRestart(r) {
+				err, restarted = nil, true
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.beginAttempt()
+	if uerr := t.base.CallUser(fn, txView{t}); uerr != nil {
+		t.cleanupAfterAbort()
+		t.base.St.UserAborts++
+		return uerr, false
+	}
+	t.commit()
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.SlowPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, false
+}
+
+func (t *thread) beginAttempt() {
+	t.writeDetected = false
+	t.undo = t.undo[:0]
+	t.readSet = t.readSet[:0]
+	clear(t.writeMap)
+	t.wOrder = t.wOrder[:0]
+	// Spin until the clock is unlocked, then snapshot it.
+	for {
+		v := t.base.M.LoadPlain(t.sys.clock)
+		if v&1 == 0 {
+			t.txv = v
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// cleanupAfterAbort restores memory and releases the clock lock if the
+// eager variant aborted mid-write-phase (only possible via user error or an
+// application panic; clock validation cannot fail while the lock is held).
+func (t *thread) cleanupAfterAbort() {
+	if t.writeDetected {
+		for i := len(t.undo) - 1; i >= 0; i-- {
+			t.base.M.StorePlain(t.undo[i].Addr, t.undo[i].Value)
+		}
+		// Memory is restored, so release without advancing the version:
+		// no concurrent transaction can have observed the undone writes
+		// (the clock was locked throughout).
+		t.base.M.StorePlain(t.sys.clock, t.txv&^1)
+		t.writeDetected = false
+	}
+	t.undo = t.undo[:0]
+	t.base.AbortCleanup()
+}
+
+func (t *thread) commit() {
+	m := t.base.M
+	switch t.sys.variant {
+	case Eager:
+		if t.writeDetected {
+			m.StorePlain(t.sys.clock, (t.txv&^1)+2)
+			t.writeDetected = false
+		}
+	case Lazy:
+		if len(t.wOrder) == 0 {
+			return // read-only: nothing to publish, nothing to lock
+		}
+		for !m.CASPlain(t.sys.clock, t.txv, t.txv|1) {
+			t.txv = t.validate()
+		}
+		for _, a := range t.wOrder {
+			m.StorePlain(a, t.writeMap[a])
+		}
+		m.StorePlain(t.sys.clock, t.txv+2) // txv is even here
+	}
+}
+
+// validate re-checks the lazy read set by value and returns the even clock
+// the set is valid at; it restarts the transaction on a mismatch.
+func (t *thread) validate() uint64 {
+	m := t.base.M
+	for {
+		time := m.LoadPlain(t.sys.clock)
+		if time&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		for _, r := range t.readSet {
+			if m.LoadPlain(r.addr) != r.val {
+				tm.Restart()
+			}
+		}
+		if m.LoadPlain(t.sys.clock) == time {
+			return time
+		}
+	}
+}
+
+type txView struct{ t *thread }
+
+func (v txView) Load(a mem.Addr) uint64 {
+	t := v.t
+	t.base.InstrumentedAccess()
+	m := t.base.M
+	if t.sys.variant == Eager {
+		val := m.LoadPlain(a)
+		if m.LoadPlain(t.sys.clock) != t.txv {
+			// Some writer committed (or locked the clock): without a read
+			// set there is nothing to revalidate — restart (paper §3.1).
+			tm.Restart()
+		}
+		return val
+	}
+	// Lazy: write set first, then a validated read with snapshot extension.
+	if val, ok := t.writeMap[a]; ok {
+		return val
+	}
+	val := m.LoadPlain(a)
+	for m.LoadPlain(t.sys.clock) != t.txv {
+		t.txv = t.validate()
+		val = m.LoadPlain(a)
+	}
+	t.readSet = append(t.readSet, readEntry{a, val})
+	return val
+}
+
+func (v txView) Store(a mem.Addr, val uint64) {
+	t := v.t
+	if t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	t.base.InstrumentedAccess()
+	m := t.base.M
+	if t.sys.variant == Eager {
+		if !t.writeDetected {
+			// First write: lock the clock at our snapshot (acquire_clock_lock
+			// in Algorithm 2 terms). Failure means someone committed.
+			if !m.CASPlain(t.sys.clock, t.txv, t.txv|1) {
+				tm.Restart()
+			}
+			t.txv |= 1
+			t.writeDetected = true
+		}
+		t.undo = append(t.undo, mem.WriteEntry{Addr: a, Value: m.LoadPlain(a)})
+		m.StorePlain(a, val)
+		return
+	}
+	if _, ok := t.writeMap[a]; !ok {
+		t.wOrder = append(t.wOrder, a)
+	}
+	t.writeMap[a] = val
+}
+
+func (v txView) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v txView) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }

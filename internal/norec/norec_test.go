@@ -1,0 +1,211 @@
+package norec_test
+
+import (
+	"sync"
+	"testing"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/norec"
+	"rhnorec/internal/tm"
+	"rhnorec/internal/tmtest"
+)
+
+func TestConformanceEager(t *testing.T) {
+	tmtest.RunConformance(t, func(m *mem.Memory) tm.System {
+		return norec.New(m, norec.Eager)
+	}, tmtest.Options{})
+}
+
+func TestConformanceLazy(t *testing.T) {
+	tmtest.RunConformance(t, func(m *mem.Memory) tm.System {
+		return norec.New(m, norec.Lazy)
+	}, tmtest.Options{})
+}
+
+func TestNames(t *testing.T) {
+	m := mem.New(1024)
+	if got := norec.New(m, norec.Eager).Name(); got != "norec" {
+		t.Errorf("eager Name = %q", got)
+	}
+	if got := norec.New(mem.New(1024), norec.Lazy).Name(); got != "norec-lazy" {
+		t.Errorf("lazy Name = %q", got)
+	}
+}
+
+// TestEagerRestartsOnConcurrentCommit: an eager reader that sees the clock
+// move restarts — the defining behaviour of the no-read-set design.
+func TestEagerRestartsOnConcurrentCommit(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := norec.New(m, norec.Eager)
+	th := sys.NewThread()
+	defer th.Close()
+	var a mem.Addr
+	if err := th.Run(func(tx tm.Tx) error { a = tx.Alloc(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A second thread commits a write between our loads.
+	other := sys.NewThread()
+	defer other.Close()
+	reads := 0
+	if err := th.Run(func(tx tm.Tx) error {
+		reads++
+		_ = tx.Load(a)
+		if reads == 1 {
+			if err := other.Run(func(tx2 tm.Tx) error {
+				tx2.Store(a, 42)
+				return nil
+			}); err != nil {
+				return err
+			}
+			_ = tx.Load(a) // must notice the clock moved and restart
+			t.Error("read after concurrent commit did not restart")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if reads != 2 {
+		t.Errorf("attempts = %d, want 2 (one restart)", reads)
+	}
+	if th.Stats().STMRestarts != 1 {
+		t.Errorf("STMRestarts = %d, want 1", th.Stats().STMRestarts)
+	}
+}
+
+// TestLazyExtendsInsteadOfRestarting: the lazy variant revalidates its read
+// set and keeps going when a disjoint commit moves the clock.
+func TestLazyExtendsInsteadOfRestarting(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := norec.New(m, norec.Lazy)
+	th := sys.NewThread()
+	defer th.Close()
+	var a, b mem.Addr
+	if err := th.Run(func(tx tm.Tx) error {
+		a = tx.Alloc(mem.LineWords)
+		b = tx.Alloc(mem.LineWords)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	other := sys.NewThread()
+	defer other.Close()
+	attempts := 0
+	if err := th.Run(func(tx tm.Tx) error {
+		attempts++
+		_ = tx.Load(a)
+		if attempts == 1 {
+			if err := other.Run(func(tx2 tm.Tx) error {
+				tx2.Store(b, 9) // disjoint from the read set
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		_ = tx.Load(b) // extension must succeed; no restart
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (snapshot extension, not restart)", attempts)
+	}
+	if got := th.Stats().STMRestarts; got != 0 {
+		t.Errorf("STMRestarts = %d, want 0", got)
+	}
+}
+
+// TestLazyRestartsOnOverlappingCommit: extension fails when the moved
+// location is in the read set.
+func TestLazyRestartsOnOverlappingCommit(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := norec.New(m, norec.Lazy)
+	th := sys.NewThread()
+	defer th.Close()
+	var a mem.Addr
+	if err := th.Run(func(tx tm.Tx) error { a = tx.Alloc(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	other := sys.NewThread()
+	defer other.Close()
+	attempts := 0
+	if err := th.Run(func(tx tm.Tx) error {
+		attempts++
+		v := tx.Load(a)
+		if attempts == 1 {
+			if v != 0 {
+				t.Errorf("first attempt read %d, want 0", v)
+			}
+			if err := other.Run(func(tx2 tm.Tx) error {
+				tx2.Store(a, 9)
+				return nil
+			}); err != nil {
+				return err
+			}
+			_ = tx.Load(a + 0) // same word: validation must fail -> restart
+			t.Error("overlapping commit did not restart the reader")
+		} else if v != 9 {
+			t.Errorf("second attempt read %d, want 9", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+}
+
+// TestEagerWriterCannotBeInvalidated: once the clock lock is held, the
+// writer commits unconditionally (no other writer can commit concurrently).
+func TestEagerWriterCommitsUnderReadLoad(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := norec.New(m, norec.Eager)
+	setup := sys.NewThread()
+	var a mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error { a = tx.Alloc(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	const writers, per = 4, 200
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			for j := 0; j < per; j++ {
+				if err := th.Run(func(tx tm.Tx) error {
+					tx.Store(a, tx.Load(a)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("writer error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.LoadPlain(a); got != writers*per {
+		t.Errorf("counter = %d, want %d", got, writers*per)
+	}
+}
+
+// TestStatsSlowPathCommits: pure STM commits are slow-path commits.
+func TestStatsSlowPathCommits(t *testing.T) {
+	m := mem.New(1 << 14)
+	sys := norec.New(m, norec.Eager)
+	th := sys.NewThread()
+	defer th.Close()
+	for i := 0; i < 5; i++ {
+		if err := th.Run(func(tx tm.Tx) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if th.Stats().SlowPathCommits != 5 {
+		t.Errorf("SlowPathCommits = %d, want 5", th.Stats().SlowPathCommits)
+	}
+	if th.Stats().FastPathCommits != 0 {
+		t.Error("STM recorded fast-path commits")
+	}
+}

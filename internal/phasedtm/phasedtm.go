@@ -1,0 +1,318 @@
+// Package phasedtm implements the PhasedTM approach the paper's background
+// discusses (§1.1, [16]): execution proceeds in global phases that are
+// either all-hardware or all-software. In the hardware phase transactions
+// run pure and uninstrumented; when any transaction cannot complete in
+// hardware the whole system switches to a software phase (an eager NOrec
+// here) and every concurrent transaction pays for it — "poor performance if
+// even a single transaction needs to be executed in software", which is the
+// weakness the benchmarks can demonstrate against the hybrids.
+//
+// Phase protocol: gMode holds the phase; gSWActive counts live software
+// transactions. Hardware transactions subscribe to both at start, so a
+// phase switch or a straggling software transaction aborts them instantly.
+// A software transaction registers in gSWActive before verifying the phase,
+// closing the switch-back race.
+package phasedtm
+
+import (
+	"runtime"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// Phases.
+const (
+	modeHW = 0
+	modeSW = 1
+)
+
+const abortWrongPhase = 1
+
+// System is a PhasedTM over one shared memory.
+type System struct {
+	m      *mem.Memory
+	dev    *htm.Device
+	rec    *tm.Reclaimer
+	policy tm.RetryPolicy
+
+	gMode     mem.Addr
+	gSWActive mem.Addr
+	gClock    mem.Addr // the software phase's NOrec clock
+}
+
+// New creates a PhasedTM system. dev must speculate over m.
+func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
+	if dev.Memory() != m {
+		panic("phasedtm: device bound to a different memory")
+	}
+	tc := m.NewThreadCache()
+	return &System{
+		m:         m,
+		dev:       dev,
+		rec:       tm.NewReclaimer(),
+		policy:    policy.WithDefaults(),
+		gMode:     tc.Alloc(mem.LineWords),
+		gSWActive: tc.Alloc(mem.LineWords),
+		gClock:    tc.Alloc(mem.LineWords),
+	}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "phased-tm" }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// NewThread implements tm.System.
+func (s *System) NewThread() tm.Thread {
+	t := &thread{
+		sys:  s,
+		base: tm.NewThreadBase(s.m, s.rec),
+		htx:  s.dev.NewTxn(),
+	}
+	t.base.Retry.InitRetry(s.policy)
+	return t
+}
+
+type thread struct {
+	sys  *System
+	base tm.ThreadBase
+	htx  *htm.Txn
+	ro   bool
+
+	// Software-phase NOrec state.
+	txv           uint64
+	writeDetected bool
+	undo          []mem.WriteEntry
+}
+
+func (t *thread) Stats() *tm.Stats { return &t.base.St }
+func (t *thread) Close()           { t.base.CloseBase() }
+
+func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
+func (t *thread) RunReadOnly(fn func(tm.Tx) error) error { return t.run(fn, true) }
+
+func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
+	if nested := t.base.Nested(); nested != nil {
+		// Flat nesting: execute inline in the enclosing transaction.
+		return fn(nested)
+	}
+	t.base.BeginTxn()
+	defer t.base.EndTxn()
+	t.ro = ro
+	m := t.base.M
+	retries := 0
+	for {
+		if m.LoadPlain(t.sys.gMode) == modeSW {
+			// Opportunistic switch-back: if the software phase has
+			// drained, restore the hardware phase.
+			if m.LoadPlain(t.sys.gSWActive) != 0 || !m.CASPlain(t.sys.gMode, modeSW, modeHW) {
+				return t.softwareRun(fn)
+			}
+		}
+		err, ab := t.fastAttempt(fn)
+		if ab == nil {
+			if err == nil {
+				t.base.Retry.OnFastCommit(retries)
+			}
+			return err
+		}
+		t.recordAbort(ab)
+		retries++
+		if !ab.MayRetry() && ab.Code != htm.Explicit {
+			break
+		}
+		if retries >= t.base.Retry.Budget() {
+			break
+		}
+	}
+	// Hardware gave up: switch the whole system to the software phase.
+	t.base.Retry.OnFallback()
+	t.base.St.Fallbacks++
+	m.CASPlain(t.sys.gMode, modeHW, modeSW)
+	return t.softwareRun(fn)
+}
+
+func (t *thread) recordAbort(ab *htm.Abort) {
+	switch ab.Code {
+	case htm.Conflict:
+		t.base.St.HTMConflictAborts++
+	case htm.Capacity:
+		t.base.St.HTMCapacityAborts++
+	case htm.Explicit:
+		t.base.St.HTMExplicitAborts++
+	case htm.Spurious:
+		t.base.St.HTMSpuriousAborts++
+	}
+}
+
+// fastAttempt runs fn as a pure hardware transaction of the hardware phase.
+func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := htm.AsAbort(r); ok {
+				t.base.AbortCleanup()
+				err, ab = nil, a
+				return
+			}
+			t.htx.Cancel()
+			t.base.AbortCleanup()
+			if tm.IsRestart(r) {
+				err, ab = nil, &htm.Abort{Code: htm.Conflict}
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.htx.Begin()
+	// Phase subscription: any switch to software, or a straggling software
+	// transaction, kills this speculation.
+	if t.htx.Load(t.sys.gMode) != modeHW || t.htx.Load(t.sys.gSWActive) != 0 {
+		t.htx.Abort(abortWrongPhase)
+	}
+	if uerr := t.base.CallUser(fn, fastTx{t}); uerr != nil {
+		t.htx.Cancel()
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, nil
+	}
+	t.htx.Commit()
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.FastPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, nil
+}
+
+// softwareRun executes fn in the software phase (eager NOrec).
+func (t *thread) softwareRun(fn func(tm.Tx) error) error {
+	m := t.base.M
+	// Register before verifying the phase: a hardware transaction that
+	// starts concurrently sees either the registration or the software
+	// mode and aborts either way.
+	m.AddPlain(t.sys.gSWActive, 1)
+	for m.LoadPlain(t.sys.gMode) != modeSW {
+		// The phase flipped back before we got going; re-enter properly.
+		m.SubPlain(t.sys.gSWActive, 1)
+		runtime.Gosched()
+		if m.LoadPlain(t.sys.gMode) == modeHW {
+			m.CASPlain(t.sys.gMode, modeHW, modeSW)
+		}
+		m.AddPlain(t.sys.gSWActive, 1)
+	}
+	defer m.SubPlain(t.sys.gSWActive, 1)
+	for {
+		t.base.St.SlowPathStarts++
+		err, restarted := t.softwareAttempt(fn)
+		if !restarted {
+			return err
+		}
+		t.base.St.SlowPathRestarts++
+	}
+}
+
+func (t *thread) softwareAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.softwareAbortCleanup()
+			if tm.IsRestart(r) {
+				err, restarted = nil, true
+				return
+			}
+			panic(r)
+		}
+	}()
+	m := t.base.M
+	t.writeDetected = false
+	t.undo = t.undo[:0]
+	for {
+		v := m.LoadPlain(t.sys.gClock)
+		if v&1 == 0 {
+			t.txv = v
+			break
+		}
+		runtime.Gosched()
+	}
+	if uerr := t.base.CallUser(fn, swTx{t}); uerr != nil {
+		t.softwareAbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, false
+	}
+	if t.writeDetected {
+		m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
+		t.writeDetected = false
+	}
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.SlowPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, false
+}
+
+func (t *thread) softwareAbortCleanup() {
+	m := t.base.M
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		m.StorePlain(t.undo[i].Addr, t.undo[i].Value)
+	}
+	t.undo = t.undo[:0]
+	if t.writeDetected {
+		m.StorePlain(t.sys.gClock, t.txv&^1)
+		t.writeDetected = false
+	}
+	t.base.AbortCleanup()
+}
+
+type fastTx struct{ t *thread }
+
+func (v fastTx) Load(a mem.Addr) uint64 { return v.t.htx.Load(a) }
+
+func (v fastTx) Store(a mem.Addr, val uint64) {
+	if v.t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	v.t.htx.Store(a, val)
+}
+
+func (v fastTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v fastTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }
+
+// swTx is the software phase's eager NOrec view.
+type swTx struct{ t *thread }
+
+func (v swTx) Load(a mem.Addr) uint64 {
+	t := v.t
+	t.base.InstrumentedAccess()
+	m := t.base.M
+	val := m.LoadPlain(a)
+	if m.LoadPlain(t.sys.gClock) != t.txv {
+		tm.Restart()
+	}
+	return val
+}
+
+func (v swTx) Store(a mem.Addr, val uint64) {
+	t := v.t
+	if t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	t.base.InstrumentedAccess()
+	m := t.base.M
+	if !t.writeDetected {
+		if !m.CASPlain(t.sys.gClock, t.txv, t.txv|1) {
+			tm.Restart()
+		}
+		t.txv |= 1
+		t.writeDetected = true
+	}
+	t.undo = append(t.undo, mem.WriteEntry{Addr: a, Value: m.LoadPlain(a)})
+	m.StorePlain(a, val)
+}
+
+func (v swTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v swTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }

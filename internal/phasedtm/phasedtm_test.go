@@ -1,0 +1,156 @@
+package phasedtm_test
+
+import (
+	"sync"
+	"testing"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/phasedtm"
+	"rhnorec/internal/tm"
+	"rhnorec/internal/tmtest"
+)
+
+func factory(m *mem.Memory) tm.System {
+	dev := htm.NewDevice(m, htm.Config{})
+	dev.SetActiveThreads(4)
+	return phasedtm.New(m, dev, tm.RetryPolicy{})
+}
+
+func TestConformance(t *testing.T) {
+	tmtest.RunConformance(t, factory, tmtest.Options{})
+}
+
+func TestConformanceTinyCapacity(t *testing.T) {
+	// Constant capacity failures keep the system mostly in the software
+	// phase.
+	tmtest.RunConformance(t, func(m *mem.Memory) tm.System {
+		dev := htm.NewDevice(m, htm.Config{ReadCapacityLines: 2, WriteCapacityLines: 1})
+		dev.SetActiveThreads(4)
+		return phasedtm.New(m, dev, tm.RetryPolicy{})
+	}, tmtest.Options{})
+}
+
+func TestName(t *testing.T) {
+	m := mem.New(1024)
+	sys := phasedtm.New(m, htm.NewDevice(m, htm.Config{}), tm.RetryPolicy{})
+	if sys.Name() != "phased-tm" {
+		t.Errorf("Name = %q", sys.Name())
+	}
+	if sys.Memory() != m {
+		t.Error("Memory accessor broken")
+	}
+}
+
+func TestMismatchedDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	phasedtm.New(mem.New(1024), htm.NewDevice(mem.New(1024), htm.Config{}), tm.RetryPolicy{})
+}
+
+// TestPhaseSwitchAndBack: a capacity-bound transaction forces the software
+// phase; subsequent small transactions must eventually return to the
+// hardware phase.
+func TestPhaseSwitchAndBack(t *testing.T) {
+	m := mem.New(1 << 20)
+	dev := htm.NewDevice(m, htm.Config{WriteCapacityLines: 4})
+	dev.SetActiveThreads(1)
+	sys := phasedtm.New(m, dev, tm.RetryPolicy{})
+	th := sys.NewThread()
+	defer th.Close()
+	var base, small mem.Addr
+	if err := th.Run(func(tx tm.Tx) error {
+		base = tx.Alloc(32 * mem.LineWords)
+		small = tx.Alloc(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity-bound: must run in the software phase.
+	if err := th.Run(func(tx tm.Tx) error {
+		for k := 0; k < 32; k++ {
+			tx.Store(base+mem.Addr(k*mem.LineWords), 1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if th.Stats().SlowPathCommits == 0 {
+		t.Fatal("oversized transaction did not use the software phase")
+	}
+	// Small transactions afterwards must recover the hardware phase.
+	fastBefore := th.Stats().FastPathCommits
+	for i := 0; i < 10; i++ {
+		if err := th.Run(func(tx tm.Tx) error {
+			tx.Store(small, tx.Load(small)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if th.Stats().FastPathCommits == fastBefore {
+		t.Error("system never switched back to the hardware phase")
+	}
+}
+
+// TestWholeSystemPaysForOneFallback demonstrates the phased weakness the
+// paper describes: while one thread keeps failing in hardware, other
+// threads' small transactions get dragged into the software phase.
+func TestWholeSystemPaysForOneFallback(t *testing.T) {
+	m := mem.New(1 << 20)
+	dev := htm.NewDevice(m, htm.Config{WriteCapacityLines: 4})
+	dev.SetActiveThreads(2)
+	sys := phasedtm.New(m, dev, tm.RetryPolicy{})
+	setup := sys.NewThread()
+	var big, small mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		big = tx.Alloc(32 * mem.LineWords)
+		small = tx.Alloc(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() { // permanent capacity-bound transactions
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = th.Run(func(tx tm.Tx) error {
+				for k := 0; k < 32; k++ {
+					tx.Store(big+mem.Addr(k*mem.LineWords), i)
+				}
+				return nil
+			})
+		}
+	}()
+	th := sys.NewThread()
+	defer th.Close()
+	for i := 0; i < 500; i++ {
+		if err := th.Run(func(tx tm.Tx) error {
+			tx.Store(small, tx.Load(small)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if got := m.LoadPlain(small); got != 500 {
+		t.Errorf("counter = %d, want 500", got)
+	}
+	if th.Stats().SlowPathCommits == 0 {
+		t.Error("small transactions never got dragged into the software phase — the phased cost did not manifest")
+	}
+}

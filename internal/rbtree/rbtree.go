@@ -1,0 +1,537 @@
+// Package rbtree implements the paper's microbenchmark data structure
+// (§3.5): a red-black tree with a put/get/delete key-value interface,
+// derived from the java.util.TreeMap implementation, operating entirely on
+// transactional memory through the tm.Tx interface. Every node access is a
+// transactional load or store, so the tree works unchanged over every TM
+// algorithm in this repository.
+package rbtree
+
+import (
+	"fmt"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// Node layout in transactional memory (6 words, one size class).
+const (
+	offKey = iota
+	offVal
+	offLeft
+	offRight
+	offParent
+	offColor
+	nodeWords
+)
+
+// Colors, following TreeMap's encoding (red = 0, black = 1).
+const (
+	red   = 0
+	black = 1
+)
+
+// Header layout: the tree is reachable through two words.
+const (
+	offRoot = iota
+	offSize
+	headerWords
+)
+
+// Tree is a handle onto a red-black tree living in transactional memory.
+// The handle itself is immutable and safely shared across threads; all
+// mutable state lives behind the header address.
+type Tree struct {
+	head mem.Addr
+}
+
+// New allocates an empty tree inside the current transaction.
+func New(tx tm.Tx) Tree {
+	h := tx.Alloc(headerWords)
+	return Tree{head: h}
+}
+
+// Attach wraps an existing tree header (e.g. one published through shared
+// memory by another thread).
+func Attach(head mem.Addr) Tree { return Tree{head: head} }
+
+// Head returns the tree's header address for publication.
+func (t Tree) Head() mem.Addr { return t.head }
+
+// Size returns the number of keys in the tree.
+func (t Tree) Size(tx tm.Tx) uint64 { return tx.Load(t.head + offSize) }
+
+func (t Tree) root(tx tm.Tx) mem.Addr { return mem.Addr(tx.Load(t.head + offRoot)) }
+
+func (t Tree) setRoot(tx tm.Tx, n mem.Addr) { tx.Store(t.head+offRoot, uint64(n)) }
+
+// nil-safe accessors, mirroring TreeMap's leftOf/rightOf/parentOf/colorOf.
+
+func leftOf(tx tm.Tx, n mem.Addr) mem.Addr {
+	if n == mem.Nil {
+		return mem.Nil
+	}
+	return mem.Addr(tx.Load(n + offLeft))
+}
+
+func rightOf(tx tm.Tx, n mem.Addr) mem.Addr {
+	if n == mem.Nil {
+		return mem.Nil
+	}
+	return mem.Addr(tx.Load(n + offRight))
+}
+
+func parentOf(tx tm.Tx, n mem.Addr) mem.Addr {
+	if n == mem.Nil {
+		return mem.Nil
+	}
+	return mem.Addr(tx.Load(n + offParent))
+}
+
+func colorOf(tx tm.Tx, n mem.Addr) uint64 {
+	if n == mem.Nil {
+		return black // nil leaves are black
+	}
+	return tx.Load(n + offColor)
+}
+
+func setColor(tx tm.Tx, n mem.Addr, c uint64) {
+	if n != mem.Nil {
+		tx.Store(n+offColor, c)
+	}
+}
+
+// Get returns the value stored under key.
+func (t Tree) Get(tx tm.Tx, key uint64) (uint64, bool) {
+	n := t.root(tx)
+	for n != mem.Nil {
+		k := tx.Load(n + offKey)
+		switch {
+		case key < k:
+			n = mem.Addr(tx.Load(n + offLeft))
+		case key > k:
+			n = mem.Addr(tx.Load(n + offRight))
+		default:
+			return tx.Load(n + offVal), true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (t Tree) Contains(tx tm.Tx, key uint64) bool {
+	_, ok := t.Get(tx, key)
+	return ok
+}
+
+// Put inserts or replaces the value under key, returning the previous value
+// if one was replaced.
+func (t Tree) Put(tx tm.Tx, key, value uint64) (prev uint64, replaced bool) {
+	n := t.root(tx)
+	if n == mem.Nil {
+		fresh := t.newNode(tx, key, value, mem.Nil)
+		t.setRoot(tx, fresh)
+		tx.Store(t.head+offSize, t.Size(tx)+1)
+		return 0, false
+	}
+	var parent mem.Addr
+	var wentLeft bool
+	for n != mem.Nil {
+		parent = n
+		k := tx.Load(n + offKey)
+		switch {
+		case key < k:
+			n = mem.Addr(tx.Load(n + offLeft))
+			wentLeft = true
+		case key > k:
+			n = mem.Addr(tx.Load(n + offRight))
+			wentLeft = false
+		default:
+			old := tx.Load(n + offVal)
+			tx.Store(n+offVal, value)
+			return old, true
+		}
+	}
+	fresh := t.newNode(tx, key, value, parent)
+	if wentLeft {
+		tx.Store(parent+offLeft, uint64(fresh))
+	} else {
+		tx.Store(parent+offRight, uint64(fresh))
+	}
+	t.fixAfterInsertion(tx, fresh)
+	tx.Store(t.head+offSize, t.Size(tx)+1)
+	return 0, false
+}
+
+func (t Tree) newNode(tx tm.Tx, key, value uint64, parent mem.Addr) mem.Addr {
+	n := tx.Alloc(nodeWords)
+	tx.Store(n+offKey, key)
+	tx.Store(n+offVal, value)
+	tx.Store(n+offParent, uint64(parent))
+	tx.Store(n+offColor, black) // TreeMap creates entries black; fixup recolors
+	return n
+}
+
+func (t Tree) rotateLeft(tx tm.Tx, p mem.Addr) {
+	if p == mem.Nil {
+		return
+	}
+	r := mem.Addr(tx.Load(p + offRight))
+	rl := mem.Addr(tx.Load(r + offLeft))
+	tx.Store(p+offRight, uint64(rl))
+	if rl != mem.Nil {
+		tx.Store(rl+offParent, uint64(p))
+	}
+	pp := mem.Addr(tx.Load(p + offParent))
+	tx.Store(r+offParent, uint64(pp))
+	if pp == mem.Nil {
+		t.setRoot(tx, r)
+	} else if mem.Addr(tx.Load(pp+offLeft)) == p {
+		tx.Store(pp+offLeft, uint64(r))
+	} else {
+		tx.Store(pp+offRight, uint64(r))
+	}
+	tx.Store(r+offLeft, uint64(p))
+	tx.Store(p+offParent, uint64(r))
+}
+
+func (t Tree) rotateRight(tx tm.Tx, p mem.Addr) {
+	if p == mem.Nil {
+		return
+	}
+	l := mem.Addr(tx.Load(p + offLeft))
+	lr := mem.Addr(tx.Load(l + offRight))
+	tx.Store(p+offLeft, uint64(lr))
+	if lr != mem.Nil {
+		tx.Store(lr+offParent, uint64(p))
+	}
+	pp := mem.Addr(tx.Load(p + offParent))
+	tx.Store(l+offParent, uint64(pp))
+	if pp == mem.Nil {
+		t.setRoot(tx, l)
+	} else if mem.Addr(tx.Load(pp+offRight)) == p {
+		tx.Store(pp+offRight, uint64(l))
+	} else {
+		tx.Store(pp+offLeft, uint64(l))
+	}
+	tx.Store(l+offRight, uint64(p))
+	tx.Store(p+offParent, uint64(l))
+}
+
+func (t Tree) fixAfterInsertion(tx tm.Tx, x mem.Addr) {
+	tx.Store(x+offColor, red)
+	for x != mem.Nil && x != t.root(tx) && colorOf(tx, parentOf(tx, x)) == red {
+		if parentOf(tx, x) == leftOf(tx, parentOf(tx, parentOf(tx, x))) {
+			y := rightOf(tx, parentOf(tx, parentOf(tx, x)))
+			if colorOf(tx, y) == red {
+				setColor(tx, parentOf(tx, x), black)
+				setColor(tx, y, black)
+				setColor(tx, parentOf(tx, parentOf(tx, x)), red)
+				x = parentOf(tx, parentOf(tx, x))
+			} else {
+				if x == rightOf(tx, parentOf(tx, x)) {
+					x = parentOf(tx, x)
+					t.rotateLeft(tx, x)
+				}
+				setColor(tx, parentOf(tx, x), black)
+				setColor(tx, parentOf(tx, parentOf(tx, x)), red)
+				t.rotateRight(tx, parentOf(tx, parentOf(tx, x)))
+			}
+		} else {
+			y := leftOf(tx, parentOf(tx, parentOf(tx, x)))
+			if colorOf(tx, y) == red {
+				setColor(tx, parentOf(tx, x), black)
+				setColor(tx, y, black)
+				setColor(tx, parentOf(tx, parentOf(tx, x)), red)
+				x = parentOf(tx, parentOf(tx, x))
+			} else {
+				if x == leftOf(tx, parentOf(tx, x)) {
+					x = parentOf(tx, x)
+					t.rotateRight(tx, x)
+				}
+				setColor(tx, parentOf(tx, x), black)
+				setColor(tx, parentOf(tx, parentOf(tx, x)), red)
+				t.rotateLeft(tx, parentOf(tx, parentOf(tx, x)))
+			}
+		}
+	}
+	setColor(tx, t.root(tx), black)
+}
+
+// successor returns the in-order successor of n (TreeMap's successor()).
+func successor(tx tm.Tx, n mem.Addr) mem.Addr {
+	if n == mem.Nil {
+		return mem.Nil
+	}
+	if r := rightOf(tx, n); r != mem.Nil {
+		p := r
+		for leftOf(tx, p) != mem.Nil {
+			p = leftOf(tx, p)
+		}
+		return p
+	}
+	p := parentOf(tx, n)
+	ch := n
+	for p != mem.Nil && ch == rightOf(tx, p) {
+		ch = p
+		p = parentOf(tx, p)
+	}
+	return p
+}
+
+// Delete removes key, returning its value if it was present. The node's
+// memory is released through the transaction (reclaimed after commit plus a
+// grace period).
+func (t Tree) Delete(tx tm.Tx, key uint64) (uint64, bool) {
+	p := t.root(tx)
+	for p != mem.Nil {
+		k := tx.Load(p + offKey)
+		switch {
+		case key < k:
+			p = mem.Addr(tx.Load(p + offLeft))
+		case key > k:
+			p = mem.Addr(tx.Load(p + offRight))
+		default:
+			val := tx.Load(p + offVal)
+			t.deleteEntry(tx, p)
+			tx.Store(t.head+offSize, t.Size(tx)-1)
+			return val, true
+		}
+	}
+	return 0, false
+}
+
+// deleteEntry is TreeMap's deleteEntry: swap with successor when the node
+// has two children, splice out, and rebalance.
+func (t Tree) deleteEntry(tx tm.Tx, p mem.Addr) {
+	if leftOf(tx, p) != mem.Nil && rightOf(tx, p) != mem.Nil {
+		s := successor(tx, p)
+		tx.Store(p+offKey, tx.Load(s+offKey))
+		tx.Store(p+offVal, tx.Load(s+offVal))
+		p = s
+	}
+	replacement := leftOf(tx, p)
+	if replacement == mem.Nil {
+		replacement = rightOf(tx, p)
+	}
+	if replacement != mem.Nil {
+		pp := parentOf(tx, p)
+		tx.Store(replacement+offParent, uint64(pp))
+		if pp == mem.Nil {
+			t.setRoot(tx, replacement)
+		} else if p == leftOf(tx, pp) {
+			tx.Store(pp+offLeft, uint64(replacement))
+		} else {
+			tx.Store(pp+offRight, uint64(replacement))
+		}
+		tx.Store(p+offLeft, 0)
+		tx.Store(p+offRight, 0)
+		tx.Store(p+offParent, 0)
+		if colorOf(tx, p) == black {
+			t.fixAfterDeletion(tx, replacement)
+		}
+	} else if parentOf(tx, p) == mem.Nil {
+		t.setRoot(tx, mem.Nil)
+	} else {
+		if colorOf(tx, p) == black {
+			t.fixAfterDeletion(tx, p)
+		}
+		pp := parentOf(tx, p)
+		if pp != mem.Nil {
+			if p == leftOf(tx, pp) {
+				tx.Store(pp+offLeft, 0)
+			} else if p == rightOf(tx, pp) {
+				tx.Store(pp+offRight, 0)
+			}
+			tx.Store(p+offParent, 0)
+		}
+	}
+	tx.Free(p, nodeWords)
+}
+
+func (t Tree) fixAfterDeletion(tx tm.Tx, x mem.Addr) {
+	for x != t.root(tx) && colorOf(tx, x) == black {
+		if x == leftOf(tx, parentOf(tx, x)) {
+			sib := rightOf(tx, parentOf(tx, x))
+			if colorOf(tx, sib) == red {
+				setColor(tx, sib, black)
+				setColor(tx, parentOf(tx, x), red)
+				t.rotateLeft(tx, parentOf(tx, x))
+				sib = rightOf(tx, parentOf(tx, x))
+			}
+			if colorOf(tx, leftOf(tx, sib)) == black && colorOf(tx, rightOf(tx, sib)) == black {
+				setColor(tx, sib, red)
+				x = parentOf(tx, x)
+			} else {
+				if colorOf(tx, rightOf(tx, sib)) == black {
+					setColor(tx, leftOf(tx, sib), black)
+					setColor(tx, sib, red)
+					t.rotateRight(tx, sib)
+					sib = rightOf(tx, parentOf(tx, x))
+				}
+				setColor(tx, sib, colorOf(tx, parentOf(tx, x)))
+				setColor(tx, parentOf(tx, x), black)
+				setColor(tx, rightOf(tx, sib), black)
+				t.rotateLeft(tx, parentOf(tx, x))
+				x = t.root(tx)
+			}
+		} else {
+			sib := leftOf(tx, parentOf(tx, x))
+			if colorOf(tx, sib) == red {
+				setColor(tx, sib, black)
+				setColor(tx, parentOf(tx, x), red)
+				t.rotateRight(tx, parentOf(tx, x))
+				sib = leftOf(tx, parentOf(tx, x))
+			}
+			if colorOf(tx, rightOf(tx, sib)) == black && colorOf(tx, leftOf(tx, sib)) == black {
+				setColor(tx, sib, red)
+				x = parentOf(tx, x)
+			} else {
+				if colorOf(tx, leftOf(tx, sib)) == black {
+					setColor(tx, rightOf(tx, sib), black)
+					setColor(tx, sib, red)
+					t.rotateLeft(tx, sib)
+					sib = leftOf(tx, parentOf(tx, x))
+				}
+				setColor(tx, sib, colorOf(tx, parentOf(tx, x)))
+				setColor(tx, parentOf(tx, x), black)
+				setColor(tx, leftOf(tx, sib), black)
+				t.rotateRight(tx, parentOf(tx, x))
+				x = t.root(tx)
+			}
+		}
+	}
+	setColor(tx, x, black)
+}
+
+// Min returns the smallest key and its value.
+func (t Tree) Min(tx tm.Tx) (key, value uint64, ok bool) {
+	n := t.root(tx)
+	if n == mem.Nil {
+		return 0, 0, false
+	}
+	for leftOf(tx, n) != mem.Nil {
+		n = leftOf(tx, n)
+	}
+	return tx.Load(n + offKey), tx.Load(n + offVal), true
+}
+
+// Max returns the largest key and its value.
+func (t Tree) Max(tx tm.Tx) (key, value uint64, ok bool) {
+	n := t.root(tx)
+	if n == mem.Nil {
+		return 0, 0, false
+	}
+	for rightOf(tx, n) != mem.Nil {
+		n = rightOf(tx, n)
+	}
+	return tx.Load(n + offKey), tx.Load(n + offVal), true
+}
+
+// Range visits every entry with lo <= key <= hi in ascending order; visit
+// returning false stops the walk early.
+func (t Tree) Range(tx tm.Tx, lo, hi uint64, visit func(key, value uint64) bool) {
+	var walk func(n mem.Addr) bool
+	walk = func(n mem.Addr) bool {
+		if n == mem.Nil {
+			return true
+		}
+		k := tx.Load(n + offKey)
+		if k > lo {
+			if !walk(leftOf(tx, n)) {
+				return false
+			}
+		}
+		if k >= lo && k <= hi {
+			if !visit(k, tx.Load(n+offVal)) {
+				return false
+			}
+		}
+		if k < hi {
+			return walk(rightOf(tx, n))
+		}
+		return true
+	}
+	walk(t.root(tx))
+}
+
+// Keys returns the keys in ascending order. Intended for tests and
+// examples; it reads the whole tree inside the transaction.
+func (t Tree) Keys(tx tm.Tx) []uint64 {
+	var out []uint64
+	var walk func(n mem.Addr)
+	walk = func(n mem.Addr) {
+		if n == mem.Nil {
+			return
+		}
+		walk(mem.Addr(tx.Load(n + offLeft)))
+		out = append(out, tx.Load(n+offKey))
+		walk(mem.Addr(tx.Load(n + offRight)))
+	}
+	walk(t.root(tx))
+	return out
+}
+
+// CheckInvariants verifies the binary-search-tree ordering, the red-black
+// coloring rules, parent-pointer integrity and the size counter. It returns
+// the first violation found.
+func (t Tree) CheckInvariants(tx tm.Tx) error {
+	root := t.root(tx)
+	if root == mem.Nil {
+		if s := t.Size(tx); s != 0 {
+			return fmt.Errorf("rbtree: empty tree with size %d", s)
+		}
+		return nil
+	}
+	if colorOf(tx, root) != black {
+		return fmt.Errorf("rbtree: root is red")
+	}
+	count := uint64(0)
+	var blackHeight int
+	var check func(n mem.Addr, min, max uint64, haveMin, haveMax bool, blacks int) error
+	check = func(n mem.Addr, min, max uint64, haveMin, haveMax bool, blacks int) error {
+		if n == mem.Nil {
+			if blackHeight == 0 {
+				blackHeight = blacks
+			} else if blacks != blackHeight {
+				return fmt.Errorf("rbtree: black-height mismatch (%d vs %d)", blacks, blackHeight)
+			}
+			return nil
+		}
+		count++
+		k := tx.Load(n + offKey)
+		if haveMin && k <= min {
+			return fmt.Errorf("rbtree: key %d violates BST order (<= %d)", k, min)
+		}
+		if haveMax && k >= max {
+			return fmt.Errorf("rbtree: key %d violates BST order (>= %d)", k, max)
+		}
+		c := colorOf(tx, n)
+		if c != red && c != black {
+			return fmt.Errorf("rbtree: node %d has invalid color %d", n, c)
+		}
+		if c == red {
+			if colorOf(tx, leftOf(tx, n)) == red || colorOf(tx, rightOf(tx, n)) == red {
+				return fmt.Errorf("rbtree: red node %d has a red child", n)
+			}
+		} else {
+			blacks++
+		}
+		if l := leftOf(tx, n); l != mem.Nil && parentOf(tx, l) != n {
+			return fmt.Errorf("rbtree: left child of %d has wrong parent", n)
+		}
+		if r := rightOf(tx, n); r != mem.Nil && parentOf(tx, r) != n {
+			return fmt.Errorf("rbtree: right child of %d has wrong parent", n)
+		}
+		if err := check(leftOf(tx, n), min, k, haveMin, true, blacks); err != nil {
+			return err
+		}
+		return check(rightOf(tx, n), k, max, true, haveMax, blacks)
+	}
+	if err := check(root, 0, 0, false, false, 0); err != nil {
+		return err
+	}
+	if s := t.Size(tx); s != count {
+		return fmt.Errorf("rbtree: size counter %d but %d nodes reachable", s, count)
+	}
+	return nil
+}

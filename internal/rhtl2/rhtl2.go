@@ -1,0 +1,494 @@
+// Package rhtl2 implements RH-TL2, the reduced-hardware TL2 hybrid of
+// Matveev & Shavit's earlier work ("Reduced Hardware Transactions", [18] in
+// the paper), which §1.2 discusses as RH NOrec's predecessor. It is
+// included so the drawbacks that motivated RH NOrec are demonstrable:
+//
+//  1. The fast path's reads are uninstrumented, but its *writes* are not:
+//     every written location's stripe metadata must be updated inside the
+//     hardware transaction before it commits.
+//  2. The mixed slow path commits with one small hardware transaction that
+//     must hold both the read-set validation and the write-back, so its
+//     footprint — and with it the failure probability — is much larger
+//     than RH NOrec's postfix (which holds only the writes).
+//  3. The scheme provides no privatization (TL2-style stripe metadata,
+//     lazy write-back).
+//
+// The stripe table lives in transactional memory so fast-path hardware
+// transactions can update it speculatively.
+package rhtl2
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// DefaultStripes is the default stripe-table size.
+const DefaultStripes = 1 << 14
+
+// System is an RH-TL2 hybrid TM over one shared memory.
+type System struct {
+	m      *mem.Memory
+	dev    *htm.Device
+	rec    *tm.Reclaimer
+	policy tm.RetryPolicy
+
+	// gv is the global version clock (even values; odd = a software
+	// commit's stripe-lock phase is in progress is not used here — locks
+	// are per stripe).
+	gv mem.Addr
+	// stripes is a table of version words in transactional memory:
+	// even = version, odd = locked (owner threadID<<1|1).
+	stripes mem.Addr
+	mask    uint64
+	// gHTMLock aborts all hardware fast paths while a software-fallback
+	// commit performs its non-atomic write-back (the hardware commit
+	// transaction needs no such lock — its write-back is atomic).
+	gHTMLock mem.Addr
+	// serialLock is the starvation escape, as in the NOrec hybrids.
+	serialLock mem.Addr
+
+	nextThreadID atomic.Uint64
+}
+
+// New creates an RH-TL2 system. dev must speculate over m; stripeCount 0
+// takes the default. Zero policy fields take the paper's defaults.
+func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy, stripeCount int) *System {
+	if dev.Memory() != m {
+		panic("rhtl2: device bound to a different memory")
+	}
+	if stripeCount <= 0 {
+		stripeCount = DefaultStripes
+	}
+	n := 1
+	for n < stripeCount {
+		n <<= 1
+	}
+	tc := m.NewThreadCache()
+	return &System{
+		m:          m,
+		dev:        dev,
+		rec:        tm.NewReclaimer(),
+		policy:     policy.WithDefaults(),
+		gv:         tc.Alloc(mem.LineWords),
+		stripes:    tc.Alloc(n),
+		mask:       uint64(n - 1),
+		gHTMLock:   tc.Alloc(mem.LineWords),
+		serialLock: tc.Alloc(mem.LineWords),
+	}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "rh-tl2" }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+func (s *System) stripeOf(a mem.Addr) mem.Addr {
+	return s.stripes + mem.Addr(uint64(mem.LineOf(a))&s.mask)
+}
+
+// NewThread implements tm.System.
+func (s *System) NewThread() tm.Thread {
+	t := &thread{
+		sys:  s,
+		base: tm.NewThreadBase(s.m, s.rec),
+		htx:  s.dev.NewTxn(),
+		id:   s.nextThreadID.Add(1),
+	}
+	t.base.Retry.InitRetry(s.policy)
+	return t
+}
+
+type thread struct {
+	sys  *System
+	base tm.ThreadBase
+	htx  *htm.Txn
+	id   uint64
+	ro   bool
+
+	// Fast-path write instrumentation: the stripes written this attempt.
+	fastStripes []mem.Addr
+
+	// Slow-path (TL2 lazy) state.
+	rv         uint64
+	readSet    []mem.Addr // stripe addresses read
+	readSeen   map[mem.Addr]bool
+	writeA     []mem.Addr
+	writeV     []uint64
+	writeIdx   map[mem.Addr]int
+	serialHeld bool
+}
+
+func (t *thread) Stats() *tm.Stats { return &t.base.St }
+func (t *thread) Close()           { t.base.CloseBase() }
+
+func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
+func (t *thread) RunReadOnly(fn func(tm.Tx) error) error { return t.run(fn, true) }
+
+func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
+	if nested := t.base.Nested(); nested != nil {
+		// Flat nesting: execute inline in the enclosing transaction.
+		return fn(nested)
+	}
+	t.base.BeginTxn()
+	defer t.base.EndTxn()
+	t.ro = ro
+	retries := 0
+	for {
+		err, ab := t.fastAttempt(fn)
+		if ab == nil {
+			if err == nil {
+				t.base.Retry.OnFastCommit(retries)
+			}
+			return err
+		}
+		t.recordAbort(ab)
+		retries++
+		if !ab.MayRetry() && ab.Code != htm.Explicit {
+			break
+		}
+		if retries >= t.base.Retry.Budget() {
+			break
+		}
+		if ab.Code == htm.Conflict {
+			t.sys.policy.Backoff(retries - 1)
+		}
+	}
+	t.base.Retry.OnFallback()
+	t.base.St.Fallbacks++
+	return t.slowRun(fn)
+}
+
+func (t *thread) recordAbort(ab *htm.Abort) {
+	switch ab.Code {
+	case htm.Conflict:
+		t.base.St.HTMConflictAborts++
+	case htm.Capacity:
+		t.base.St.HTMCapacityAborts++
+	case htm.Explicit:
+		t.base.St.HTMExplicitAborts++
+	case htm.Spurious:
+		t.base.St.HTMSpuriousAborts++
+	}
+}
+
+// fastAttempt: reads uninstrumented; writes instrumented — RH-TL2's first
+// drawback. At commit the transaction bumps every written stripe and the
+// global version clock inside the speculation.
+func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := htm.AsAbort(r); ok {
+				t.base.AbortCleanup()
+				err, ab = nil, a
+				return
+			}
+			t.htx.Cancel()
+			t.base.AbortCleanup()
+			if tm.IsRestart(r) {
+				err, ab = nil, &htm.Abort{Code: htm.Conflict}
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.fastStripes = t.fastStripes[:0]
+	t.htx.Begin()
+	if t.htx.Load(t.sys.gHTMLock) != 0 {
+		t.htx.Abort(4)
+	}
+	if uerr := t.base.CallUser(fn, fastTx{t}); uerr != nil {
+		t.htx.Cancel()
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, nil
+	}
+	if len(t.fastStripes) > 0 {
+		if t.htx.Load(t.sys.serialLock) != 0 {
+			t.htx.Abort(1)
+		}
+		// Write instrumentation: publish a new version for every written
+		// stripe. Reading gv here puts it in the speculation's tracking
+		// set — concurrent writers conflict on it, one of RH-TL2's costs.
+		wv := t.htx.Load(t.sys.gv) + 2
+		for _, sa := range t.fastStripes {
+			if t.htx.Load(sa)&1 == 1 {
+				t.htx.Abort(2) // stripe locked by a software commit
+			}
+			t.htx.Store(sa, wv)
+		}
+		t.htx.Store(t.sys.gv, wv)
+	}
+	t.htx.Commit()
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.FastPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, nil
+}
+
+// slowRun drives lazy-TL2 slow-path attempts with the serial escape.
+func (t *thread) slowRun(fn func(tm.Tx) error) error {
+	m := t.base.M
+	restarts := 0
+	for {
+		t.base.St.SlowPathStarts++
+		err, restarted := t.slowAttempt(fn)
+		if !restarted {
+			if t.serialHeld {
+				m.StorePlain(t.sys.serialLock, 0)
+				t.serialHeld = false
+			}
+			return err
+		}
+		t.base.St.SlowPathRestarts++
+		restarts++
+		if restarts >= t.sys.policy.MaxSlowPathRestarts && !t.serialHeld {
+			for !m.CASPlain(t.sys.serialLock, 0, 1) {
+				runtime.Gosched()
+			}
+			t.serialHeld = true
+		}
+	}
+}
+
+func (t *thread) slowAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, isAbort := htm.AsAbort(r)
+			if isAbort {
+				t.recordAbort(ab)
+			} else if t.htx.Active() {
+				t.htx.Cancel()
+			}
+			t.base.AbortCleanup()
+			if isAbort || tm.IsRestart(r) {
+				err, restarted = nil, true
+				return
+			}
+			panic(r)
+		}
+	}()
+	m := t.base.M
+	t.rv = m.LoadPlain(t.sys.gv)
+	for t.rv&1 == 1 {
+		runtime.Gosched()
+		t.rv = m.LoadPlain(t.sys.gv)
+	}
+	t.readSet = t.readSet[:0]
+	clear(t.readSeen)
+	t.writeA = t.writeA[:0]
+	t.writeV = t.writeV[:0]
+	clear(t.writeIdx)
+	if uerr := t.base.CallUser(fn, slowTx{t}); uerr != nil {
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return uerr, false
+	}
+	if len(t.writeA) > 0 {
+		t.commitSlow()
+	}
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.SlowPathCommits++
+	if t.ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil, false
+}
+
+// commitSlow is RH-TL2's second drawback made concrete: one small hardware
+// transaction revalidates the read-set stripes AND performs the write-back,
+// so its footprint is reads+writes (the stats reuse the Postfix counters
+// for it). When it fails, the commit falls back to the classic TL2
+// software commit with stripe locks.
+func (t *thread) commitSlow() {
+	t.base.St.PostfixAttempts++
+	committed := func() (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ab, isAbort := htm.AsAbort(r); isAbort {
+					t.recordAbort(ab)
+					ok = false
+					return
+				}
+				panic(r)
+			}
+		}()
+		t.htx.Begin()
+		for _, sa := range t.readSet {
+			s := t.htx.Load(sa)
+			if s&1 == 1 || s > t.rv {
+				t.htx.Abort(3)
+			}
+		}
+		wv := t.htx.Load(t.sys.gv) + 2
+		for i, a := range t.writeA {
+			t.htx.Store(a, t.writeV[i])
+			t.htx.Store(t.sys.stripeOf(a), wv)
+		}
+		t.htx.Store(t.sys.gv, wv)
+		t.htx.Commit()
+		return true
+	}()
+	if committed {
+		t.base.St.PostfixCommits++
+		return
+	}
+	t.softwareCommit()
+}
+
+// softwareCommit is the classic TL2 lazy commit: lock write stripes,
+// advance gv, validate reads, write back, release.
+func (t *thread) softwareCommit() {
+	m := t.base.M
+	// Lock every write stripe (deduplicated); on failure release and
+	// restart the whole attempt.
+	locked := make([]mem.Addr, 0, len(t.writeA))
+	lockedVals := make([]uint64, 0, len(t.writeA))
+	isLocked := func(sa mem.Addr) bool {
+		for _, l := range locked {
+			if l == sa {
+				return true
+			}
+		}
+		return false
+	}
+	release := func() {
+		for i, sa := range locked {
+			m.StorePlain(sa, lockedVals[i])
+		}
+	}
+	for _, a := range t.writeA {
+		sa := t.sys.stripeOf(a)
+		if isLocked(sa) {
+			continue
+		}
+		v := m.LoadPlain(sa)
+		if v&1 == 1 || v > t.rv || !m.CASPlain(sa, v, t.id<<1|1) {
+			release()
+			tm.Restart()
+		}
+		locked = append(locked, sa)
+		lockedVals = append(lockedVals, v)
+	}
+	wv := m.AddPlain(t.sys.gv, 2)
+	// Validate the read set.
+	for _, sa := range t.readSet {
+		s := m.LoadPlain(sa)
+		if s&1 == 1 {
+			if !isLocked(sa) {
+				release()
+				tm.Restart()
+			}
+			continue
+		}
+		if s > t.rv {
+			release()
+			tm.Restart()
+		}
+	}
+	// The write-back is not atomic, so hardware fast paths must not run
+	// across it: take the HTM lock (their subscription aborts them), write
+	// back, release the stripes at the new version, then free the lock.
+	m.StorePlain(t.sys.gHTMLock, 1)
+	for i, a := range t.writeA {
+		m.StorePlain(a, t.writeV[i])
+	}
+	for _, sa := range locked {
+		m.StorePlain(sa, wv)
+	}
+	m.StorePlain(t.sys.gHTMLock, 0)
+}
+
+// fastTx: uninstrumented reads, instrumented writes.
+type fastTx struct{ t *thread }
+
+func (v fastTx) Load(a mem.Addr) uint64 { return v.t.htx.Load(a) }
+
+func (v fastTx) Store(a mem.Addr, val uint64) {
+	t := v.t
+	if t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	sa := t.sys.stripeOf(a)
+	found := false
+	for _, x := range t.fastStripes {
+		if x == sa {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.fastStripes = append(t.fastStripes, sa)
+	}
+	t.htx.Store(a, val)
+}
+
+func (v fastTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v fastTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }
+
+// slowTx is the lazy TL2 software view.
+type slowTx struct{ t *thread }
+
+func (v slowTx) Load(a mem.Addr) uint64 {
+	t := v.t
+	t.base.InstrumentedAccess()
+	if t.writeIdx != nil {
+		if i, ok := t.writeIdx[a]; ok {
+			return t.writeV[i]
+		}
+	}
+	m := t.base.M
+	sa := t.sys.stripeOf(a)
+	for {
+		s1 := m.LoadPlain(sa)
+		if s1&1 == 1 {
+			tm.Restart()
+		}
+		val := m.LoadPlain(a)
+		s2 := m.LoadPlain(sa)
+		if s1 != s2 {
+			runtime.Gosched()
+			continue
+		}
+		if s1 > t.rv {
+			tm.Restart()
+		}
+		if t.readSeen == nil {
+			t.readSeen = make(map[mem.Addr]bool, 64)
+		}
+		if !t.readSeen[sa] {
+			t.readSeen[sa] = true
+			t.readSet = append(t.readSet, sa)
+		}
+		return val
+	}
+}
+
+func (v slowTx) Store(a mem.Addr, val uint64) {
+	t := v.t
+	if t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	t.base.InstrumentedAccess()
+	if t.writeIdx == nil {
+		t.writeIdx = make(map[mem.Addr]int, 32)
+	}
+	if i, ok := t.writeIdx[a]; ok {
+		t.writeV[i] = val
+		return
+	}
+	t.writeIdx[a] = len(t.writeA)
+	t.writeA = append(t.writeA, a)
+	t.writeV = append(t.writeV, val)
+}
+
+func (v slowTx) Alloc(n int) mem.Addr   { return v.t.base.TxAlloc(n) }
+func (v slowTx) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }

@@ -1,0 +1,110 @@
+// Package serial implements the degenerate baseline TM: a single global
+// mutex serializes every transaction. It trivially provides opacity,
+// serializability and privatization, scales not at all, and doubles as the
+// correctness oracle for differential tests of the real algorithms.
+package serial
+
+import (
+	"sync"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// System is a global-lock TM over one shared memory.
+type System struct {
+	m   *mem.Memory
+	rec *tm.Reclaimer
+	mu  sync.Mutex
+}
+
+// New creates a serial TM over m.
+func New(m *mem.Memory) *System {
+	return &System{m: m, rec: tm.NewReclaimer()}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "serial" }
+
+// Memory implements tm.System.
+func (s *System) Memory() *mem.Memory { return s.m }
+
+// NewThread implements tm.System.
+func (s *System) NewThread() tm.Thread {
+	return &thread{sys: s, base: tm.NewThreadBase(s.m, s.rec)}
+}
+
+type thread struct {
+	sys  *System
+	base tm.ThreadBase
+	undo []mem.WriteEntry
+	ro   bool
+}
+
+// txView adapts the thread to tm.Tx while the lock is held.
+type txView struct{ t *thread }
+
+func (v txView) Load(a mem.Addr) uint64 { return v.t.base.M.LoadPlain(a) }
+
+func (v txView) Store(a mem.Addr, val uint64) {
+	if v.t.ro {
+		panic(tm.ErrStoreInReadOnly)
+	}
+	v.t.undo = append(v.t.undo, mem.WriteEntry{Addr: a, Value: v.t.base.M.LoadPlain(a)})
+	v.t.base.M.StorePlain(a, val)
+}
+
+func (v txView) Alloc(n int) mem.Addr { return v.t.base.TxAlloc(n) }
+
+func (v txView) Free(a mem.Addr, n int) { v.t.base.TxFree(a, n) }
+
+func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
+func (t *thread) RunReadOnly(fn func(tm.Tx) error) error { return t.run(fn, true) }
+
+func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
+	if nested := t.base.Nested(); nested != nil {
+		// Flat nesting: execute inline in the enclosing transaction.
+		return fn(nested)
+	}
+	t.base.BeginTxn()
+	defer t.base.EndTxn()
+	t.sys.mu.Lock()
+	defer t.sys.mu.Unlock()
+	t.ro = ro
+	t.undo = t.undo[:0]
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.rollback()
+				t.base.AbortCleanup()
+				panic(r) // application panics and stray restarts surface
+			}
+		}()
+		return t.base.CallUser(fn, txView{t})
+	}()
+	if err != nil {
+		t.rollback()
+		t.base.AbortCleanup()
+		t.base.St.UserAborts++
+		return err
+	}
+	t.base.CommitCleanup()
+	t.base.St.Commits++
+	t.base.St.SerialCommits++
+	if ro {
+		t.base.St.ReadOnlyCommits++
+	}
+	return nil
+}
+
+// rollback undoes eager writes in reverse order.
+func (t *thread) rollback() {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.base.M.StorePlain(t.undo[i].Addr, t.undo[i].Value)
+	}
+	t.undo = t.undo[:0]
+}
+
+func (t *thread) Stats() *tm.Stats { return &t.base.St }
+
+func (t *thread) Close() { t.base.CloseBase() }

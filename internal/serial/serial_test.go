@@ -1,0 +1,101 @@
+package serial_test
+
+import (
+	"errors"
+	"testing"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/serial"
+	"rhnorec/internal/tm"
+	"rhnorec/internal/tmtest"
+)
+
+func factory(m *mem.Memory) tm.System { return serial.New(m) }
+
+func TestConformance(t *testing.T) {
+	tmtest.RunConformance(t, factory, tmtest.Options{})
+}
+
+func TestName(t *testing.T) {
+	if got := serial.New(mem.New(1024)).Name(); got != "serial" {
+		t.Errorf("Name = %q, want serial", got)
+	}
+}
+
+func TestMemoryAccessor(t *testing.T) {
+	m := mem.New(1024)
+	if serial.New(m).Memory() != m {
+		t.Error("Memory() did not return the underlying memory")
+	}
+}
+
+func TestUserAbortRollsBackEagerWritesInOrder(t *testing.T) {
+	m := mem.New(1 << 12)
+	sys := serial.New(m)
+	th := sys.NewThread()
+	defer th.Close()
+	var a mem.Addr
+	if err := th.Run(func(tx tm.Tx) error {
+		a = tx.Alloc(1)
+		tx.Store(a, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := th.Run(func(tx tm.Tx) error {
+		tx.Store(a, 2)
+		tx.Store(a, 3)
+		tx.Store(a, 4)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := m.LoadPlain(a); got != 1 {
+		t.Errorf("value = %d after rollback of chained writes, want 1", got)
+	}
+}
+
+func TestApplicationPanicPropagatesAndRollsBack(t *testing.T) {
+	m := mem.New(1 << 12)
+	sys := serial.New(m)
+	th := sys.NewThread()
+	defer th.Close()
+	var a mem.Addr
+	if err := th.Run(func(tx tm.Tx) error { a = tx.Alloc(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != "app bug" {
+				t.Errorf("recovered %v, want app bug", r)
+			}
+		}()
+		_ = th.Run(func(tx tm.Tx) error {
+			tx.Store(a, 9)
+			panic("app bug")
+		})
+	}()
+	if got := m.LoadPlain(a); got != 0 {
+		t.Errorf("value = %d after panic, want 0 (rolled back)", got)
+	}
+	// The thread must remain usable (lock released).
+	if err := th.Run(func(tx tm.Tx) error { tx.Store(a, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	m := mem.New(1 << 12)
+	sys := serial.New(m)
+	th := sys.NewThread()
+	defer th.Close()
+	_ = th.Run(func(tx tm.Tx) error { return nil })
+	_ = th.RunReadOnly(func(tx tm.Tx) error { return nil })
+	_ = th.Run(func(tx tm.Tx) error { return errors.New("x") })
+	s := th.Stats()
+	if s.Commits != 2 || s.SerialCommits != 2 || s.ReadOnlyCommits != 1 || s.UserAborts != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,40 @@
+package bayes_test
+
+import (
+	"testing"
+
+	"rhnorec/internal/stamp/bayes"
+	"rhnorec/internal/stamp/stamptest"
+	"rhnorec/internal/tm"
+)
+
+func TestIntegrityAcrossSystems(t *testing.T) {
+	for name, factory := range stamptest.Systems(1 << 22) {
+		app := bayes.New(bayes.Config{Vars: 48})
+		t.Run(name, func(t *testing.T) {
+			stamptest.Run(t, factory(), app,
+				func(th tm.Thread, seed int64) func() error {
+					w := app.NewWorker(th, seed)
+					return w.Op
+				},
+				app.CheckIntegrity, 4, 200)
+		})
+	}
+}
+
+func TestSingleThreadBuildsAcyclicGraph(t *testing.T) {
+	app := bayes.New(bayes.Config{Vars: 24})
+	sys := stamptest.Systems(1 << 20)["serial"]()
+	stamptest.Run(t, sys, app,
+		func(th tm.Thread, seed int64) func() error {
+			w := app.NewWorker(th, seed)
+			return w.Op
+		},
+		app.CheckIntegrity, 1, 1500)
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	if bayes.New(bayes.Config{}).Name() != "bayes" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,61 @@
+package genome_test
+
+import (
+	"testing"
+
+	"rhnorec/internal/stamp/genome"
+	"rhnorec/internal/stamp/stamptest"
+	"rhnorec/internal/tm"
+)
+
+func TestIntegrityAcrossSystems(t *testing.T) {
+	for name, factory := range stamptest.Systems(1 << 22) {
+		app := genome.New(genome.Config{GenomeLength: 512, SegmentLength: 8})
+		t.Run(name, func(t *testing.T) {
+			sys := factory()
+			stamptest.Run(t, sys, app,
+				func(th tm.Thread, seed int64) func() error {
+					w := app.NewWorker(th, seed)
+					return w.Op
+				},
+				app.CheckIntegrity, 4, 200)
+			th := sys.NewThread()
+			defer th.Close()
+			n, err := app.Segments(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Error("no segments discovered")
+			}
+		})
+	}
+}
+
+func TestDeduplicationIsStable(t *testing.T) {
+	// Processing the same genome exhaustively twice must not grow the map
+	// beyond the distinct-position count.
+	app := genome.New(genome.Config{GenomeLength: 128, SegmentLength: 8})
+	sys := stamptest.Systems(1 << 22)["serial"]()
+	stamptest.Run(t, sys, app,
+		func(th tm.Thread, seed int64) func() error {
+			w := app.NewWorker(th, seed)
+			return w.Op
+		},
+		app.CheckIntegrity, 1, 2000)
+	th := sys.NewThread()
+	defer th.Close()
+	n, err := app.Segments(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 128 {
+		t.Errorf("segments = %d > %d positions (dedup failed)", n, 128)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	if genome.New(genome.Config{}).Name() != "genome" {
+		t.Error("name")
+	}
+}

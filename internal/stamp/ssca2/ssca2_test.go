@@ -1,0 +1,45 @@
+package ssca2_test
+
+import (
+	"testing"
+
+	"rhnorec/internal/stamp/ssca2"
+	"rhnorec/internal/stamp/stamptest"
+	"rhnorec/internal/tm"
+)
+
+func TestIntegrityAcrossSystems(t *testing.T) {
+	for name, factory := range stamptest.Systems(1 << 22) {
+		app := ssca2.New(ssca2.Config{Nodes: 256})
+		t.Run(name, func(t *testing.T) {
+			stamptest.Run(t, factory(), app,
+				func(th tm.Thread, seed int64) func() error {
+					w := app.NewWorker(th, seed)
+					return w.Op
+				},
+				app.CheckIntegrity, 4, 250)
+			if app.Edges() != 4*250 {
+				t.Errorf("Edges = %d, want %d", app.Edges(), 4*250)
+			}
+		})
+	}
+}
+
+func TestAdjacencySaturation(t *testing.T) {
+	// With one node, the array fills and then slots get overwritten; the
+	// invariant must hold throughout.
+	app := ssca2.New(ssca2.Config{Nodes: 1})
+	sys := stamptest.Systems(1 << 20)["serial"]()
+	stamptest.Run(t, sys, app,
+		func(th tm.Thread, seed int64) func() error {
+			w := app.NewWorker(th, seed)
+			return w.Op
+		},
+		app.CheckIntegrity, 1, 100)
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	if ssca2.New(ssca2.Config{}).Name() != "ssca2" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,51 @@
+package yada_test
+
+import (
+	"testing"
+
+	"rhnorec/internal/stamp/stamptest"
+	"rhnorec/internal/stamp/yada"
+	"rhnorec/internal/tm"
+)
+
+func TestIntegrityAcrossSystems(t *testing.T) {
+	for name, factory := range stamptest.Systems(1 << 22) {
+		app := yada.New(yada.Config{Regions: 128, Degree: 4, GoodQuality: 50})
+		t.Run(name, func(t *testing.T) {
+			stamptest.Run(t, factory(), app,
+				func(th tm.Thread, seed int64) func() error {
+					w := app.NewWorker(th, seed)
+					return w.Op
+				},
+				app.CheckIntegrity, 4, 150)
+		})
+	}
+}
+
+func TestRefinementDrainsQueue(t *testing.T) {
+	app := yada.New(yada.Config{Regions: 32, Degree: 4, GoodQuality: 50})
+	sys := stamptest.Systems(1 << 20)["serial"]()
+	stamptest.Run(t, sys, app,
+		func(th tm.Thread, seed int64) func() error {
+			w := app.NewWorker(th, seed)
+			return w.Op
+		},
+		app.CheckIntegrity, 1, 2000)
+	// After many single-threaded refinement steps the queue depth must be
+	// bounded by the mesh size (no unbounded re-queueing).
+	th := sys.NewThread()
+	defer th.Close()
+	depth, err := app.QueueDepth(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth > 32 {
+		t.Errorf("queue depth %d exceeds mesh size", depth)
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	if yada.New(yada.Config{}).Name() != "yada" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,193 @@
+package tl2_test
+
+import (
+	"sync"
+	"testing"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tl2"
+	"rhnorec/internal/tm"
+	"rhnorec/internal/tmtest"
+)
+
+func factory(m *mem.Memory) tm.System { return tl2.New(m, 0) }
+
+func TestConformance(t *testing.T) {
+	// TL2 does not claim privatization safety (see package comment and the
+	// paper's discussion of RH-TL2's limitations).
+	tmtest.RunConformance(t, factory, tmtest.Options{SkipPrivatization: true})
+}
+
+func TestName(t *testing.T) {
+	m := mem.New(1024)
+	sys := tl2.New(m, 0)
+	if sys.Name() != "tl2" {
+		t.Errorf("Name = %q", sys.Name())
+	}
+	if sys.Memory() != m {
+		t.Error("Memory accessor broken")
+	}
+}
+
+func TestStripeCountRoundsUp(t *testing.T) {
+	// Just exercise a non-power-of-two stripe count end to end.
+	m := mem.New(1 << 14)
+	sys := tl2.New(m, 1000)
+	th := sys.NewThread()
+	defer th.Close()
+	if err := th.Run(func(tx tm.Tx) error {
+		a := tx.Alloc(4)
+		tx.Store(a, 1)
+		if tx.Load(a) != 1 {
+			t.Error("read-own-write failed")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisjointWritersDoNotInvalidateEachOther: TL2's per-location metadata
+// means writers to different stripes proceed without restarts — the
+// scalability property the paper contrasts against NOrec.
+func TestDisjointWritersDoNotInvalidateEachOther(t *testing.T) {
+	m := mem.New(1 << 20)
+	sys := tl2.New(m, 1<<12)
+	setup := sys.NewThread()
+	const threads = 4
+	addrs := make([]mem.Addr, threads)
+	if err := setup.Run(func(tx tm.Tx) error {
+		for i := range addrs {
+			addrs[i] = tx.Alloc(mem.LineWords * 64) // far apart
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	var wg sync.WaitGroup
+	restarts := make([]uint64, threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			for j := 0; j < 400; j++ {
+				if err := th.Run(func(tx tm.Tx) error {
+					a := addrs[id]
+					tx.Store(a, tx.Load(a)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("writer error: %v", err)
+					return
+				}
+			}
+			restarts[id] = th.Stats().STMRestarts
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < threads; i++ {
+		if got := m.LoadPlain(addrs[i]); got != 400 {
+			t.Errorf("counter %d = %d, want 400", i, got)
+		}
+		// Different lines can share a stripe (hashing), so allow a small
+		// number of incidental restarts but not systematic invalidation.
+		if restarts[i] > 50 {
+			t.Errorf("thread %d restarted %d times on disjoint data", i, restarts[i])
+		}
+	}
+}
+
+// TestReadOnlyCommitIsValidationFree is behavioural: a read-only
+// transaction that saw a consistent snapshot commits even while writers
+// are active (it must not need commit-time locks).
+func TestReadOnlySnapshotUnderWriters(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := tl2.New(m, 0)
+	setup := sys.NewThread()
+	var x, y mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		x = tx.Alloc(mem.LineWords)
+		y = tx.Alloc(mem.LineWords)
+		tx.Store(x, 100)
+		tx.Store(y, 100)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = th.Run(func(tx tm.Tx) error {
+				vx := tx.Load(x)
+				vy := tx.Load(y)
+				tx.Store(x, vx+1)
+				tx.Store(y, vy-1)
+				return nil
+			})
+		}
+	}()
+	th := sys.NewThread()
+	defer th.Close()
+	for i := 0; i < 300; i++ {
+		if err := th.RunReadOnly(func(tx tm.Tx) error {
+			if sum := tx.Load(x) + tx.Load(y); sum != 200 {
+				t.Errorf("snapshot sum = %d, want 200", sum)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestUndoRestoresOnWriteWriteConflict: force a write-write stripe conflict
+// and check nothing is lost.
+func TestWriteWriteConflictNoLostUpdates(t *testing.T) {
+	m := mem.New(1 << 16)
+	sys := tl2.New(m, 0)
+	setup := sys.NewThread()
+	var a mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error { a = tx.Alloc(2); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	const threads, per = 4, 250
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			for j := 0; j < per; j++ {
+				if err := th.Run(func(tx tm.Tx) error {
+					tx.Store(a, tx.Load(a)+1)
+					tx.Store(a+1, tx.Load(a+1)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("writer error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.LoadPlain(a) != threads*per || m.LoadPlain(a+1) != threads*per {
+		t.Errorf("counters = %d,%d want %d", m.LoadPlain(a), m.LoadPlain(a+1), threads*per)
+	}
+}

@@ -1,0 +1,67 @@
+package tm
+
+// RetryController implements the dynamic-adaptive fast-path retry policy
+// the paper leaves as future work (§3.3, citing the lock-elision
+// self-tuning line of work): instead of a fixed hardware-retry budget, each
+// thread adjusts its budget from the outcome of recent transactions —
+// shrinking it when retries keep ending in fallbacks anyway (wasted
+// speculation) and growing it when commits arrive only after burning most
+// of the budget (speculation pays, give it more room).
+//
+// The controller is per-thread (no shared state, no atomics) and is
+// consulted by the hybrid drivers when RetryPolicy.Adaptive is set.
+type RetryController struct {
+	budget   int
+	min, max int
+	// fallbackStreak counts consecutive transactions that exhausted the
+	// budget; nearMissStreak counts consecutive commits that needed most
+	// of it.
+	fallbackStreak int
+	nearMissStreak int
+	enabled        bool
+}
+
+// InitRetry configures the controller from the policy; drivers call it at
+// thread construction.
+func (c *RetryController) InitRetry(p RetryPolicy) {
+	c.budget = p.MaxHTMRetries
+	c.min = 1
+	c.max = 4 * p.MaxHTMRetries
+	c.enabled = p.Adaptive
+	c.fallbackStreak = 0
+	c.nearMissStreak = 0
+}
+
+// Budget returns the current fast-path retry budget.
+func (c *RetryController) Budget() int { return c.budget }
+
+// OnFastCommit records a fast-path commit that needed retriesUsed hardware
+// restarts.
+func (c *RetryController) OnFastCommit(retriesUsed int) {
+	if !c.enabled {
+		return
+	}
+	c.fallbackStreak = 0
+	if retriesUsed*4 >= c.budget*3 { // used >= 75% of the budget
+		c.nearMissStreak++
+		if c.nearMissStreak >= 4 && c.budget < c.max {
+			c.budget++
+			c.nearMissStreak = 0
+		}
+	} else {
+		c.nearMissStreak = 0
+	}
+}
+
+// OnFallback records a transaction that exhausted the budget and fell back.
+func (c *RetryController) OnFallback() {
+	if !c.enabled {
+		return
+	}
+	c.nearMissStreak = 0
+	c.fallbackStreak++
+	if c.fallbackStreak >= 2 && c.budget > c.min {
+		c.budget--
+		c.fallbackStreak = 0
+	}
+}

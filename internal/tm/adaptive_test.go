@@ -1,0 +1,72 @@
+package tm
+
+import "testing"
+
+func newController(adaptive bool) RetryController {
+	var c RetryController
+	c.InitRetry(RetryPolicy{MaxHTMRetries: 10, Adaptive: adaptive})
+	return c
+}
+
+func TestControllerDisabledIsStatic(t *testing.T) {
+	c := newController(false)
+	for i := 0; i < 100; i++ {
+		c.OnFallback()
+		c.OnFastCommit(10)
+	}
+	if c.Budget() != 10 {
+		t.Errorf("disabled controller moved the budget to %d", c.Budget())
+	}
+}
+
+func TestControllerShrinksOnFallbackStreaks(t *testing.T) {
+	c := newController(true)
+	for i := 0; i < 6; i++ {
+		c.OnFallback()
+	}
+	if got := c.Budget(); got != 7 {
+		t.Errorf("budget after 6 fallbacks = %d, want 7 (one decrement per pair)", got)
+	}
+	// It must never go below the floor.
+	for i := 0; i < 1000; i++ {
+		c.OnFallback()
+	}
+	if c.Budget() != 1 {
+		t.Errorf("budget floor = %d, want 1", c.Budget())
+	}
+}
+
+func TestControllerGrowsOnNearMisses(t *testing.T) {
+	c := newController(true)
+	for i := 0; i < 4; i++ {
+		c.OnFastCommit(9) // 90% of the budget
+	}
+	if got := c.Budget(); got != 11 {
+		t.Errorf("budget after 4 near-miss commits = %d, want 11", got)
+	}
+	// It must never exceed the cap.
+	for i := 0; i < 10000; i++ {
+		c.OnFastCommit(c.Budget())
+	}
+	if c.Budget() != 40 {
+		t.Errorf("budget cap = %d, want 40 (4x initial)", c.Budget())
+	}
+}
+
+func TestControllerCheapCommitsResetStreaks(t *testing.T) {
+	c := newController(true)
+	c.OnFallback()
+	c.OnFastCommit(0) // cheap commit breaks the fallback streak
+	c.OnFallback()
+	if c.Budget() != 10 {
+		t.Errorf("budget = %d after interleaved outcomes, want 10", c.Budget())
+	}
+	c.OnFastCommit(9)
+	c.OnFastCommit(0) // cheap commit breaks the near-miss streak
+	c.OnFastCommit(9)
+	c.OnFastCommit(9)
+	c.OnFastCommit(9)
+	if c.Budget() != 10 {
+		t.Errorf("budget = %d, want 10 (streak was broken)", c.Budget())
+	}
+}

@@ -1,0 +1,163 @@
+package tm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"rhnorec/internal/mem"
+)
+
+// yieldPeriod is how many instrumented software-path memory operations run
+// between cooperative yields. Like htm.Config.YieldPeriod, this restores
+// the instruction-level interleaving of real hardware threads when
+// goroutines share few OS threads. A prime different from the HTM period
+// avoids lock-step scheduling between paths.
+const yieldPeriod = 13
+
+// softwareAccessCost is the calibrated instrumentation-cost model (see
+// DESIGN.md): on the paper's hardware an instrumented STM access costs
+// several times a raw load, while this simulator naturally inverts that
+// ratio (the simulated HTM pays heavy bookkeeping, the software paths pay
+// almost none). Each instrumented software access therefore spins this many
+// units of dummy work so the *relative* per-access costs — the quantity the
+// paper's STM-vs-HyTM comparisons measure — match the published ratio.
+// Tests run with the default; the benchmark harness may recalibrate.
+var softwareAccessCost atomic.Int32
+
+func init() { softwareAccessCost.Store(DefaultSoftwareAccessCost) }
+
+// DefaultSoftwareAccessCost is the default instrumentation-cost units per
+// software-path access (calibrated so an eager-NOrec access costs a few
+// times a simulated-hardware access, as on the paper's testbed).
+const DefaultSoftwareAccessCost = 160
+
+// SetSoftwareAccessCost adjusts the instrumentation-cost model; 0 disables
+// it. It applies process-wide (the model calibrates the simulator, not one
+// system instance).
+func SetSoftwareAccessCost(units int) { softwareAccessCost.Store(int32(units)) }
+
+// SoftwareAccessCost reports the current cost-model setting.
+func SoftwareAccessCost() int { return int(softwareAccessCost.Load()) }
+
+// ThreadBase carries the state every algorithm's Thread needs: the memory,
+// a thread-local allocator cache, a reclamation slot, per-attempt
+// allocation/free tracking, and the statistics counters. Algorithm packages
+// embed it.
+type ThreadBase struct {
+	M     *mem.Memory
+	Cache *mem.ThreadCache
+	Slot  *Slot
+	St    Stats
+	Retry RetryController
+
+	allocs  []block // blocks allocated by the current attempt
+	frees   []block // frees requested by the current attempt
+	closed  bool
+	ops     int
+	scratch uint64
+
+	// Flat-nesting state: while a user callback runs, CurTx holds its
+	// transactional view so that a re-entrant Run executes inline in the
+	// enclosing transaction (the GCC TM "flattened nesting" semantics).
+	inTxn bool
+	curTx Tx
+}
+
+// Nested returns the enclosing transaction's view when called from inside
+// a user callback, for flat nesting: drivers call it at the top of Run and,
+// if non-nil, execute the new callback inline against it. An error from
+// the nested callback propagates to the enclosing callback, which decides
+// whether to abort the whole flattened transaction by returning it.
+func (b *ThreadBase) Nested() Tx {
+	if b.inTxn {
+		return b.curTx
+	}
+	return nil
+}
+
+// CallUser invokes a user callback with flat-nesting bookkeeping; every
+// driver routes its callback invocations through it.
+func (b *ThreadBase) CallUser(fn func(Tx) error, view Tx) error {
+	b.inTxn, b.curTx = true, view
+	defer func() { b.inTxn, b.curTx = false, nil }()
+	return fn(view)
+}
+
+// MaybeYield is the software-path twin of the HTM simulator's yield points;
+// algorithms call it (usually via InstrumentedAccess) so software paths
+// interleave mid-transaction.
+func (b *ThreadBase) MaybeYield() {
+	b.ops++
+	if b.ops%yieldPeriod == 0 {
+		runtime.Gosched()
+	}
+}
+
+// InstrumentedAccess marks one instrumented software-path memory access:
+// it paces the scheduler and pays the calibrated instrumentation cost.
+// Every STM Load/Store implementation calls it.
+func (b *ThreadBase) InstrumentedAccess() {
+	b.MaybeYield()
+	n := softwareAccessCost.Load()
+	x := b.scratch
+	for i := int32(0); i < n; i++ {
+		x = x*2862933555777941757 + 3037000493
+	}
+	b.scratch = x
+}
+
+// NewThreadBase wires a thread into memory m and reclaimer r.
+func NewThreadBase(m *mem.Memory, r *Reclaimer) ThreadBase {
+	cache := m.NewThreadCache()
+	return ThreadBase{M: m, Cache: cache, Slot: r.Register(cache)}
+}
+
+// BeginTxn pins the reclamation epoch; call once per Run invocation.
+func (b *ThreadBase) BeginTxn() { b.Slot.Enter() }
+
+// EndTxn unpins the epoch; call when Run returns.
+func (b *ThreadBase) EndTxn() { b.Slot.Exit() }
+
+// TxAlloc allocates a block on behalf of the current attempt.
+func (b *ThreadBase) TxAlloc(n int) mem.Addr {
+	a := b.Cache.Alloc(n)
+	b.allocs = append(b.allocs, block{a, n})
+	return a
+}
+
+// TxFree records a free to be honoured if the attempt commits.
+func (b *ThreadBase) TxFree(a mem.Addr, n int) {
+	b.frees = append(b.frees, block{a, n})
+}
+
+// AbortCleanup rolls back the attempt's allocation effects: requested frees
+// are forgotten and this attempt's allocations are retired through the
+// grace period (a doomed concurrent reader may have glimpsed their
+// addresses, so they cannot be recycled immediately).
+func (b *ThreadBase) AbortCleanup() {
+	for _, blk := range b.allocs {
+		b.Slot.Defer(blk.addr, blk.n)
+	}
+	b.allocs = b.allocs[:0]
+	b.frees = b.frees[:0]
+}
+
+// CommitCleanup finalizes the attempt's allocation effects: allocations
+// stay live, requested frees retire through the grace period.
+func (b *ThreadBase) CommitCleanup() {
+	b.allocs = b.allocs[:0]
+	for _, blk := range b.frees {
+		b.Slot.Defer(blk.addr, blk.n)
+	}
+	b.frees = b.frees[:0]
+}
+
+// CloseBase releases the reclamation slot (idempotent).
+func (b *ThreadBase) CloseBase() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.Slot.r.unregister(b.Slot)
+	b.Cache.Drain()
+}

@@ -1,0 +1,98 @@
+package tm
+
+import "runtime"
+
+// RetryPolicy captures the static retry policy of paper §3.3–§3.4, shared
+// by Hybrid NOrec and RH NOrec (Lock Elision uses only the fast-path part).
+type RetryPolicy struct {
+	// MaxHTMRetries bounds fast-path hardware restarts before falling back
+	// to the slow path. Aborts whose status clears the may-retry hint
+	// (capacity, explicit policy decisions) fall back immediately.
+	MaxHTMRetries int
+	// MaxSlowPathRestarts bounds slow-path restarts before the transaction
+	// grabs the serial lock to guarantee progress (§3.3 "slow-path").
+	MaxSlowPathRestarts int
+	// PrefixRetries bounds HTM-prefix attempts per transaction; the paper
+	// found one try best (§3.4).
+	PrefixRetries int
+	// PostfixRetries bounds HTM-postfix attempts per first-write; the
+	// paper found one try best (§3.4).
+	PostfixRetries int
+	// InitialPrefixLength seeds the dynamic prefix-length adaptation: the
+	// number of reads the HTM prefix attempts to execute speculatively
+	// before the first adjustment.
+	InitialPrefixLength int
+	// MinPrefixLength floors the adaptation; below it the prefix is not
+	// attempted at all.
+	MinPrefixLength int
+	// DisablePrefix turns the HTM prefix off entirely (ablation knob; with
+	// the prefix off RH NOrec isolates the postfix contribution).
+	DisablePrefix bool
+	// DisablePostfix turns the HTM postfix off entirely (ablation knob;
+	// first writes then go straight to the full-software path).
+	DisablePostfix bool
+	// DisablePrefixAdaptation freezes the prefix length at
+	// InitialPrefixLength (ablation knob).
+	DisablePrefixAdaptation bool
+	// Adaptive enables the dynamic per-thread fast-path retry budget (the
+	// paper's §3.3 future-work policy; see RetryController). MaxHTMRetries
+	// then seeds the initial budget.
+	Adaptive bool
+	// ConflictBackoff enables exponential backoff between hardware
+	// conflict retries: the k-th retry yields the processor
+	// ConflictBackoff<<k times (capped). The paper's static policy has
+	// none (0); the knob exists as a contention-management ablation.
+	ConflictBackoff int
+}
+
+// Backoff yields the processor according to the policy for the given retry
+// attempt (0-based); a no-op when ConflictBackoff is 0.
+func (p RetryPolicy) Backoff(attempt int) {
+	if p.ConflictBackoff <= 0 {
+		return
+	}
+	n := p.ConflictBackoff << uint(attempt)
+	if n > 1024 {
+		n = 1024
+	}
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// DefaultPolicy returns the paper's static policy: 10 hardware retries, 10
+// slow-path restarts before serialization, single-try prefix and postfix.
+func DefaultPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxHTMRetries:       10,
+		MaxSlowPathRestarts: 10,
+		PrefixRetries:       1,
+		PostfixRetries:      1,
+		InitialPrefixLength: 4096,
+		MinPrefixLength:     4,
+	}
+}
+
+// withDefaults fills zero fields from DefaultPolicy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	d := DefaultPolicy()
+	if p.MaxHTMRetries <= 0 {
+		p.MaxHTMRetries = d.MaxHTMRetries
+	}
+	if p.MaxSlowPathRestarts <= 0 {
+		p.MaxSlowPathRestarts = d.MaxSlowPathRestarts
+	}
+	if p.PrefixRetries <= 0 {
+		p.PrefixRetries = d.PrefixRetries
+	}
+	if p.PostfixRetries <= 0 {
+		p.PostfixRetries = d.PostfixRetries
+	}
+	if p.InitialPrefixLength <= 0 {
+		p.InitialPrefixLength = d.InitialPrefixLength
+	}
+	if p.MinPrefixLength <= 0 {
+		p.MinPrefixLength = d.MinPrefixLength
+	}
+	return p
+}

@@ -1,0 +1,104 @@
+package tm
+
+// Stats counts the events behind the analysis rows of the paper's Figures
+// 4–6. Each Thread owns one instance and updates it without atomics (a
+// thread is single-goroutine by contract); the harness aggregates snapshots
+// after workers stop.
+type Stats struct {
+	// Commits is the number of transactions that completed, on any path.
+	Commits uint64
+	// ReadOnlyCommits counts commits of transactions run via RunReadOnly.
+	ReadOnlyCommits uint64
+	// UserAborts counts transactions whose callback returned an error.
+	UserAborts uint64
+
+	// FastPathCommits counts transactions committed entirely in (simulated)
+	// hardware; SlowPathCommits those committed on the software or mixed
+	// slow path; SerialCommits those that needed the serial lock or the
+	// global lock (Lock Elision's fallback).
+	FastPathCommits uint64
+	SlowPathCommits uint64
+	SerialCommits   uint64
+
+	// Fallbacks counts transactions that gave up on the fast path and
+	// entered the slow path (the numerator of the paper's "slow-path
+	// execution ratio" row).
+	Fallbacks uint64
+
+	// HTM abort counters, across fast paths and the RH small transactions
+	// (the paper's "HTM conflict/capacity aborts per operation" row).
+	HTMConflictAborts uint64
+	HTMCapacityAborts uint64
+	HTMExplicitAborts uint64
+	HTMSpuriousAborts uint64
+
+	// SlowPathStarts counts slow-path attempts begun; SlowPathRestarts
+	// counts restarts of slow-path attempts (the "restarts per slow-path
+	// transaction" row).
+	SlowPathStarts   uint64
+	SlowPathRestarts uint64
+
+	// RH NOrec small-transaction outcomes (the "prefix/postfix success
+	// ratios" row). Zero for every other algorithm.
+	PrefixAttempts  uint64
+	PrefixCommits   uint64
+	PostfixAttempts uint64
+	PostfixCommits  uint64
+
+	// STM-only counters.
+	STMRestarts uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.Commits += o.Commits
+	s.ReadOnlyCommits += o.ReadOnlyCommits
+	s.UserAborts += o.UserAborts
+	s.FastPathCommits += o.FastPathCommits
+	s.SlowPathCommits += o.SlowPathCommits
+	s.SerialCommits += o.SerialCommits
+	s.Fallbacks += o.Fallbacks
+	s.HTMConflictAborts += o.HTMConflictAborts
+	s.HTMCapacityAborts += o.HTMCapacityAborts
+	s.HTMExplicitAborts += o.HTMExplicitAborts
+	s.HTMSpuriousAborts += o.HTMSpuriousAborts
+	s.SlowPathStarts += o.SlowPathStarts
+	s.SlowPathRestarts += o.SlowPathRestarts
+	s.PrefixAttempts += o.PrefixAttempts
+	s.PrefixCommits += o.PrefixCommits
+	s.PostfixAttempts += o.PostfixAttempts
+	s.PostfixCommits += o.PostfixCommits
+	s.STMRestarts += o.STMRestarts
+}
+
+// HTMAborts returns the total hardware aborts of any kind.
+func (s *Stats) HTMAborts() uint64 {
+	return s.HTMConflictAborts + s.HTMCapacityAborts + s.HTMExplicitAborts + s.HTMSpuriousAborts
+}
+
+// ratio returns num/den, or 0 when den is 0.
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// ConflictAbortsPerOp is the paper's figure row 2 (conflict series).
+func (s *Stats) ConflictAbortsPerOp() float64 { return ratio(s.HTMConflictAborts, s.Commits) }
+
+// CapacityAbortsPerOp is the paper's figure row 2 (capacity series).
+func (s *Stats) CapacityAbortsPerOp() float64 { return ratio(s.HTMCapacityAborts, s.Commits) }
+
+// RestartsPerSlowPath is the paper's figure row 3.
+func (s *Stats) RestartsPerSlowPath() float64 { return ratio(s.SlowPathRestarts, s.SlowPathCommits) }
+
+// SlowPathRatio is the paper's figure row 4: the fraction of transactions
+// that fell back from the fast path.
+func (s *Stats) SlowPathRatio() float64 { return ratio(s.Fallbacks, s.Commits) }
+
+// PrefixSuccessRatio is part of the paper's figure row 5.
+func (s *Stats) PrefixSuccessRatio() float64 { return ratio(s.PrefixCommits, s.PrefixAttempts) }
+
+// PostfixSuccessRatio is part of the paper's figure row 5.
+func (s *Stats) PostfixSuccessRatio() float64 { return ratio(s.PostfixCommits, s.PostfixAttempts) }

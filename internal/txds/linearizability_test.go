@@ -1,0 +1,93 @@
+package txds_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rhnorec/internal/core"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/linearize"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// TestOrderedLinearizability: concurrent histories over the skip list and
+// sorted list must be linearizable against map semantics, on RH NOrec with
+// a tiny HTM (all paths active).
+func TestOrderedLinearizability(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.name, func(t *testing.T) {
+			m := mem.New(1 << 21)
+			dev := htm.NewDevice(m, htm.Config{ReadCapacityLines: 16, WriteCapacityLines: 8})
+			dev.SetActiveThreads(4)
+			sys := core.New(m, dev, tm.RetryPolicy{})
+			setup := sys.NewThread()
+			var head mem.Addr
+			if err := setup.Run(func(tx tm.Tx) error {
+				head = k.create(tx).Head()
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			setup.Close()
+			rec := linearize.NewRecorder()
+			const threads, ops, keys = 4, 80, 10
+			var wg sync.WaitGroup
+			for i := 0; i < threads; i++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					th := sys.NewThread()
+					defer th.Close()
+					om := k.attach(head)
+					rng := rand.New(rand.NewSource(seed))
+					for j := 0; j < ops; j++ {
+						key := uint64(rng.Intn(keys))
+						switch rng.Intn(3) {
+						case 0:
+							val := rng.Uint64() >> 1
+							rec.Do(linearize.Put, key, val, func() (uint64, bool) {
+								var prev uint64
+								var replaced bool
+								_ = th.Run(func(tx tm.Tx) error {
+									prev, replaced = om.Put(tx, key, val)
+									return nil
+								})
+								return prev, replaced
+							})
+						case 1:
+							rec.Do(linearize.Get, key, 0, func() (uint64, bool) {
+								var v uint64
+								var ok bool
+								_ = th.RunReadOnly(func(tx tm.Tx) error {
+									v, ok = om.Get(tx, key)
+									return nil
+								})
+								return v, ok
+							})
+						case 2:
+							rec.Do(linearize.Delete, key, 0, func() (uint64, bool) {
+								var v uint64
+								var ok bool
+								_ = th.Run(func(tx tm.Tx) error {
+									v, ok = om.Delete(tx, key)
+									return nil
+								})
+								return v, ok
+							})
+						}
+					}
+				}(int64(i + 21))
+			}
+			wg.Wait()
+			res, err := linearize.CheckErr(rec.History())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Linearizable {
+				t.Errorf("%s history not linearizable (key %d)", k.name, res.FailedKey)
+			}
+		})
+	}
+}

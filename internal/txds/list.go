@@ -1,0 +1,157 @@
+package txds
+
+import (
+	"fmt"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// SortedList is a transactional sorted singly-linked map — the classic
+// linked-list TM microbenchmark, whose O(n) traversals make every
+// transaction's read set proportional to the structure size (the opposite
+// stress profile from the tree and skip list).
+//
+// Layout: header [first, size]; node [next, key, value].
+type SortedList struct {
+	head mem.Addr
+}
+
+const (
+	liFirst = iota
+	liSize
+	liHeaderWords
+)
+
+const (
+	lnNext = iota
+	lnKey
+	lnValue
+	listNodeWords
+)
+
+// NewSortedList allocates an empty list inside the current transaction.
+func NewSortedList(tx tm.Tx) SortedList {
+	return SortedList{head: tx.Alloc(liHeaderWords)}
+}
+
+// AttachSortedList wraps a published list header.
+func AttachSortedList(head mem.Addr) SortedList { return SortedList{head: head} }
+
+// Head returns the list's header address for publication.
+func (l SortedList) Head() mem.Addr { return l.head }
+
+// Size returns the number of keys.
+func (l SortedList) Size(tx tm.Tx) uint64 { return tx.Load(l.head + liSize) }
+
+// locate returns the last node with key < target (or Nil if none) and the
+// first node with key >= target (or Nil).
+func (l SortedList) locate(tx tm.Tx, key uint64) (prev, cur mem.Addr) {
+	cur = mem.Addr(tx.Load(l.head + liFirst))
+	for cur != mem.Nil && tx.Load(cur+lnKey) < key {
+		prev = cur
+		cur = mem.Addr(tx.Load(cur + lnNext))
+	}
+	return prev, cur
+}
+
+// Get returns the value stored under key.
+func (l SortedList) Get(tx tm.Tx, key uint64) (uint64, bool) {
+	_, cur := l.locate(tx, key)
+	if cur != mem.Nil && tx.Load(cur+lnKey) == key {
+		return tx.Load(cur + lnValue), true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (l SortedList) Contains(tx tm.Tx, key uint64) bool {
+	_, ok := l.Get(tx, key)
+	return ok
+}
+
+// Put inserts or replaces the value under key, returning the previous
+// value if one was replaced.
+func (l SortedList) Put(tx tm.Tx, key, value uint64) (prev uint64, replaced bool) {
+	p, cur := l.locate(tx, key)
+	if cur != mem.Nil && tx.Load(cur+lnKey) == key {
+		old := tx.Load(cur + lnValue)
+		tx.Store(cur+lnValue, value)
+		return old, true
+	}
+	n := tx.Alloc(listNodeWords)
+	tx.Store(n+lnKey, key)
+	tx.Store(n+lnValue, value)
+	tx.Store(n+lnNext, uint64(cur))
+	if p == mem.Nil {
+		tx.Store(l.head+liFirst, uint64(n))
+	} else {
+		tx.Store(p+lnNext, uint64(n))
+	}
+	tx.Store(l.head+liSize, l.Size(tx)+1)
+	return 0, false
+}
+
+// Delete removes key, returning its value if it was present.
+func (l SortedList) Delete(tx tm.Tx, key uint64) (uint64, bool) {
+	p, cur := l.locate(tx, key)
+	if cur == mem.Nil || tx.Load(cur+lnKey) != key {
+		return 0, false
+	}
+	val := tx.Load(cur + lnValue)
+	next := tx.Load(cur + lnNext)
+	if p == mem.Nil {
+		tx.Store(l.head+liFirst, next)
+	} else {
+		tx.Store(p+lnNext, next)
+	}
+	tx.Store(l.head+liSize, l.Size(tx)-1)
+	tx.Free(cur, listNodeWords)
+	return val, true
+}
+
+// Keys returns the keys in ascending order.
+func (l SortedList) Keys(tx tm.Tx) []uint64 {
+	var out []uint64
+	for n := mem.Addr(tx.Load(l.head + liFirst)); n != mem.Nil; n = mem.Addr(tx.Load(n + lnNext)) {
+		out = append(out, tx.Load(n+lnKey))
+	}
+	return out
+}
+
+// CheckInvariants verifies strict ordering and the size counter.
+func (l SortedList) CheckInvariants(tx tm.Tx) error {
+	count := uint64(0)
+	var lastKey uint64
+	first := true
+	for n := mem.Addr(tx.Load(l.head + liFirst)); n != mem.Nil; n = mem.Addr(tx.Load(n + lnNext)) {
+		k := tx.Load(n + lnKey)
+		if !first && k <= lastKey {
+			return errOrder(k, lastKey)
+		}
+		lastKey, first = k, false
+		count++
+	}
+	if got := l.Size(tx); got != count {
+		return errSize(got, count)
+	}
+	return nil
+}
+
+// Shared error constructors for the ordered structures.
+
+func errOrder(k, last uint64) error {
+	return fmt.Errorf("txds: ordering violated (%d after %d)", k, last)
+}
+
+func errSize(counter, reachable uint64) error {
+	return fmt.Errorf("txds: size counter %d but %d nodes reachable", counter, reachable)
+}
+
+func errLevel(k, lvl uint64) error {
+	return fmt.Errorf("txds: node %d has inconsistent level %d", k, lvl)
+}
+
+func errTower(k uint64, l int) error {
+	return fmt.Errorf("txds: node %d present at level %d above its tower", k, l)
+}

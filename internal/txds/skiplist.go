@@ -1,0 +1,219 @@
+package txds
+
+import (
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// SkipList is a transactional ordered map, the other classic TM
+// microbenchmark structure besides the red-black tree. Compared to the
+// tree, its transactions read long "towers" near the head and write very
+// locally, giving a different conflict profile for the same operation mix.
+//
+// A node's level is derived deterministically from its key's hash, so a
+// restarted transaction re-creates exactly the same structure (and the
+// expected ~2-node search cost per level holds for random keys).
+//
+// Layout: header [headNode, size]; node [key, value, level, next0..next{L-1}].
+type SkipList struct {
+	head mem.Addr
+}
+
+// MaxLevel bounds skip-list towers.
+const MaxLevel = 16
+
+const (
+	slHead = iota
+	slSize
+	slHeaderWords
+)
+
+const (
+	snKey = iota
+	snValue
+	snLevel
+	snNext // first of level words
+)
+
+// levelOf derives a node level in [1, MaxLevel] from the key (p = 1/2).
+func levelOf(key uint64) int {
+	h := mix(key ^ 0xabcdef12345)
+	l := 1
+	for h&1 == 1 && l < MaxLevel {
+		l++
+		h >>= 1
+	}
+	return l
+}
+
+// NewSkipList allocates an empty skip list inside the current transaction.
+func NewSkipList(tx tm.Tx) SkipList {
+	h := tx.Alloc(slHeaderWords)
+	sentinel := tx.Alloc(snNext + MaxLevel)
+	tx.Store(sentinel+snLevel, MaxLevel)
+	tx.Store(h+slHead, uint64(sentinel))
+	return SkipList{head: h}
+}
+
+// AttachSkipList wraps a published skip-list header.
+func AttachSkipList(head mem.Addr) SkipList { return SkipList{head: head} }
+
+// Head returns the list's header address for publication.
+func (s SkipList) Head() mem.Addr { return s.head }
+
+// Size returns the number of keys.
+func (s SkipList) Size(tx tm.Tx) uint64 { return tx.Load(s.head + slSize) }
+
+func (s SkipList) sentinel(tx tm.Tx) mem.Addr { return mem.Addr(tx.Load(s.head + slHead)) }
+
+// findPreds fills preds with the rightmost node before key at every level
+// and returns the candidate node at level 0 (which may be the match).
+func (s SkipList) findPreds(tx tm.Tx, key uint64, preds *[MaxLevel]mem.Addr) mem.Addr {
+	x := s.sentinel(tx)
+	for l := MaxLevel - 1; l >= 0; l-- {
+		for {
+			next := mem.Addr(tx.Load(x + snNext + mem.Addr(l)))
+			if next == mem.Nil || tx.Load(next+snKey) >= key {
+				break
+			}
+			x = next
+		}
+		preds[l] = x
+	}
+	return mem.Addr(tx.Load(x + snNext))
+}
+
+// Get returns the value stored under key.
+func (s SkipList) Get(tx tm.Tx, key uint64) (uint64, bool) {
+	var preds [MaxLevel]mem.Addr
+	n := s.findPreds(tx, key, &preds)
+	if n != mem.Nil && tx.Load(n+snKey) == key {
+		return tx.Load(n + snValue), true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (s SkipList) Contains(tx tm.Tx, key uint64) bool {
+	_, ok := s.Get(tx, key)
+	return ok
+}
+
+// Put inserts or replaces the value under key, returning the previous
+// value if one was replaced.
+func (s SkipList) Put(tx tm.Tx, key, value uint64) (prev uint64, replaced bool) {
+	var preds [MaxLevel]mem.Addr
+	n := s.findPreds(tx, key, &preds)
+	if n != mem.Nil && tx.Load(n+snKey) == key {
+		old := tx.Load(n + snValue)
+		tx.Store(n+snValue, value)
+		return old, true
+	}
+	level := levelOf(key)
+	node := tx.Alloc(snNext + level)
+	tx.Store(node+snKey, key)
+	tx.Store(node+snValue, value)
+	tx.Store(node+snLevel, uint64(level))
+	for l := 0; l < level; l++ {
+		tx.Store(node+snNext+mem.Addr(l), tx.Load(preds[l]+snNext+mem.Addr(l)))
+		tx.Store(preds[l]+snNext+mem.Addr(l), uint64(node))
+	}
+	tx.Store(s.head+slSize, s.Size(tx)+1)
+	return 0, false
+}
+
+// Delete removes key, returning its value if it was present.
+func (s SkipList) Delete(tx tm.Tx, key uint64) (uint64, bool) {
+	var preds [MaxLevel]mem.Addr
+	n := s.findPreds(tx, key, &preds)
+	if n == mem.Nil || tx.Load(n+snKey) != key {
+		return 0, false
+	}
+	val := tx.Load(n + snValue)
+	level := int(tx.Load(n + snLevel))
+	for l := 0; l < level; l++ {
+		if mem.Addr(tx.Load(preds[l]+snNext+mem.Addr(l))) == n {
+			tx.Store(preds[l]+snNext+mem.Addr(l), tx.Load(n+snNext+mem.Addr(l)))
+		}
+	}
+	tx.Store(s.head+slSize, s.Size(tx)-1)
+	tx.Free(n, snNext+level)
+	return val, true
+}
+
+// Min returns the smallest key and its value.
+func (s SkipList) Min(tx tm.Tx) (key, value uint64, ok bool) {
+	n := mem.Addr(tx.Load(s.sentinel(tx) + snNext))
+	if n == mem.Nil {
+		return 0, 0, false
+	}
+	return tx.Load(n + snKey), tx.Load(n + snValue), true
+}
+
+// Range visits every entry with lo <= key <= hi in ascending order; visit
+// returning false stops the walk early.
+func (s SkipList) Range(tx tm.Tx, lo, hi uint64, visit func(key, value uint64) bool) {
+	var preds [MaxLevel]mem.Addr
+	n := s.findPreds(tx, lo, &preds)
+	for n != mem.Nil {
+		k := tx.Load(n + snKey)
+		if k > hi {
+			return
+		}
+		if !visit(k, tx.Load(n+snValue)) {
+			return
+		}
+		n = mem.Addr(tx.Load(n + snNext))
+	}
+}
+
+// Keys returns the keys in ascending order (tests and examples).
+func (s SkipList) Keys(tx tm.Tx) []uint64 {
+	var out []uint64
+	for n := mem.Addr(tx.Load(s.sentinel(tx) + snNext)); n != mem.Nil; n = mem.Addr(tx.Load(n + snNext)) {
+		out = append(out, tx.Load(n+snKey))
+	}
+	return out
+}
+
+// CheckInvariants verifies level-0 ordering, tower consistency (every
+// level-l link lands on a node of level > l and respects ordering), and the
+// size counter.
+func (s SkipList) CheckInvariants(tx tm.Tx) error {
+	sent := s.sentinel(tx)
+	count := uint64(0)
+	var lastKey uint64
+	first := true
+	for n := mem.Addr(tx.Load(sent + snNext)); n != mem.Nil; n = mem.Addr(tx.Load(n + snNext)) {
+		k := tx.Load(n + snKey)
+		if !first && k <= lastKey {
+			return errOrder(k, lastKey)
+		}
+		lvl := tx.Load(n + snLevel)
+		if lvl == 0 || lvl > MaxLevel {
+			return errLevel(k, lvl)
+		}
+		if want := uint64(levelOf(k)); lvl != want {
+			return errLevel(k, lvl)
+		}
+		lastKey, first = k, false
+		count++
+	}
+	for l := 1; l < MaxLevel; l++ {
+		prevKey, started := uint64(0), false
+		for n := mem.Addr(tx.Load(sent + snNext + mem.Addr(l))); n != mem.Nil; n = mem.Addr(tx.Load(n + snNext + mem.Addr(l))) {
+			if uint64(l) >= tx.Load(n+snLevel) {
+				return errTower(tx.Load(n+snKey), l)
+			}
+			k := tx.Load(n + snKey)
+			if started && k <= prevKey {
+				return errOrder(k, prevKey)
+			}
+			prevKey, started = k, true
+		}
+	}
+	if got := s.Size(tx); got != count {
+		return errSize(got, count)
+	}
+	return nil
+}

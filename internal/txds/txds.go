@@ -1,0 +1,300 @@
+// Package txds provides small transactional data structures — FIFO queue,
+// LIFO stack, and chained hash map — living entirely in transactional
+// memory. The STAMP-style workloads (package stamp) compose them the way
+// the original C applications compose their library structures.
+//
+// Like rbtree.Tree, every handle is an immutable value wrapping a header
+// address, safe to share across threads; all mutable state is behind
+// transactional loads and stores.
+package txds
+
+import (
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// Queue is an unbounded FIFO queue of words.
+//
+// Layout: header [head, tail, size]; node [next, value].
+type Queue struct {
+	head mem.Addr
+}
+
+const (
+	qHead = iota
+	qTail
+	qSize
+	qHeaderWords
+)
+
+const (
+	nNext = iota
+	nValue
+	nodeWords
+)
+
+// NewQueue allocates an empty queue inside the current transaction.
+func NewQueue(tx tm.Tx) Queue {
+	return Queue{head: tx.Alloc(qHeaderWords)}
+}
+
+// AttachQueue wraps an existing queue header.
+func AttachQueue(head mem.Addr) Queue { return Queue{head: head} }
+
+// Head returns the queue's header address for publication.
+func (q Queue) Head() mem.Addr { return q.head }
+
+// Size returns the number of queued values.
+func (q Queue) Size(tx tm.Tx) uint64 { return tx.Load(q.head + qSize) }
+
+// Push appends v at the tail.
+func (q Queue) Push(tx tm.Tx, v uint64) {
+	n := tx.Alloc(nodeWords)
+	tx.Store(n+nValue, v)
+	tail := mem.Addr(tx.Load(q.head + qTail))
+	if tail == mem.Nil {
+		tx.Store(q.head+qHead, uint64(n))
+	} else {
+		tx.Store(tail+nNext, uint64(n))
+	}
+	tx.Store(q.head+qTail, uint64(n))
+	tx.Store(q.head+qSize, q.Size(tx)+1)
+}
+
+// Pop removes and returns the head value.
+func (q Queue) Pop(tx tm.Tx) (uint64, bool) {
+	h := mem.Addr(tx.Load(q.head + qHead))
+	if h == mem.Nil {
+		return 0, false
+	}
+	v := tx.Load(h + nValue)
+	next := tx.Load(h + nNext)
+	tx.Store(q.head+qHead, next)
+	if next == 0 {
+		tx.Store(q.head+qTail, 0)
+	}
+	tx.Store(q.head+qSize, q.Size(tx)-1)
+	tx.Free(h, nodeWords)
+	return v, true
+}
+
+// ForEach visits the queued values from head to tail without removing
+// them.
+func (q Queue) ForEach(tx tm.Tx, visit func(v uint64)) {
+	for n := mem.Addr(tx.Load(q.head + qHead)); n != mem.Nil; n = mem.Addr(tx.Load(n + nNext)) {
+		visit(tx.Load(n + nValue))
+	}
+}
+
+// Dispose frees the queue's memory: any remaining nodes and the header.
+// The handle must not be used afterwards.
+func (q Queue) Dispose(tx tm.Tx) {
+	for {
+		if _, ok := q.Pop(tx); !ok {
+			break
+		}
+	}
+	tx.Free(q.head, qHeaderWords)
+}
+
+// Stack is an unbounded LIFO stack of words.
+//
+// Layout: header [top, size]; node [next, value].
+type Stack struct {
+	head mem.Addr
+}
+
+const (
+	sTop = iota
+	sSize
+	sHeaderWords
+)
+
+// NewStack allocates an empty stack inside the current transaction.
+func NewStack(tx tm.Tx) Stack {
+	return Stack{head: tx.Alloc(sHeaderWords)}
+}
+
+// AttachStack wraps an existing stack header.
+func AttachStack(head mem.Addr) Stack { return Stack{head: head} }
+
+// Head returns the stack's header address for publication.
+func (s Stack) Head() mem.Addr { return s.head }
+
+// Size returns the number of stacked values.
+func (s Stack) Size(tx tm.Tx) uint64 { return tx.Load(s.head + sSize) }
+
+// Push pushes v.
+func (s Stack) Push(tx tm.Tx, v uint64) {
+	n := tx.Alloc(nodeWords)
+	tx.Store(n+nValue, v)
+	tx.Store(n+nNext, tx.Load(s.head+sTop))
+	tx.Store(s.head+sTop, uint64(n))
+	tx.Store(s.head+sSize, s.Size(tx)+1)
+}
+
+// Pop removes and returns the top value.
+func (s Stack) Pop(tx tm.Tx) (uint64, bool) {
+	top := mem.Addr(tx.Load(s.head + sTop))
+	if top == mem.Nil {
+		return 0, false
+	}
+	v := tx.Load(top + nValue)
+	tx.Store(s.head+sTop, tx.Load(top+nNext))
+	tx.Store(s.head+sSize, s.Size(tx)-1)
+	tx.Free(top, nodeWords)
+	return v, true
+}
+
+// ForEach visits the stacked values from top to bottom without removing
+// them.
+func (s Stack) ForEach(tx tm.Tx, visit func(v uint64)) {
+	for n := mem.Addr(tx.Load(s.head + sTop)); n != mem.Nil; n = mem.Addr(tx.Load(n + nNext)) {
+		visit(tx.Load(n + nValue))
+	}
+}
+
+// Dispose frees the stack's memory: any remaining nodes and the header.
+// The handle must not be used afterwards.
+func (s Stack) Dispose(tx tm.Tx) {
+	for {
+		if _, ok := s.Pop(tx); !ok {
+			break
+		}
+	}
+	tx.Free(s.head, sHeaderWords)
+}
+
+// HashMap is a fixed-bucket chained hash map from word keys to word values.
+//
+// Layout: header [nbuckets, size, bucket0, bucket1, ...]; node
+// [next, key, value].
+type HashMap struct {
+	head mem.Addr
+}
+
+const (
+	hBuckets = iota
+	hSize
+	hTable // first bucket slot
+)
+
+const (
+	hnNext = iota
+	hnKey
+	hnValue
+	hashNodeWords
+)
+
+// NewHashMap allocates a hash map with nbuckets chains (rounded up to a
+// power of two, minimum 4) inside the current transaction.
+func NewHashMap(tx tm.Tx, nbuckets int) HashMap {
+	n := 4
+	for n < nbuckets {
+		n <<= 1
+	}
+	h := tx.Alloc(hTable + n)
+	tx.Store(h+hBuckets, uint64(n))
+	return HashMap{head: h}
+}
+
+// AttachHashMap wraps an existing map header.
+func AttachHashMap(head mem.Addr) HashMap { return HashMap{head: head} }
+
+// Head returns the map's header address for publication.
+func (h HashMap) Head() mem.Addr { return h.head }
+
+// Size returns the number of entries.
+func (h HashMap) Size(tx tm.Tx) uint64 { return tx.Load(h.head + hSize) }
+
+// mix is a Fibonacci-hash scrambler.
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+func (h HashMap) bucket(tx tm.Tx, key uint64) mem.Addr {
+	n := tx.Load(h.head + hBuckets)
+	return h.head + hTable + mem.Addr(mix(key)&(n-1))
+}
+
+// Get returns the value under key.
+func (h HashMap) Get(tx tm.Tx, key uint64) (uint64, bool) {
+	b := h.bucket(tx, key)
+	for n := mem.Addr(tx.Load(b)); n != mem.Nil; n = mem.Addr(tx.Load(n + hnNext)) {
+		if tx.Load(n+hnKey) == key {
+			return tx.Load(n + hnValue), true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present.
+func (h HashMap) Contains(tx tm.Tx, key uint64) bool {
+	_, ok := h.Get(tx, key)
+	return ok
+}
+
+// Put inserts or replaces the value under key, returning the previous value
+// if one was replaced.
+func (h HashMap) Put(tx tm.Tx, key, value uint64) (prev uint64, replaced bool) {
+	b := h.bucket(tx, key)
+	for n := mem.Addr(tx.Load(b)); n != mem.Nil; n = mem.Addr(tx.Load(n + hnNext)) {
+		if tx.Load(n+hnKey) == key {
+			old := tx.Load(n + hnValue)
+			tx.Store(n+hnValue, value)
+			return old, true
+		}
+	}
+	n := tx.Alloc(hashNodeWords)
+	tx.Store(n+hnKey, key)
+	tx.Store(n+hnValue, value)
+	tx.Store(n+hnNext, tx.Load(b))
+	tx.Store(b, uint64(n))
+	tx.Store(h.head+hSize, h.Size(tx)+1)
+	return 0, false
+}
+
+// PutIfAbsent inserts value under key only if the key is new; it returns
+// the value now in the map and whether this call inserted it.
+func (h HashMap) PutIfAbsent(tx tm.Tx, key, value uint64) (cur uint64, inserted bool) {
+	if v, ok := h.Get(tx, key); ok {
+		return v, false
+	}
+	h.Put(tx, key, value)
+	return value, true
+}
+
+// Delete removes key, returning its value if it was present.
+func (h HashMap) Delete(tx tm.Tx, key uint64) (uint64, bool) {
+	b := h.bucket(tx, key)
+	prev := mem.Nil
+	for n := mem.Addr(tx.Load(b)); n != mem.Nil; n = mem.Addr(tx.Load(n + hnNext)) {
+		if tx.Load(n+hnKey) == key {
+			v := tx.Load(n + hnValue)
+			next := tx.Load(n + hnNext)
+			if prev == mem.Nil {
+				tx.Store(b, next)
+			} else {
+				tx.Store(prev+hnNext, next)
+			}
+			tx.Store(h.head+hSize, h.Size(tx)-1)
+			tx.Free(n, hashNodeWords)
+			return v, true
+		}
+		prev = n
+	}
+	return 0, false
+}
+
+// ForEach visits every entry (in arbitrary order) inside the transaction.
+func (h HashMap) ForEach(tx tm.Tx, visit func(key, value uint64)) {
+	n := tx.Load(h.head + hBuckets)
+	for i := mem.Addr(0); i < mem.Addr(n); i++ {
+		for e := mem.Addr(tx.Load(h.head + hTable + i)); e != mem.Nil; e = mem.Addr(tx.Load(e + hnNext)) {
+			visit(tx.Load(e+hnKey), tx.Load(e+hnValue))
+		}
+	}
+}
