@@ -15,8 +15,9 @@
 // Useful knobs: -duration per point, -repeat N (median of N runs),
 // -threads CSV sweep, -algos CSV subset, -spurious environmental-abort
 // probability, -falseconf bloom false-conflict probability, -swcost
-// instrumentation-cost units, -tsv machine-readable rows. Throughput
-// numbers are simulator-relative: compare algorithms at equal thread
+// instrumentation-cost units, -tsv machine-readable rows, -json FILE
+// machine-readable point dump (ops/sec per system per thread count).
+// Throughput numbers are simulator-relative: compare algorithms at equal thread
 // counts, not against the paper's absolute Haswell numbers (see
 // EXPERIMENTS.md).
 package main
@@ -45,6 +46,7 @@ func main() {
 		tsv        = flag.Bool("tsv", false, "emit tab-separated rows instead of paper-style tables")
 		repeat     = flag.Int("repeat", 1, "runs per point; the median-throughput run is reported")
 		swcost     = flag.Int("swcost", tm.DefaultSoftwareAccessCost, "instrumentation-cost units per software-path access (see DESIGN.md)")
+		jsonPath   = flag.String("json", "", "also write every benchmark point to this file as a JSON array")
 		verbose    = flag.Bool("v", false, "print each point as it completes")
 	)
 	flag.Parse()
@@ -84,9 +86,26 @@ func main() {
 			cfg.Algos = append(cfg.Algos, a)
 		}
 	}
-	if *verbose {
+	var rec *bench.JSONRecorder
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		// Open the output up front: a bad path should fail before the sweep
+		// runs, not after.
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		jsonFile = f
+		rec = new(bench.JSONRecorder)
+	}
+	if *verbose || rec != nil {
 		cfg.Progress = func(r bench.Result) {
-			fmt.Fprintf(os.Stderr, "  %-14s %-14s t=%-3d %12.0f ops/s\n", r.Workload, r.Algo, r.Threads, r.Throughput)
+			if rec != nil {
+				rec.Record(r)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "  %-14s %-14s t=%-3d %12.0f ops/s\n", r.Workload, r.Algo, r.Threads, r.Throughput)
+			}
 		}
 	}
 
@@ -121,6 +140,16 @@ func main() {
 		if err := run(n); err != nil {
 			fatal(err)
 		}
+	}
+	if rec != nil {
+		if err := rec.WriteJSON(jsonFile); err != nil {
+			jsonFile.Close()
+			fatal(err)
+		}
+		if err := jsonFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rhbench: wrote %d points to %s\n", rec.Len(), *jsonPath)
 	}
 }
 

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONPoint is the machine-readable form of one benchmark point: one
+// (workload, algorithm, thread-count) cell of a figure. Field names are
+// stable — downstream plotting scripts key on them.
+type JSONPoint struct {
+	Workload   string  `json:"workload"`
+	Algo       string  `json:"algo"`
+	Threads    int     `json:"threads"`
+	Ops        uint64  `json:"ops"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// JSONRecorder accumulates benchmark points for a machine-readable dump.
+// Chain its Record method into FigureConfig.Progress.
+type JSONRecorder struct {
+	points []JSONPoint
+}
+
+// Record appends one finished point. It has the FigureConfig.Progress
+// signature so it can be chained directly.
+func (rec *JSONRecorder) Record(r Result) {
+	rec.points = append(rec.points, JSONPoint{
+		Workload:   r.Workload,
+		Algo:       r.Algo,
+		Threads:    r.Threads,
+		Ops:        r.Ops,
+		ElapsedSec: r.Elapsed.Seconds(),
+		OpsPerSec:  r.Throughput,
+	})
+}
+
+// Len reports how many points have been recorded.
+func (rec *JSONRecorder) Len() int { return len(rec.points) }
+
+// WriteJSON emits every recorded point as an indented JSON array. An empty
+// recorder writes an empty array, never null.
+func (rec *JSONRecorder) WriteJSON(w io.Writer) error {
+	pts := rec.points
+	if pts == nil {
+		pts = []JSONPoint{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(pts)
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONRecorderRoundTrip(t *testing.T) {
+	var rec JSONRecorder
+	rec.Record(Result{Workload: "rbtree-10%", Algo: "rh-norec", Threads: 8,
+		Ops: 1234, Elapsed: 500 * time.Millisecond, Throughput: 2468})
+	rec.Record(Result{Workload: "rbtree-10%", Algo: "htm-only", Threads: 1,
+		Ops: 10, Elapsed: time.Second, Throughput: 10})
+	if rec.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rec.Len())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONPoint
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	want := []JSONPoint{
+		{Workload: "rbtree-10%", Algo: "rh-norec", Threads: 8, Ops: 1234, ElapsedSec: 0.5, OpsPerSec: 2468},
+		{Workload: "rbtree-10%", Algo: "htm-only", Threads: 1, Ops: 10, ElapsedSec: 1, OpsPerSec: 10},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The plotting scripts key on these exact names.
+	for _, key := range []string{`"workload"`, `"algo"`, `"threads"`, `"ops"`, `"elapsed_sec"`, `"ops_per_sec"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("output missing field %s", key)
+		}
+	}
+}
+
+func TestJSONRecorderEmptyIsArray(t *testing.T) {
+	var rec JSONRecorder
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty recorder wrote %q, want []", s)
+	}
+}

@@ -235,7 +235,9 @@ func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
 		return uerr, nil
 	}
 	// Algorithm 1 commit: read-only transactions (compiler hint or no
-	// writes at runtime) commit without looking at the clock at all.
+	// writes at runtime) commit without looking at the clock at all — and
+	// the substrate commits them lock-free (seqlock validation, no
+	// writeback lock), so the whole RO fast path is mutex-free end to end.
 	if !t.ro && t.htx.WriteLineCount() > 0 {
 		if t.htx.Load(t.sys.gFallbacks) > 0 {
 			if t.htx.Load(t.sys.serialLock) != 0 {

@@ -1,0 +1,116 @@
+package htm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rhnorec/internal/mem"
+)
+
+// benchConfig disables the scheduling and environmental noise sources so the
+// benchmarks measure the hot path itself.
+func benchConfig() Config { return Config{YieldPeriod: -1} }
+
+// BenchmarkTxnLoadDup measures a long transaction that re-reads a small set
+// of addresses while foreign plain stores keep forcing revalidations: the
+// cost must scale with the number of *distinct* addresses in the read set,
+// not with the dynamic read count. Each iteration is one 4096-load
+// transaction over 16 distinct words with a clock-moving foreign store every
+// 64 loads.
+func BenchmarkTxnLoadDup(b *testing.B) {
+	m := mem.New(1 << 16)
+	d := NewDevice(m, benchConfig())
+	d.SetActiveThreads(1)
+	tc := m.NewThreadCache()
+	var addrs [16]mem.Addr
+	for i := range addrs {
+		addrs[i] = tc.Alloc(mem.LineWords)
+	}
+	foreign := tc.Alloc(mem.LineWords)
+	tx := d.NewTxn()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		for j := 0; j < 4096; j++ {
+			if j%64 == 63 {
+				m.StorePlain(foreign, uint64(j))
+			}
+			_ = tx.Load(addrs[j%len(addrs)])
+		}
+		tx.Commit()
+	}
+}
+
+// BenchmarkReadOnlyCommit measures read-only fast-path commits from 8
+// simulated hardware threads at once while a plain writer publishes to an
+// unrelated line — the paper's read-dominated scenario. Each transaction
+// re-reads a 4-word hot set 16 times (a traversal revisiting its upper
+// levels). Real RTM commits a read-only transaction without touching
+// anything shared; the simulated commit must not serialize these
+// transactions on the memory's writeback mutex.
+func BenchmarkReadOnlyCommit(b *testing.B) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	m := mem.New(1 << 16)
+	d := NewDevice(m, benchConfig())
+	d.SetActiveThreads(8)
+	tc := m.NewThreadCache()
+	var addrs [4]mem.Addr
+	for i := range addrs {
+		addrs[i] = tc.Alloc(mem.LineWords)
+	}
+	foreign := tc.Alloc(mem.LineWords)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); !stop.Load(); i++ {
+			m.StorePlain(foreign, i)
+			runtime.Gosched()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tx := d.NewTxn()
+		for pb.Next() {
+			tx.Begin()
+			for rep := 0; rep < 16; rep++ {
+				for _, a := range addrs {
+					_ = tx.Load(a)
+				}
+			}
+			tx.Commit()
+		}
+	})
+	b.StopTimer()
+	stop.Store(true)
+	wg.Wait()
+}
+
+// BenchmarkCommitWriteback measures a writer transaction's commit: 16
+// buffered stores on distinct lines published per commit. This is the path
+// that must publish the write buffer without an intermediate copy.
+func BenchmarkCommitWriteback(b *testing.B) {
+	m := mem.New(1 << 16)
+	d := NewDevice(m, benchConfig())
+	d.SetActiveThreads(1)
+	tc := m.NewThreadCache()
+	var addrs [16]mem.Addr
+	for i := range addrs {
+		addrs[i] = tc.Alloc(mem.LineWords)
+	}
+	tx := d.NewTxn()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		for j, a := range addrs {
+			tx.Store(a, uint64(i+j))
+		}
+		tx.Commit()
+	}
+}

@@ -6,6 +6,16 @@ import (
 	"rhnorec/internal/mem"
 )
 
+// counter is an atomic counter padded out to its own 64-byte cache line, so
+// that the per-device statistics below do not false-share: every
+// transaction bumps starts and one of commits/aborts, and with unpadded
+// adjacent words those RMWs ping the same line between every hardware
+// thread on the machine.
+type counter struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
 // Device is one simulated processor's transactional-memory facility. All
 // hardware transactions over the same mem.Memory must share one Device so
 // that capacity scaling and statistics are coherent.
@@ -20,9 +30,10 @@ type Device struct {
 	// seedCounter hands out distinct RNG seeds to transactions.
 	seedCounter atomic.Uint64
 
-	starts  atomic.Uint64
-	commits atomic.Uint64
-	aborts  [Spurious + 1]atomic.Uint64
+	_       [48]byte // keep starts off the line holding the fields above
+	starts  counter
+	commits counter
+	aborts  [Spurious + 1]counter
 }
 
 // NewDevice creates a transactional device over m. Zero fields of cfg take

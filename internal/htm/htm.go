@@ -14,6 +14,9 @@
 //     published atomically at Commit (under the memory's writeback lock), so
 //     no other thread — transactional or not — ever observes a partial
 //     write set. This is the property Figure 2 of the paper leans on.
+//     Read-only commits publish nothing and take no lock: they validate via
+//     the memory's seqlock read protocol, like a real RTM commit of a
+//     read-only transaction, which touches nothing shared.
 //   - Strong atomicity with plain accesses: every plain mutation moves the
 //     memory clock, so it aborts (at their next validation point) all
 //     hardware transactions that have read the mutated locations.

@@ -4,8 +4,9 @@ import (
 	"rhnorec/internal/mem"
 )
 
-// smallSetCap is the inline capacity of lineSet and writeSet. Typical
-// transactions stay under it and never touch a map; larger ones spill.
+// smallSetCap is the inline capacity of lineSet and the addr-indexed sets.
+// Typical transactions stay under it and never touch a map; larger ones
+// spill.
 const smallSetCap = 16
 
 // lineSet tracks distinct cache lines. Small sets live in an inline array
@@ -62,35 +63,34 @@ func (s *lineSet) count() int {
 	return s.n
 }
 
-// writeSet is the speculative write buffer: insertion-ordered address/value
-// pairs with an index map for large transactions.
+// writeSet is the speculative write buffer: insertion-ordered
+// mem.WriteEntry values (so Commit publishes the slice as-is, no copy) with
+// an index map for large transactions.
 type writeSet struct {
-	addrs []mem.Addr
-	vals  []uint64
-	idx   map[mem.Addr]int // nil until first spill
+	entries []mem.WriteEntry
+	idx     map[mem.Addr]int // nil until first spill
 }
 
 func (s *writeSet) reset() {
-	s.addrs = s.addrs[:0]
-	s.vals = s.vals[:0]
+	s.entries = s.entries[:0]
 	if len(s.idx) > 0 {
 		clear(s.idx)
 	}
 }
 
-func (s *writeSet) len() int { return len(s.addrs) }
+func (s *writeSet) len() int { return len(s.entries) }
 
 // get returns the buffered value for a, if any.
 func (s *writeSet) get(a mem.Addr) (uint64, bool) {
-	if s.idx != nil && len(s.idx) > 0 {
+	if len(s.idx) > 0 {
 		if i, ok := s.idx[a]; ok {
-			return s.vals[i], true
+			return s.entries[i].Value, true
 		}
 		return 0, false
 	}
-	for i := len(s.addrs) - 1; i >= 0; i-- {
-		if s.addrs[i] == a {
-			return s.vals[i], true
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		if s.entries[i].Addr == a {
+			return s.entries[i].Value, true
 		}
 	}
 	return 0, false
@@ -100,29 +100,97 @@ func (s *writeSet) get(a mem.Addr) (uint64, bool) {
 func (s *writeSet) put(a mem.Addr, v uint64) bool {
 	if len(s.idx) > 0 {
 		if i, ok := s.idx[a]; ok {
-			s.vals[i] = v
+			s.entries[i].Value = v
 			return false
 		}
-		s.idx[a] = len(s.addrs)
-		s.addrs = append(s.addrs, a)
-		s.vals = append(s.vals, v)
+		s.idx[a] = len(s.entries)
+		s.entries = append(s.entries, mem.WriteEntry{Addr: a, Value: v})
 		return true
 	}
-	for i := range s.addrs {
-		if s.addrs[i] == a {
-			s.vals[i] = v
+	for i := range s.entries {
+		if s.entries[i].Addr == a {
+			s.entries[i].Value = v
 			return false
 		}
 	}
-	s.addrs = append(s.addrs, a)
-	s.vals = append(s.vals, v)
-	if len(s.addrs) > smallSetCap {
-		if s.idx == nil {
-			s.idx = make(map[mem.Addr]int, 4*smallSetCap)
-		}
-		for i, addr := range s.addrs {
-			s.idx[addr] = i
-		}
+	s.entries = append(s.entries, mem.WriteEntry{Addr: a, Value: v})
+	if len(s.entries) > smallSetCap {
+		s.spill()
 	}
 	return true
+}
+
+// spill populates the index from the inline prefix, once, at the boundary.
+func (s *writeSet) spill() {
+	if s.idx == nil {
+		s.idx = make(map[mem.Addr]int, 4*smallSetCap)
+	}
+	for i := range s.entries {
+		s.idx[s.entries[i].Addr] = i
+	}
+}
+
+// readEntry value-logs one speculative read for revalidation.
+type readEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+// readSet is the deduplicated speculative read log: insertion-ordered
+// (addr, value) pairs — the value log validation walks — plus a spill index,
+// the same shape as writeSet. Deduplication keeps validation O(distinct
+// addresses) instead of O(dynamic reads): a transaction that re-reads a hot
+// word a thousand times validates it once.
+type readSet struct {
+	entries []readEntry
+	idx     map[mem.Addr]int // nil until first spill
+}
+
+func (s *readSet) reset() {
+	s.entries = s.entries[:0]
+	if len(s.idx) > 0 {
+		clear(s.idx)
+	}
+}
+
+func (s *readSet) len() int { return len(s.entries) }
+
+// get returns the logged value for a, if a was read before.
+func (s *readSet) get(a mem.Addr) (uint64, bool) {
+	if len(s.idx) > 0 {
+		if i, ok := s.idx[a]; ok {
+			return s.entries[i].val, true
+		}
+		return 0, false
+	}
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		if s.entries[i].addr == a {
+			return s.entries[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// add logs a first read of a. The caller must have checked get(a) first:
+// duplicate addresses must not be re-logged.
+func (s *readSet) add(a mem.Addr, v uint64) {
+	if len(s.idx) > 0 {
+		s.idx[a] = len(s.entries)
+		s.entries = append(s.entries, readEntry{a, v})
+		return
+	}
+	s.entries = append(s.entries, readEntry{a, v})
+	if len(s.entries) > smallSetCap {
+		s.spill()
+	}
+}
+
+// spill populates the index from the inline prefix, once, at the boundary.
+func (s *readSet) spill() {
+	if s.idx == nil {
+		s.idx = make(map[mem.Addr]int, 4*smallSetCap)
+	}
+	for i := range s.entries {
+		s.idx[s.entries[i].addr] = i
+	}
 }

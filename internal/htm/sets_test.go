@@ -68,8 +68,8 @@ func TestQuickWriteSetMatchesMap(t *testing.T) {
 		}
 		// Full content check via the commit iteration order.
 		seen := make(map[mem.Addr]uint64)
-		for i, a := range s.addrs {
-			seen[a] = s.vals[i]
+		for _, e := range s.entries {
+			seen[e.Addr] = e.Value
 		}
 		if len(seen) != len(ref) {
 			return false
@@ -83,6 +83,74 @@ func TestQuickWriteSetMatchesMap(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestQuickReadSetMatchesMap: readSet must behave exactly like a map across
+// first-read logging, duplicate lookups, and the spill boundary. add is only
+// legal for addresses get misses on, mirroring how Load uses it.
+func TestQuickReadSetMatchesMap(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s readSet
+		ref := make(map[mem.Addr]uint64)
+		for i := 0; i < int(n)+40; i++ { // cross the spill threshold
+			a := mem.Addr(rng.Intn(30) + 1)
+			v, ok := s.get(a)
+			want, wok := ref[a]
+			if ok != wok || (ok && v != want) {
+				return false
+			}
+			if !ok {
+				nv := rng.Uint64()
+				s.add(a, nv)
+				ref[a] = nv
+			}
+			if s.len() != len(ref) {
+				return false
+			}
+		}
+		// Full content check via the validation iteration order.
+		seen := make(map[mem.Addr]uint64)
+		for _, e := range s.entries {
+			seen[e.addr] = e.val
+		}
+		if len(seen) != len(ref) {
+			return false
+		}
+		for a, v := range ref {
+			if seen[a] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadSetResetReusable(t *testing.T) {
+	var s readSet
+	for i := 0; i < 3; i++ {
+		for a := mem.Addr(1); a <= 30; a++ { // spill every round
+			if _, ok := s.get(a); !ok {
+				s.add(a, uint64(a)*3)
+			}
+		}
+		if s.len() != 30 {
+			t.Fatalf("round %d: len = %d, want 30", i, s.len())
+		}
+		if v, ok := s.get(15); !ok || v != 45 {
+			t.Fatalf("round %d: get(15) = %d,%v", i, v, ok)
+		}
+		s.reset()
+		if s.len() != 0 {
+			t.Fatalf("round %d: len after reset = %d", i, s.len())
+		}
+		if _, ok := s.get(15); ok {
+			t.Fatalf("round %d: stale entry visible after reset", i)
+		}
 	}
 }
 

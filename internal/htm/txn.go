@@ -6,12 +6,6 @@ import (
 	"rhnorec/internal/mem"
 )
 
-// readEntry value-logs one speculative read for revalidation.
-type readEntry struct {
-	addr mem.Addr
-	val  uint64
-}
-
 // Txn is one thread's hardware-transaction context. It is reusable: Begin
 // resets it for a fresh speculation. Methods must be called from the owning
 // thread only.
@@ -23,24 +17,30 @@ type Txn struct {
 	d      *Device
 	active bool
 
-	// snap is the even memory-clock value the read log is valid at.
+	// snap is the even memory-clock value the whole read log is known to be
+	// valid at. It doubles as the validation watermark: any validation that
+	// observes the clock still at snap is a no-op, because the clock is
+	// monotonic and no mutation can have happened since the log was last
+	// validated. Successful revalidations advance it.
 	snap uint64
 
-	// reads value-logs every speculative read (duplicates allowed; the
-	// line set below does the capacity accounting).
-	reads     []readEntry
+	// reads value-logs every *distinct* speculative read; duplicate loads
+	// are answered from the log (an L1 hit on real hardware) and are not
+	// re-logged, so validation is O(distinct addresses). The line set does
+	// the capacity accounting.
+	reads     readSet
 	readLines lineSet
 
 	writes writeSet
 	wLines lineSet
 
-	// Per-transaction cached limits and probability thresholds.
+	// Per-transaction cached limits and probability thresholds (copied out
+	// of the device config at Begin so the per-operation hot path never
+	// chases the device pointer).
 	readCap, writeCap int
+	yieldPeriod       int
 	spuriousThresh    uint64
 	falseConfThresh   uint64
-
-	// scratch buffer reused for commit write-back.
-	commitBuf []mem.WriteEntry
 
 	rngState uint64
 	opCount  int
@@ -52,13 +52,16 @@ func (t *Txn) Begin() {
 		panic("htm: Begin inside an active transaction (no nesting in this simulator)")
 	}
 	t.active = true
-	t.reads = t.reads[:0]
-	t.readLines.reset()
+	if t.reads.len() > 0 {
+		t.reads.reset()
+		t.readLines.reset()
+	}
 	if t.writes.len() > 0 {
 		t.writes.reset()
 		t.wLines.reset()
 	}
 	t.readCap, t.writeCap = t.d.effectiveCaps()
+	t.yieldPeriod = t.d.cfg.YieldPeriod
 	if p := t.d.cfg.SpuriousAbortProb; p > 0 {
 		t.spuriousThresh = uint64(p * (1 << 53))
 	} else {
@@ -108,7 +111,7 @@ func (t *Txn) nextRand() uint64 {
 // maybeYield periodically yields the processor so that simulated hardware
 // threads interleave mid-transaction even on few OS threads.
 func (t *Txn) maybeYield() {
-	p := t.d.cfg.YieldPeriod
+	p := t.yieldPeriod
 	if p <= 0 {
 		return
 	}
@@ -131,6 +134,14 @@ func (t *Txn) maybeSpurious() {
 
 // Load speculatively reads a word. It aborts (conflict) if the read set can
 // no longer be validated, and (capacity) if the read set overflows.
+//
+// A duplicate load — an address already in the read log — is answered from
+// the log without touching shared memory, like the L1 hit it would be on
+// real hardware. The logged value is by construction the address's value at
+// the snapshot the whole log is valid at, so returning it preserves
+// opacity; if the location has since changed, the next validation (or the
+// commit) aborts the transaction exactly as it would have in the seed
+// protocol.
 func (t *Txn) Load(a mem.Addr) uint64 {
 	t.mustActive("Load")
 	t.maybeYield()
@@ -140,8 +151,11 @@ func (t *Txn) Load(a mem.Addr) uint64 {
 			return v
 		}
 	}
+	if v, ok := t.reads.get(a); ok {
+		return v
+	}
 	v := t.readConsistent(a)
-	t.reads = append(t.reads, readEntry{a, v})
+	t.reads.add(a, v)
 	if t.readLines.add(mem.LineOf(a)) && t.readLines.count() > t.readCap {
 		t.fail(Capacity, 0)
 	}
@@ -150,7 +164,8 @@ func (t *Txn) Load(a mem.Addr) uint64 {
 
 // readConsistent returns a's value at a snapshot the whole read log is valid
 // at, extending the snapshot if the clock moved (NOrec-style incremental
-// validation — this is what makes the simulated HTM opaque).
+// validation — this is what makes the simulated HTM opaque). Validation is
+// skipped entirely while the clock still reads the snap watermark.
 func (t *Txn) readConsistent(a mem.Addr) uint64 {
 	m := t.d.m
 	for {
@@ -170,10 +185,10 @@ func (t *Txn) readConsistent(a mem.Addr) uint64 {
 		// by value, then confirm the clock still reads c0 so the validation
 		// itself was not torn. A bloom-filter hardware would not compare
 		// values — model its false positives first.
-		if t.falseConfThresh != 0 && len(t.reads) > 0 && t.nextRand()>>11 < t.falseConfThresh {
+		if t.falseConfThresh != 0 && t.reads.len() > 0 && t.nextRand()>>11 < t.falseConfThresh {
 			t.fail(Conflict, 0)
 		}
-		for _, r := range t.reads {
+		for _, r := range t.reads.entries {
 			if m.LoadPlain(r.addr) != r.val {
 				t.fail(Conflict, 0)
 			}
@@ -184,6 +199,30 @@ func (t *Txn) readConsistent(a mem.Addr) uint64 {
 		t.snap = c0
 		return v
 	}
+}
+
+// validateReads is the commit-time validation: skip if the clock still
+// reads the snap watermark, roll the bloom false-positive dice otherwise,
+// then re-check every distinct logged read by value. The caller guarantees
+// the verdict is only used if the clock was stable across the call (either
+// by holding the writeback lock or via the seqlock read protocol).
+func (t *Txn) validateReads() bool {
+	m := t.d.m
+	if m.Clock() == t.snap {
+		return true
+	}
+	// Bloom-filter false positives hit commit-time validation too: if
+	// memory moved since our snapshot, a filter-based hardware might see a
+	// phantom intersection.
+	if t.falseConfThresh != 0 && t.reads.len() > 0 && t.nextRand()>>11 < t.falseConfThresh {
+		return false
+	}
+	for _, r := range t.reads.entries {
+		if m.LoadPlain(r.addr) != r.val {
+			return false
+		}
+	}
+	return true
 }
 
 // Store speculatively writes a word into the private write buffer. It aborts
@@ -214,30 +253,16 @@ func (t *Txn) Cancel() {
 
 // Commit atomically publishes the write buffer after a final validation. On
 // success the transaction becomes inactive; on failure it aborts (conflict).
+//
+// A writer commit publishes the write set directly from the write buffer
+// (no intermediate copy) under the memory's writeback lock. A read-only
+// commit publishes nothing and takes no lock: CommitWrites validates it
+// under the seqlock read protocol, which mirrors real RTM, where a
+// read-only commit touches nothing shared.
 func (t *Txn) Commit() {
 	t.mustActive("Commit")
 	t.maybeSpurious()
-	m := t.d.m
-	t.commitBuf = t.commitBuf[:0]
-	for i, a := range t.writes.addrs {
-		t.commitBuf = append(t.commitBuf, mem.WriteEntry{Addr: a, Value: t.writes.vals[i]})
-	}
-	ok := m.CommitWrites(t.commitBuf, func() bool {
-		// Bloom-filter false positives hit commit-time validation too:
-		// if memory moved since our snapshot, a filter-based hardware
-		// might see a phantom intersection.
-		if t.falseConfThresh != 0 && len(t.reads) > 0 && m.Clock() != t.snap &&
-			t.nextRand()>>11 < t.falseConfThresh {
-			return false
-		}
-		for _, r := range t.reads {
-			if m.LoadPlain(r.addr) != r.val {
-				return false
-			}
-		}
-		return true
-	})
-	if !ok {
+	if !t.d.m.CommitWrites(t.writes.entries, t.validateReads) {
 		t.fail(Conflict, 0)
 	}
 	t.active = false

@@ -232,6 +232,72 @@ func TestFalseConflictModel(t *testing.T) {
 	}
 }
 
+// TestDupLoadsNotRelogged: re-reading an address must not grow the read log —
+// validation cost is O(distinct addresses), not O(dynamic reads).
+func TestDupLoadsNotRelogged(t *testing.T) {
+	_, d, c := newTestDevice(Config{})
+	a := c.Alloc(4)
+	tx := d.NewTxn()
+	if ab := attempt(tx, func() {
+		for i := 0; i < 100; i++ {
+			_ = tx.Load(a)
+		}
+		if got := tx.reads.len(); got != 1 {
+			t.Errorf("read log has %d entries after 100 loads of one word, want 1", got)
+		}
+		_ = tx.Load(a + 1)
+		for i := 0; i < 100; i++ {
+			_ = tx.Load(a)
+			_ = tx.Load(a + 1)
+		}
+		if got := tx.reads.len(); got != 2 {
+			t.Errorf("read log has %d entries for 2 distinct words, want 2", got)
+		}
+	}); ab != nil {
+		t.Fatalf("unexpected abort: %v", ab)
+	}
+}
+
+// TestDupLoadReturnsSnapshotValue: a duplicate load answered from the read
+// log must return the value the log was validated at, even if the word has
+// since been overwritten by a plain store — that is the only answer
+// consistent with the transaction's snapshot. The stale read then dooms the
+// transaction at commit, exactly like the seed protocol.
+func TestDupLoadReturnsSnapshotValue(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(1)
+	m.StorePlain(a, 11)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		if got := tx.Load(a); got != 11 {
+			t.Errorf("first load = %d, want 11", got)
+		}
+		m.StorePlain(a, 22) // foreign overwrite of a logged word
+		if got := tx.Load(a); got != 11 {
+			t.Errorf("dup load = %d, want snapshot value 11", got)
+		}
+	})
+	if ab == nil || ab.Code != Conflict {
+		t.Fatalf("abort = %v, want conflict at commit for the stale read", ab)
+	}
+}
+
+// TestDupLoadDisjointStoreCommits: duplicate loads plus a foreign store to an
+// untracked word must still commit — value validation sees no change.
+func TestDupLoadDisjointStoreCommits(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(2 * mem.LineWords)
+	tx := d.NewTxn()
+	if ab := attempt(tx, func() {
+		_ = tx.Load(a)
+		m.StorePlain(a+mem.LineWords, 9)
+		_ = tx.Load(a) // dup: served from the log
+		_ = tx.Load(a) // and again
+	}); ab != nil {
+		t.Fatalf("unexpected abort on disjoint store: %v", ab)
+	}
+}
+
 func TestReadOnlyCommitDoesNotMoveClock(t *testing.T) {
 	m, d, c := newTestDevice(Config{})
 	a := c.Alloc(1)

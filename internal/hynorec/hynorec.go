@@ -216,7 +216,8 @@ func (t *thread) waitOutAbortCause(ab *htm.Abort) {
 
 // fastAttempt is Algorithm-1-style: subscribe to the HTM lock at start, run
 // fn uninstrumented, and at commit notify slow paths via the clock when any
-// exist.
+// exist. Transactions that wrote nothing commit lock-free in the substrate
+// (seqlock validation, no writeback lock).
 func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -164,7 +164,7 @@ func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
 		t.base.St.UserAborts++
 		return uerr, nil
 	}
-	t.htx.Commit()
+	t.htx.Commit() // read-only speculations commit lock-free in the substrate
 	t.base.CommitCleanup()
 	t.base.St.Commits++
 	t.base.St.FastPathCommits++

@@ -19,6 +19,10 @@
 //  2. HTM commits publish their entire write buffer while holding the
 //     writeback lock that plain mutators also take, so a commit is atomic
 //     with respect to all other memory traffic (strong isolation).
+//     Read-only commits publish nothing and therefore take no lock at all:
+//     they validate under the seqlock read protocol (observe an even clock,
+//     validate, observe the same clock), which is equivalent to validating
+//     while holding the lock — see CommitWrites.
 package mem
 
 import (
@@ -95,16 +99,24 @@ func (m *Memory) ClockStable() uint64 {
 	}
 }
 
-// beginMutate takes the writeback lock and moves the clock to an odd value;
-// endMutate returns it to even and releases the lock. Every mutation of word
-// contents is bracketed by this pair.
+// seqOpen moves the clock to an odd value, opening a seqlock write window;
+// seqClose returns it to even. These two functions are the only place the
+// odd/even protocol lives: every word mutation is bracketed by them, with
+// the writeback lock held (conditional mutators like CASPlain take the lock
+// first and open the window only once they know they will mutate).
+func (m *Memory) seqOpen()  { m.clock.Add(1) }
+func (m *Memory) seqClose() { m.clock.Add(1) }
+
+// beginMutate takes the writeback lock and opens the seqlock write window;
+// endMutate closes the window and releases the lock. Every unconditional
+// mutation of word contents is bracketed by this pair.
 func (m *Memory) beginMutate() {
 	m.wb.Lock()
-	m.clock.Add(1)
+	m.seqOpen()
 }
 
 func (m *Memory) endMutate() {
-	m.clock.Add(1)
+	m.seqClose()
 	m.wb.Unlock()
 }
 
@@ -130,7 +142,8 @@ func (m *Memory) StorePlain(a Addr, v uint64) {
 }
 
 // CASPlain performs a non-transactional compare-and-swap. The clock advances
-// only when the swap succeeds.
+// only when the swap succeeds: the comparison runs under the writeback lock,
+// and the seqlock window opens only for the actual store.
 func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 	m.check(a)
 	m.wb.Lock()
@@ -138,9 +151,9 @@ func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 		m.wb.Unlock()
 		return false
 	}
-	m.clock.Add(1)
+	m.seqOpen()
 	atomic.StoreUint64(&m.words[a], new)
-	m.clock.Add(1)
+	m.seqClose()
 	m.wb.Unlock()
 	return true
 }
@@ -172,27 +185,58 @@ type WriteEntry struct {
 	Value uint64
 }
 
-// CommitWrites atomically publishes a speculative write buffer. It takes the
-// writeback lock, calls validate (which must re-check the caller's read set
-// by value while no other mutation can interleave), and on success advances
-// the clock once and stores every entry. It reports whether the commit
-// succeeded. A read-only caller may pass an empty writes slice, in which
-// case validation still runs under the lock but the clock does not move.
+// CommitWrites atomically publishes a speculative write buffer. For a
+// non-empty buffer it takes the writeback lock, calls validate (which must
+// re-check the caller's read set by value while no other mutation can
+// interleave), and on success advances the clock once and stores every
+// entry. It reports whether the commit succeeded.
+//
+// A read-only caller passes an empty writes slice; since nothing is
+// published, the commit takes no lock and does not move the clock. Instead
+// validate runs under the seqlock read protocol (ValidateLockFree), which
+// yields the same verdict an under-the-lock validation would have produced
+// at the observed clock value.
 func (m *Memory) CommitWrites(writes []WriteEntry, validate func() bool) bool {
+	if len(writes) == 0 {
+		return m.ValidateLockFree(validate)
+	}
 	m.wb.Lock()
 	defer m.wb.Unlock()
 	if validate != nil && !validate() {
 		return false
 	}
-	if len(writes) == 0 {
-		return true
-	}
-	m.clock.Add(1)
+	m.seqOpen()
 	for _, w := range writes {
 		atomic.StoreUint64(&m.words[w.Addr], w.Value)
 	}
-	m.clock.Add(1)
+	m.seqClose()
 	return true
+}
+
+// ValidateLockFree runs validate under the seqlock read protocol: spin to an
+// even clock c0, run validate, and accept its verdict only if the clock
+// still reads c0 afterwards. The clock is monotonic and every mutation
+// passes through an odd value, so an unchanged even clock proves no
+// mutation overlapped the validation — the verdict is exactly what validate
+// would have returned while holding the writeback lock at clock c0. If the
+// clock moved, the verdict may be torn (validate may have seen a
+// half-published write set) and the validation is retried at a new stable
+// clock. A nil validate trivially succeeds.
+func (m *Memory) ValidateLockFree(validate func() bool) bool {
+	if validate == nil {
+		return true
+	}
+	for {
+		c0 := m.clock.Load()
+		if c0&1 != 0 {
+			runtime.Gosched() // a write-back is in flight
+			continue
+		}
+		ok := validate()
+		if m.clock.Load() == c0 {
+			return ok
+		}
+	}
 }
 
 // Snapshot copies n words starting at a into dst for debugging and test
