@@ -17,6 +17,13 @@
 // probability, -falseconf bloom false-conflict probability, -swcost
 // instrumentation-cost units, -tsv machine-readable rows, -json FILE
 // machine-readable point dump (ops/sec per system per thread count).
+//
+// Observability (docs/METRICS.md): -obs attaches per-thread latency
+// histograms and the abort-cause taxonomy to every worker and embeds the
+// merged snapshot in each -json point; -trace FILE additionally attaches
+// per-thread event rings (-ringsize entries each) and writes their drained
+// contents for cmd/rhtrace to replay.
+//
 // Throughput numbers are simulator-relative: compare algorithms at equal thread
 // counts, not against the paper's absolute Haswell numbers (see
 // EXPERIMENTS.md).
@@ -32,6 +39,7 @@ import (
 
 	"rhnorec/internal/bench"
 	"rhnorec/internal/htm"
+	"rhnorec/internal/obs"
 	"rhnorec/internal/tm"
 )
 
@@ -46,7 +54,10 @@ func main() {
 		tsv        = flag.Bool("tsv", false, "emit tab-separated rows instead of paper-style tables")
 		repeat     = flag.Int("repeat", 1, "runs per point; the median-throughput run is reported")
 		swcost     = flag.Int("swcost", tm.DefaultSoftwareAccessCost, "instrumentation-cost units per software-path access (see DESIGN.md)")
-		jsonPath   = flag.String("json", "", "also write every benchmark point to this file as a JSON array")
+		jsonPath   = flag.String("json", "", "also write every benchmark point to this file as a versioned JSON dump (see docs/METRICS.md)")
+		obsOn      = flag.Bool("obs", false, "attach observability recorders (per-phase latency histograms, abort-cause taxonomy); adds an obs snapshot to each -json point")
+		tracePath  = flag.String("trace", "", "write per-thread event-ring traces to this file (implies -obs plus rings; replay with rhtrace)")
+		ringSize   = flag.Int("ringsize", 2048, "events held per thread ring for -trace")
 		verbose    = flag.Bool("v", false, "print each point as it completes")
 	)
 	flag.Parse()
@@ -76,6 +87,13 @@ func main() {
 		HTM:      htm.Config{SpuriousAbortProb: *spurious, FalseConflictProb: *falseConf},
 		TSV:      *tsv,
 		Repeat:   *repeat,
+		Obs:      *obsOn || *tracePath != "",
+	}
+	if *tracePath != "" {
+		if *ringSize <= 0 {
+			fatal(fmt.Errorf("-trace needs -ringsize > 0, got %d", *ringSize))
+		}
+		cfg.ObsRing = *ringSize
 	}
 	if *algosCSV != "" {
 		for _, name := range strings.Split(*algosCSV, ",") {
@@ -98,10 +116,24 @@ func main() {
 		jsonFile = f
 		rec = new(bench.JSONRecorder)
 	}
-	if *verbose || rec != nil {
+	var traces []obs.Trace
+	var traceFile *os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+	}
+	if *verbose || rec != nil || traceFile != nil {
 		cfg.Progress = func(r bench.Result) {
 			if rec != nil {
 				rec.Record(r)
+			}
+			if traceFile != nil {
+				traces = append(traces, obs.Trace{
+					Workload: r.Workload, Algo: r.Algo, Threads: r.Threads, Rings: r.Trace,
+				})
 			}
 			if *verbose {
 				fmt.Fprintf(os.Stderr, "  %-14s %-14s t=%-3d %12.0f ops/s\n", r.Workload, r.Algo, r.Threads, r.Throughput)
@@ -150,6 +182,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "rhbench: wrote %d points to %s\n", rec.Len(), *jsonPath)
+	}
+	if traceFile != nil {
+		if err := bench.WriteTraces(traceFile, traces); err != nil {
+			traceFile.Close()
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rhbench: wrote %d traces to %s\n", len(traces), *tracePath)
 	}
 }
 

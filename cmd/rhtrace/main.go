@@ -1,0 +1,147 @@
+// Command rhtrace replays the event-ring traces written by
+// `rhbench -trace FILE` into a human-readable report: for every benchmark
+// point, a table of the top abort causes (count, share, mean retry
+// ordinal) and a per-thread timeline of the last ring events, ordered by
+// the logical timestamps the rings were stamped with (the mem clock, so
+// cross-thread orderings agree with the committed history).
+//
+// Usage:
+//
+//	rhbench -experiment fig4 -threads 8 -trace trace.json
+//	rhtrace -in trace.json                 # abort table + timelines
+//	rhtrace -in trace.json -top 5 -limit 0 # abort tables only
+//	rhtrace -in trace.json -point rbtree   # only points matching a substring
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rhnorec/internal/obs"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "trace file written by rhbench -trace (required)")
+		top   = flag.Int("top", 10, "abort causes to show per point")
+		limit = flag.Int("limit", 20, "timeline events to show per thread (0 hides timelines)")
+		match = flag.String("point", "", "only report points whose workload/algo contains this substring")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "rhtrace: -in FILE is required (write one with rhbench -trace)")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var traces []obs.Trace
+	if err := json.Unmarshal(data, &traces); err != nil {
+		fatal(fmt.Errorf("%s is not a trace file: %w", *in, err))
+	}
+	shown := 0
+	for i := range traces {
+		tr := &traces[i]
+		if *match != "" && !strings.Contains(tr.Workload, *match) && !strings.Contains(tr.Algo, *match) {
+			continue
+		}
+		report(tr, *top, *limit)
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintln(os.Stderr, "rhtrace: no points matched")
+		os.Exit(1)
+	}
+}
+
+// causeRow aggregates one abort cause across a point's rings.
+type causeRow struct {
+	cause    string
+	count    uint64
+	retrySum uint64
+}
+
+func report(tr *obs.Trace, top, limit int) {
+	fmt.Printf("==== %s / %s / %d threads ====\n", tr.Workload, tr.Algo, tr.Threads)
+	var events, dropped uint64
+	byCause := map[string]*causeRow{}
+	for _, ring := range tr.Rings {
+		events += uint64(len(ring.Events))
+		dropped += ring.Dropped
+		for _, e := range ring.Events {
+			if e.Kind != "abort" {
+				continue
+			}
+			row := byCause[e.Cause]
+			if row == nil {
+				row = &causeRow{cause: e.Cause}
+				byCause[e.Cause] = row
+			}
+			row.count++
+			row.retrySum += uint64(e.Retry)
+		}
+	}
+	fmt.Printf("rings: %d  events held: %d  overwritten: %d\n", len(tr.Rings), events, dropped)
+
+	rows := make([]*causeRow, 0, len(byCause))
+	var aborts uint64
+	for _, row := range byCause {
+		rows = append(rows, row)
+		aborts += row.count
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].cause < rows[j].cause
+	})
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	if len(rows) == 0 {
+		fmt.Println("no abort events in the held window")
+	} else {
+		fmt.Printf("top abort causes (of %d held abort events):\n", aborts)
+		fmt.Printf("  %-16s %10s %7s %10s\n", "cause", "count", "share", "mean-retry")
+		for _, row := range rows {
+			fmt.Printf("  %-16s %10d %6.1f%% %10.2f\n",
+				row.cause, row.count,
+				100*float64(row.count)/float64(aborts),
+				float64(row.retrySum)/float64(row.count))
+		}
+	}
+	if limit > 0 {
+		for _, ring := range tr.Rings {
+			fmt.Printf("thread %d timeline (last %d of %d held, %d overwritten):\n",
+				ring.Thread, min(limit, len(ring.Events)), len(ring.Events), ring.Dropped)
+			evs := ring.Events
+			if len(evs) > limit {
+				evs = evs[len(evs)-limit:]
+			}
+			for _, e := range evs {
+				line := fmt.Sprintf("  t=%-10d %-8s", e.T, e.Kind)
+				if e.Path != "" {
+					line += " path=" + e.Path
+				}
+				if e.Cause != "" {
+					line += " cause=" + e.Cause
+				}
+				if e.Retry != 0 {
+					line += fmt.Sprintf(" retry=%d", e.Retry)
+				}
+				fmt.Println(line)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rhtrace:", err)
+	os.Exit(1)
+}

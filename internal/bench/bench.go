@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"rhnorec/internal/lockelision"
 	"rhnorec/internal/mem"
 	"rhnorec/internal/norec"
+	"rhnorec/internal/obs"
 	"rhnorec/internal/phasedtm"
 	"rhnorec/internal/rhtl2"
 	"rhnorec/internal/tl2"
@@ -122,6 +124,15 @@ type RunConfig struct {
 	HTM htm.Config
 	// Policy configures retries (zero fields take the paper's defaults).
 	Policy tm.RetryPolicy
+	// Obs attaches an observability recorder (per-phase latency histograms
+	// and the abort-cause taxonomy, see internal/obs) to every worker
+	// thread. Off by default: the disabled path costs one nil check per
+	// instrumentation site.
+	Obs bool
+	// ObsRing, when > 0 (and Obs is set), additionally attaches a
+	// fixed-size per-thread event ring of that many entries, drained into
+	// Result.Trace after the workers stop.
+	ObsRing int
 }
 
 // Result is one benchmark point's outcome.
@@ -133,6 +144,12 @@ type Result struct {
 	Elapsed    time.Duration
 	Stats      tm.Stats
 	Throughput float64 // committed operations per second
+	// Obs is the merged observability snapshot across all workers; nil
+	// unless RunConfig.Obs was set.
+	Obs *obs.Snapshot
+	// Trace holds each worker's drained event ring, sorted by thread
+	// index; nil unless RunConfig.ObsRing was set.
+	Trace []obs.ThreadRing
 }
 
 // Run executes one benchmark point.
@@ -165,14 +182,20 @@ func Run(cfg RunConfig) (Result, error) {
 	var totalOps atomic.Uint64
 	var agg tm.Stats
 	var aggMu sync.Mutex
+	var rings []obs.ThreadRing
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < cfg.Threads; i++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(id int, seed int64) {
 			defer wg.Done()
 			th := sys.NewThread()
 			defer th.Close()
+			if cfg.Obs {
+				// Stats() hands back the thread's own Stats, so the recorder
+				// can be attached here without any per-algorithm wiring.
+				th.Stats().Obs = obs.NewRecorder(obs.Config{RingSize: cfg.ObsRing})
+			}
 			op := cfg.Workload.NewOp(th, seed)
 			var ops uint64
 			for !stop.Load() {
@@ -187,16 +210,21 @@ func Run(cfg RunConfig) (Result, error) {
 			}
 			totalOps.Add(ops)
 			aggMu.Lock()
+			if o := th.Stats().Obs; o.Ring() != nil {
+				// Rings are per-thread (Merge does not combine them): drain
+				// before the Stats merge folds the recorder into agg.
+				rings = append(rings, o.DrainRing(id))
+			}
 			agg.Add(th.Stats())
 			aggMu.Unlock()
-		}(int64(i)*7919 + 17)
+		}(i, int64(i)*7919+17)
 	}
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
 	ops := totalOps.Load()
-	return Result{
+	res := Result{
 		Workload:   cfg.Workload.Name(),
 		Algo:       cfg.Algo.Name,
 		Threads:    cfg.Threads,
@@ -204,5 +232,13 @@ func Run(cfg RunConfig) (Result, error) {
 		Elapsed:    elapsed,
 		Stats:      agg,
 		Throughput: float64(ops) / elapsed.Seconds(),
-	}, nil
+	}
+	if cfg.Obs {
+		res.Obs = agg.Obs.Snapshot()
+	}
+	if len(rings) > 0 {
+		sort.Slice(rings, func(i, j int) bool { return rings[i].Thread < rings[j].Thread })
+		res.Trace = rings
+	}
+	return res, nil
 }

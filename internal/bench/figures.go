@@ -25,6 +25,9 @@ type SweepConfig struct {
 	Repeat int
 	// Progress, when non-nil, receives each point as it completes.
 	Progress func(Result)
+	// Obs/ObsRing enable per-thread observability (see RunConfig).
+	Obs     bool
+	ObsRing int
 }
 
 // Sweep holds one workload's results across algorithms and thread counts.
@@ -63,6 +66,8 @@ func RunSweep(cfg SweepConfig) (*Sweep, error) {
 					MemWords: cfg.MemWords,
 					HTM:      cfg.HTM,
 					Policy:   cfg.Policy,
+					Obs:      cfg.Obs,
+					ObsRing:  cfg.ObsRing,
 				})
 				if err != nil {
 					return nil, err
@@ -165,13 +170,16 @@ type FigureConfig struct {
 	Progress func(Result)
 	// TSV switches output from the paper-style table to tab-separated rows.
 	TSV bool
+	// Obs/ObsRing enable per-thread observability (see RunConfig).
+	Obs     bool
+	ObsRing int
 }
 
 func (c FigureConfig) sweep(f WorkloadFactory) SweepConfig {
 	return SweepConfig{
 		Factory: f, Algos: c.Algos, Threads: c.Threads, Duration: c.Duration,
 		MemWords: c.MemWords, HTM: c.HTM, Policy: c.Policy, Repeat: c.Repeat,
-		Progress: c.Progress,
+		Progress: c.Progress, Obs: c.Obs, ObsRing: c.ObsRing,
 	}
 }
 

@@ -3,7 +3,27 @@ package bench
 import (
 	"encoding/json"
 	"io"
+
+	"rhnorec/internal/obs"
 )
+
+// SchemaVersion identifies the rhbench JSON dump format. Versioning
+// contract (docs/METRICS.md): additive, optional fields do not bump the
+// version; renaming, removing, or changing the meaning of a field does.
+//
+// History: rhbench.v1 was a bare JSON array of points; rhbench.v2 wraps
+// the points in a versioned envelope and adds the optional per-point
+// "obs" observability snapshot.
+const SchemaVersion = "rhbench.v2"
+
+// JSONDump is the versioned envelope of a machine-readable rhbench run.
+type JSONDump struct {
+	// SchemaVersion is always SchemaVersion ("rhbench.v2").
+	SchemaVersion string `json:"schema_version"`
+	// Points holds one entry per benchmark point, in completion order.
+	// Never null: an empty run dumps an empty array.
+	Points []JSONPoint `json:"points"`
+}
 
 // JSONPoint is the machine-readable form of one benchmark point: one
 // (workload, algorithm, thread-count) cell of a figure. Field names are
@@ -15,6 +35,10 @@ type JSONPoint struct {
 	Ops        uint64  `json:"ops"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Obs is the merged observability snapshot (phase latency histograms
+	// and the abort-cause taxonomy); present only when the run was made
+	// with -obs.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // JSONRecorder accumulates benchmark points for a machine-readable dump.
@@ -33,14 +57,15 @@ func (rec *JSONRecorder) Record(r Result) {
 		Ops:        r.Ops,
 		ElapsedSec: r.Elapsed.Seconds(),
 		OpsPerSec:  r.Throughput,
+		Obs:        r.Obs,
 	})
 }
 
 // Len reports how many points have been recorded.
 func (rec *JSONRecorder) Len() int { return len(rec.points) }
 
-// WriteJSON emits every recorded point as an indented JSON array. An empty
-// recorder writes an empty array, never null.
+// WriteJSON emits the versioned dump, indented. An empty recorder writes
+// an envelope with an empty points array, never null.
 func (rec *JSONRecorder) WriteJSON(w io.Writer) error {
 	pts := rec.points
 	if pts == nil {
@@ -48,5 +73,17 @@ func (rec *JSONRecorder) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(pts)
+	return enc.Encode(JSONDump{SchemaVersion: SchemaVersion, Points: pts})
+}
+
+// WriteTraces emits a JSON array of per-point event-ring traces (the
+// `rhbench -trace` file format, replayed by cmd/rhtrace). An empty slice
+// writes an empty array, never null.
+func WriteTraces(w io.Writer, traces []obs.Trace) error {
+	if traces == nil {
+		traces = []obs.Trace{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traces)
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rhnorec/internal/obs"
 )
 
 func TestJSONRecorderRoundTrip(t *testing.T) {
@@ -21,34 +23,87 @@ func TestJSONRecorderRoundTrip(t *testing.T) {
 	if err := rec.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var got []JSONPoint
+	var got JSONDump
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %q, want %q", got.SchemaVersion, SchemaVersion)
 	}
 	want := []JSONPoint{
 		{Workload: "rbtree-10%", Algo: "rh-norec", Threads: 8, Ops: 1234, ElapsedSec: 0.5, OpsPerSec: 2468},
 		{Workload: "rbtree-10%", Algo: "htm-only", Threads: 1, Ops: 10, ElapsedSec: 1, OpsPerSec: 10},
 	}
 	for i := range want {
-		if got[i] != want[i] {
-			t.Errorf("point %d = %+v, want %+v", i, got[i], want[i])
+		if got.Points[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, got.Points[i], want[i])
 		}
 	}
 	// The plotting scripts key on these exact names.
-	for _, key := range []string{`"workload"`, `"algo"`, `"threads"`, `"ops"`, `"elapsed_sec"`, `"ops_per_sec"`} {
+	for _, key := range []string{`"schema_version"`, `"points"`, `"workload"`, `"algo"`, `"threads"`, `"ops"`, `"elapsed_sec"`, `"ops_per_sec"`} {
 		if !strings.Contains(buf.String(), key) {
 			t.Errorf("output missing field %s", key)
 		}
 	}
+	// An obs-less point must not carry an obs key (omitempty contract).
+	if strings.Contains(buf.String(), `"obs"`) {
+		t.Error("obs key present on a run made without observability")
+	}
 }
 
-func TestJSONRecorderEmptyIsArray(t *testing.T) {
+func TestJSONRecorderCarriesObsSnapshot(t *testing.T) {
+	r := obs.NewRecorder(obs.Config{})
+	r.RecordPhase(obs.PhaseFast, 100)
+	r.RecordAbort(obs.CauseConflict, 1, 0)
+	var rec JSONRecorder
+	rec.Record(Result{Workload: "w", Algo: "a", Threads: 1, Obs: r.Snapshot()})
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got JSONDump
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	snap := got.Points[0].Obs
+	if snap == nil {
+		t.Fatal("obs snapshot dropped")
+	}
+	if len(snap.Phases) != 1 || snap.Phases[0].Phase != "fast" || snap.Phases[0].Count != 1 {
+		t.Errorf("phases = %+v", snap.Phases)
+	}
+	if len(snap.Aborts) != 1 || snap.Aborts[0].Cause != "conflict" {
+		t.Errorf("aborts = %+v", snap.Aborts)
+	}
+}
+
+func TestJSONRecorderEmptyIsVersionedEnvelope(t *testing.T) {
 	var rec JSONRecorder
 	var buf bytes.Buffer
 	if err := rec.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
+	var got JSONDump
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %q, want %q", got.SchemaVersion, SchemaVersion)
+	}
+	if got.Points == nil || len(got.Points) != 0 {
+		t.Errorf("points = %#v, want empty non-null array", got.Points)
+	}
+	if strings.Contains(buf.String(), "null") {
+		t.Errorf("empty dump contains null: %s", buf.String())
+	}
+}
+
+func TestWriteTracesEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraces(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
 	if s := strings.TrimSpace(buf.String()); s != "[]" {
-		t.Errorf("empty recorder wrote %q, want []", s)
+		t.Errorf("empty traces wrote %q, want []", s)
 	}
 }

@@ -38,14 +38,16 @@ import (
 
 	"rhnorec/internal/htm"
 	"rhnorec/internal/mem"
+	"rhnorec/internal/obs"
 	"rhnorec/internal/tm"
 )
 
-// XABORT payloads used by the protocol.
+// XABORT payloads used by the protocol: the canonical htm.Arg* codes, so
+// the observability taxonomy classifies our explicit aborts.
 const (
-	abortHTMLockTaken = 1
-	abortClockLocked  = 2
-	abortSerialTaken  = 3
+	abortHTMLockTaken = htm.ArgHTMLockTaken
+	abortClockLocked  = htm.ArgClockLocked
+	abortSerialTaken  = htm.ArgSerialTaken
 )
 
 // System is an RH NOrec TM over one shared memory.
@@ -127,6 +129,11 @@ type thread struct {
 	maxReads      int
 	prefixStreak  int
 	prefixLimited bool // the current prefix was cut short by maxReads
+
+	// Observability phase anchors (obs.Recorder.Start results; 0 when
+	// observability is off).
+	prefixStart  int64
+	postfixStart int64
 }
 
 func (t *thread) Stats() *tm.Stats { return &t.base.St }
@@ -143,16 +150,23 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	t.base.BeginTxn()
 	defer t.base.EndTxn()
 	t.ro = ro
+	o := t.base.St.Obs
+	attemptStart := o.Start()
+	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
 	for {
+		fastStart := o.Start()
 		err, ab := t.fastAttempt(fn)
+		o.RecordSince(obs.PhaseFast, fastStart)
 		if ab == nil {
 			if err == nil {
 				t.base.Retry.OnFastCommit(retries)
+				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
 			}
+			o.RecordSince(obs.PhaseAttempt, attemptStart)
 			return err
 		}
-		t.recordAbort(ab)
+		t.base.RecordHTMAbort(ab, retries+1)
 		retries++
 		if !ab.MayRetry() && ab.Code != htm.Explicit {
 			break // NO_RETRY (capacity, environmental): straight to the mixed slow path
@@ -167,20 +181,10 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	}
 	t.base.Retry.OnFallback()
 	t.base.St.Fallbacks++
-	return t.mixedSlowRun(fn)
-}
-
-func (t *thread) recordAbort(ab *htm.Abort) {
-	switch ab.Code {
-	case htm.Conflict:
-		t.base.St.HTMConflictAborts++
-	case htm.Capacity:
-		t.base.St.HTMCapacityAborts++
-	case htm.Explicit:
-		t.base.St.HTMExplicitAborts++
-	case htm.Spurious:
-		t.base.St.HTMSpuriousAborts++
-	}
+	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
+	err := t.mixedSlowRun(fn)
+	o.RecordSince(obs.PhaseAttempt, attemptStart)
+	return err
 }
 
 func (t *thread) waitOutAbortCause(ab *htm.Abort) {
@@ -278,10 +282,16 @@ func (t *thread) mixedSlowRun(fn func(tm.Tx) error) error {
 			t.serialHeld = false
 		}
 	}()
+	o := t.base.St.Obs
 	for {
 		t.base.St.SlowPathStarts++
-		err, restarted := t.mixedAttempt(fn)
+		serial := t.serialHeld
+		serialStart := o.Start()
+		err, restarted := t.mixedAttempt(fn, restarts+1)
 		if !restarted {
+			if serial {
+				o.RecordSince(obs.PhaseSerial, serialStart)
+			}
 			return err
 		}
 		t.base.St.SlowPathRestarts++
@@ -295,29 +305,35 @@ func (t *thread) mixedSlowRun(fn func(tm.Tx) error) error {
 	}
 }
 
-// mixedAttempt is one try of the mixed slow path.
-func (t *thread) mixedAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
+// mixedAttempt is one try of the mixed slow path. attemptNo is the 1-based
+// ordinal of the try, for the abort taxonomy's retry accounting.
+func (t *thread) mixedAttempt(fn func(tm.Tx) error, attemptNo int) (err error, restarted bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			ab, isAbort := htm.AsAbort(r)
 			if isAbort {
-				t.recordAbort(ab)
+				t.base.RecordHTMAbort(ab, attemptNo)
 			} else if t.htx.Active() {
 				t.htx.Cancel()
 			}
 			t.mixedAbortCleanup()
 			if isAbort || tm.IsRestart(r) {
+				if !isAbort {
+					t.base.RecordSTMRestart(attemptNo)
+				}
 				err, restarted = nil, true
 				return
 			}
 			panic(r)
 		}
 	}()
+	o := t.base.St.Obs
 	t.writeDetected = false
 	t.prefixActive = false
 	t.postfixActive = false
 	t.fullSoftware = false
 	t.undo = t.undo[:0]
+	swStart := o.Start()
 	// Algorithm 3 start: try the HTM prefix; on no-go, the original
 	// (Algorithm 2) software start.
 	if t.prefixUsable() {
@@ -330,12 +346,20 @@ func (t *thread) mixedAttempt(fn func(tm.Tx) error) (err error, restarted bool) 
 		t.base.St.UserAborts++
 		return uerr, false
 	}
+	o.RecordSince(obs.PhaseSoftware, swStart)
+	wbStart := o.Start()
 	t.mixedCommit()
+	o.RecordSince(obs.PhaseWriteback, wbStart)
 	t.base.CommitCleanup()
 	t.base.St.Commits++
 	t.base.St.SlowPathCommits++
 	if t.ro {
 		t.base.St.ReadOnlyCommits++
+	}
+	if t.serialHeld {
+		t.base.ObsEvent(obs.EventCommit, obs.PathSerial)
+	} else {
+		t.base.ObsEvent(obs.EventCommit, obs.PathSlow)
 	}
 	return nil, false
 }
@@ -348,6 +372,7 @@ func (t *thread) prefixUsable() bool {
 // startPrefix is start_rh_htm_prefix (Algorithm 3 lines 9–26).
 func (t *thread) startPrefix() {
 	t.base.St.PrefixAttempts++
+	t.prefixStart = t.base.St.Obs.Start()
 	t.htx.Begin()
 	t.prefixActive = true
 	t.prefixLimited = false
@@ -393,6 +418,7 @@ func (t *thread) commitPrefix() {
 	t.fallbackRegistered = true
 	t.txv = v
 	t.base.St.PrefixCommits++
+	t.base.St.Obs.RecordSince(obs.PhasePrefix, t.prefixStart)
 	t.adaptPrefixAfterSuccess()
 }
 
@@ -439,6 +465,7 @@ func (t *thread) handleFirstWrite() {
 	t.writeDetected = true
 	if !t.sys.policy.DisablePostfix && !t.postfixBanned {
 		t.base.St.PostfixAttempts++
+		t.postfixStart = t.base.St.Obs.Start()
 		t.htx.Begin()
 		t.postfixActive = true
 		return
@@ -464,6 +491,7 @@ func (t *thread) mixedCommit() {
 		t.htx.Commit()
 		t.prefixActive = false
 		t.base.St.PrefixCommits++
+		t.base.St.Obs.RecordSince(obs.PhasePrefix, t.prefixStart)
 		t.adaptPrefixAfterSuccess()
 		return
 	}
@@ -474,6 +502,7 @@ func (t *thread) mixedCommit() {
 		t.htx.Commit() // publish all writes atomically
 		t.postfixActive = false
 		t.base.St.PostfixCommits++
+		t.base.St.Obs.RecordSince(obs.PhasePostfix, t.postfixStart)
 	}
 	if t.fullSoftware {
 		m.StorePlain(t.sys.gHTMLock, 0)

@@ -39,28 +39,88 @@ package htm
 
 import (
 	"fmt"
+
+	"rhnorec/internal/obs"
 )
 
 // Code classifies why a hardware transaction aborted, mirroring the RTM
-// abort status bits the paper's retry policy (§3.3) inspects.
+// abort status bits the paper's retry policy (§3.3) inspects. Figures 4–6
+// break HTM aborts per operation into the conflict and capacity series;
+// the Abort.Cause mapping below refines Explicit into the protocol-level
+// taxonomy the observability layer reports.
 type Code uint8
 
 const (
 	// Conflict: another thread's commit or plain store invalidated the
-	// transaction's read or write set. Retrying in hardware may help.
+	// transaction's read or write set. Retrying in hardware may help —
+	// the only code whose RTM status sets the may-retry hint (paper §3.3;
+	// the "HTM conflict aborts" series of Figures 4–6).
 	Conflict Code = iota + 1
-	// Capacity: the read or write set overflowed the transactional cache.
-	// Retrying in hardware is futile (the paper's NO_RETRY case).
+	// Capacity: the read or write set overflowed the transactional cache
+	// (paper §3.2's L1/L2-bounded domains). Retrying in hardware is futile
+	// — the paper's NO_RETRY case (§3.3; the "HTM capacity aborts" series
+	// of Figures 4–6).
 	Capacity
 	// Explicit: the transaction executed Abort (XABORT), e.g. after
-	// observing a taken global_htm_lock. The payload distinguishes causes.
+	// observing a taken global_htm_lock (Algorithm 1 line 3). The payload
+	// distinguishes the protocol-level causes — see the Arg constants.
 	Explicit
 	// Spurious: an environmental abort (interrupt, page fault, TLB miss,
-	// ...). Like most such aborts on Haswell, it clears the retry hint:
-	// the condition that killed the transaction is likely to recur
-	// immediately, so the right response is the software fallback.
+	// ...; paper §3.2's non-transactional abort sources). Like most such
+	// aborts on Haswell, it clears the retry hint: the condition that
+	// killed the transaction is likely to recur immediately, so the right
+	// response is the software fallback.
 	Spurious
 )
+
+// Canonical XABORT payloads of the protocols in this repository. Every TM
+// driver passes one of these to Txn.Abort, so the observability layer can
+// join the hardware abort code with the algorithm-level cause (Abort.Cause
+// below; the obs.Cause taxonomy documents the join).
+const (
+	// ArgHTMLockTaken: the fast path's begin-time subscription found the
+	// global HTM lock — or Lock Elision's elided global lock — held
+	// (Algorithm 1 line 3; paper §1.2 for lock elision).
+	ArgHTMLockTaken uint64 = 1
+	// ArgClockLocked: the fast path's commit point found the NOrec global
+	// clock locked by a software writer (Algorithm 1 lines 29–32), or an
+	// RH NOrec prefix commit found it locked (Algorithm 3 lines 47–56).
+	ArgClockLocked uint64 = 2
+	// ArgSerialTaken: the serial starvation lock of §3.3 was held at the
+	// fast path's commit point.
+	ArgSerialTaken uint64 = 3
+	// ArgWrongPhase: PhasedTM's phase subscription found the system in (or
+	// entering) a software phase (paper §1.1, [16]).
+	ArgWrongPhase uint64 = 4
+)
+
+// Cause joins the hardware abort code with the algorithm-level XABORT
+// payload into the observability taxonomy. This is the device-boundary
+// mapping: TM drivers never classify aborts themselves, so every abort in
+// the system lands in exactly one taxonomy cell (obs.Cause).
+func (a *Abort) Cause() obs.Cause {
+	switch a.Code {
+	case Conflict:
+		return obs.CauseConflict
+	case Capacity:
+		return obs.CauseCapacity
+	case Spurious:
+		return obs.CauseSpurious
+	case Explicit:
+		switch a.Arg {
+		case ArgHTMLockTaken:
+			return obs.CauseHTMLockTaken
+		case ArgClockLocked:
+			return obs.CauseClockLocked
+		case ArgSerialTaken:
+			return obs.CauseSerialTaken
+		case ArgWrongPhase:
+			return obs.CauseWrongPhase
+		}
+		return obs.CauseExplicitOther
+	}
+	return obs.CauseExplicitOther
+}
 
 func (c Code) String() string {
 	switch c {

@@ -20,14 +20,16 @@ import (
 
 	"rhnorec/internal/htm"
 	"rhnorec/internal/mem"
+	"rhnorec/internal/obs"
 	"rhnorec/internal/tm"
 )
 
-// XABORT payloads used by the protocol.
+// XABORT payloads used by the protocol: the canonical htm.Arg* codes, so
+// the observability taxonomy classifies our explicit aborts.
 const (
-	abortHTMLockTaken = 1
-	abortClockLocked  = 2
-	abortSerialTaken  = 3
+	abortHTMLockTaken = htm.ArgHTMLockTaken
+	abortClockLocked  = htm.ArgClockLocked
+	abortSerialTaken  = htm.ArgSerialTaken
 )
 
 // Variant selects the software slow path's write strategy.
@@ -143,16 +145,23 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	t.base.BeginTxn()
 	defer t.base.EndTxn()
 	t.ro = ro
+	o := t.base.St.Obs
+	attemptStart := o.Start()
+	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
 	for {
+		fastStart := o.Start()
 		err, ab := t.fastAttempt(fn)
+		o.RecordSince(obs.PhaseFast, fastStart)
 		if ab == nil {
 			if err == nil {
 				t.base.Retry.OnFastCommit(retries)
+				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
 			}
+			o.RecordSince(obs.PhaseAttempt, attemptStart)
 			return err
 		}
-		t.recordAbort(ab)
+		t.base.RecordHTMAbort(ab, retries+1)
 		retries++
 		if !t.shouldRetryFast(ab, retries) {
 			break
@@ -164,20 +173,10 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	}
 	t.base.Retry.OnFallback()
 	t.base.St.Fallbacks++
-	return t.slowRun(fn)
-}
-
-func (t *thread) recordAbort(ab *htm.Abort) {
-	switch ab.Code {
-	case htm.Conflict:
-		t.base.St.HTMConflictAborts++
-	case htm.Capacity:
-		t.base.St.HTMCapacityAborts++
-	case htm.Explicit:
-		t.base.St.HTMExplicitAborts++
-	case htm.Spurious:
-		t.base.St.HTMSpuriousAborts++
-	}
+	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
+	err := t.slowRun(fn)
+	o.RecordSince(obs.PhaseAttempt, attemptStart)
+	return err
 }
 
 // shouldRetryFast applies the paper's retry policy (§3.3): aborts whose
@@ -276,11 +275,17 @@ func (t *thread) slowRun(fn func(tm.Tx) error) error {
 	m := t.base.M
 	m.AddPlain(t.sys.gFallbacks, 1)
 	defer m.SubPlain(t.sys.gFallbacks, 1)
+	o := t.base.St.Obs
 	restarts := 0
 	for {
 		t.base.St.SlowPathStarts++
+		serial := t.serialHeld
+		serialStart := o.Start()
 		err, restarted := t.slowAttempt(fn)
 		if !restarted {
+			if serial {
+				o.RecordSince(obs.PhaseSerial, serialStart)
+			}
 			if t.serialHeld {
 				m.StorePlain(t.sys.serialLock, 0)
 				t.serialHeld = false
@@ -288,6 +293,7 @@ func (t *thread) slowRun(fn func(tm.Tx) error) error {
 			return err
 		}
 		t.base.St.SlowPathRestarts++
+		t.base.RecordSTMRestart(restarts + 1)
 		restarts++
 		if restarts >= t.sys.policy.MaxSlowPathRestarts && !t.serialHeld {
 			for !m.CASPlain(t.sys.serialLock, 0, 1) {
@@ -298,6 +304,8 @@ func (t *thread) slowRun(fn func(tm.Tx) error) error {
 	}
 }
 
+// slowAttempt is one try of the software slow path; the caller's loop
+// accounts restarts in the taxonomy.
 func (t *thread) slowAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -309,12 +317,14 @@ func (t *thread) slowAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
 			panic(r)
 		}
 	}()
+	o := t.base.St.Obs
 	m := t.base.M
 	t.writeDetected = false
 	t.undo = t.undo[:0]
 	t.readSet = t.readSet[:0]
 	clear(t.writeMap)
 	t.wOrder = t.wOrder[:0]
+	swStart := o.Start()
 	for {
 		v := m.LoadPlain(t.sys.gClock)
 		if v&1 == 0 {
@@ -328,6 +338,8 @@ func (t *thread) slowAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
 		t.base.St.UserAborts++
 		return uerr, false
 	}
+	o.RecordSince(obs.PhaseSoftware, swStart)
+	wbStart := o.Start()
 	switch t.sys.variant {
 	case Eager:
 		if t.writeDetected {
@@ -342,11 +354,17 @@ func (t *thread) slowAttempt(fn func(tm.Tx) error) (err error, restarted bool) {
 			t.lazyCommit()
 		}
 	}
+	o.RecordSince(obs.PhaseWriteback, wbStart)
 	t.base.CommitCleanup()
 	t.base.St.Commits++
 	t.base.St.SlowPathCommits++
 	if t.ro {
 		t.base.St.ReadOnlyCommits++
+	}
+	if t.serialHeld {
+		t.base.ObsEvent(obs.EventCommit, obs.PathSerial)
+	} else {
+		t.base.ObsEvent(obs.EventCommit, obs.PathSlow)
 	}
 	return nil, false
 }

@@ -10,12 +10,15 @@ import (
 
 	"rhnorec/internal/htm"
 	"rhnorec/internal/mem"
+	"rhnorec/internal/obs"
 	"rhnorec/internal/tm"
 )
 
 // abortLockTaken is the XABORT payload used when the subscription check
-// finds the global lock held.
-const abortLockTaken = 1
+// finds the global lock held: the canonical htm.ArgHTMLockTaken, so the
+// observability taxonomy classifies it (the elided lock plays the role the
+// global HTM lock plays in the hybrids).
+const abortLockTaken = htm.ArgHTMLockTaken
 
 // System is a lock-elision TM over one shared memory.
 type System struct {
@@ -82,17 +85,24 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	t.base.BeginTxn()
 	defer t.base.EndTxn()
 	t.ro = ro
+	o := t.base.St.Obs
+	attemptStart := o.Start()
+	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
 	for {
 		t.waitLockFree()
+		fastStart := o.Start()
 		err, ab := t.fastAttempt(fn)
+		o.RecordSince(obs.PhaseFast, fastStart)
 		if ab == nil {
 			if err == nil {
 				t.base.Retry.OnFastCommit(retries)
+				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
 			}
+			o.RecordSince(obs.PhaseAttempt, attemptStart)
 			return err
 		}
-		t.recordAbort(ab)
+		t.base.RecordHTMAbort(ab, retries+1)
 		retries++
 		if !ab.MayRetry() && ab.Code != htm.Explicit {
 			break // capacity: hardware retry is futile
@@ -106,7 +116,10 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	}
 	t.base.Retry.OnFallback()
 	t.base.St.Fallbacks++
-	return t.lockFallback(fn)
+	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
+	err := t.lockFallback(fn)
+	o.RecordSince(obs.PhaseAttempt, attemptStart)
+	return err
 }
 
 // waitLockFree avoids starting a speculation that is doomed to abort on its
@@ -114,19 +127,6 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 func (t *thread) waitLockFree() {
 	for t.base.M.LoadPlain(t.sys.gLock) != 0 {
 		runtime.Gosched()
-	}
-}
-
-func (t *thread) recordAbort(ab *htm.Abort) {
-	switch ab.Code {
-	case htm.Conflict:
-		t.base.St.HTMConflictAborts++
-	case htm.Capacity:
-		t.base.St.HTMCapacityAborts++
-	case htm.Explicit:
-		t.base.St.HTMExplicitAborts++
-	case htm.Spurious:
-		t.base.St.HTMSpuriousAborts++
 	}
 }
 
@@ -182,6 +182,7 @@ func (t *thread) lockFallback(fn func(tm.Tx) error) error {
 	for !m.CASPlain(t.sys.gLock, 0, 1) {
 		runtime.Gosched()
 	}
+	serialStart := t.base.St.Obs.Start()
 	t.undo = t.undo[:0]
 	err := func() (err error) {
 		defer func() {
@@ -202,12 +203,14 @@ func (t *thread) lockFallback(fn func(tm.Tx) error) error {
 		return err
 	}
 	m.StorePlain(t.sys.gLock, 0)
+	t.base.St.Obs.RecordSince(obs.PhaseSerial, serialStart)
 	t.base.CommitCleanup()
 	t.base.St.Commits++
 	t.base.St.SerialCommits++
 	if t.ro {
 		t.base.St.ReadOnlyCommits++
 	}
+	t.base.ObsEvent(obs.EventCommit, obs.PathSerial)
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"runtime"
 
 	"rhnorec/internal/mem"
+	"rhnorec/internal/obs"
 	"rhnorec/internal/tm"
 )
 
@@ -110,12 +111,24 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	t.base.BeginTxn()
 	defer t.base.EndTxn()
 	t.ro = ro
+	o := t.base.St.Obs
+	attemptStart := o.Start()
+	t.base.ObsEvent(obs.EventBegin, obs.PathSlow)
+	restarts := 0
 	for {
+		swStart := o.Start()
 		err, restarted := t.attempt(fn)
+		o.RecordSince(obs.PhaseSoftware, swStart)
 		if !restarted {
+			if err == nil {
+				t.base.ObsEvent(obs.EventCommit, obs.PathSlow)
+			}
+			o.RecordSince(obs.PhaseAttempt, attemptStart)
 			return err
 		}
 		t.base.St.STMRestarts++
+		restarts++
+		t.base.RecordSTMRestart(restarts)
 	}
 }
 
@@ -138,7 +151,9 @@ func (t *thread) attempt(fn func(tm.Tx) error) (err error, restarted bool) {
 		t.base.St.UserAborts++
 		return uerr, false
 	}
+	wbStart := t.base.St.Obs.Start()
 	t.commit()
+	t.base.St.Obs.RecordSince(obs.PhaseWriteback, wbStart)
 	t.base.CommitCleanup()
 	t.base.St.Commits++
 	t.base.St.SlowPathCommits++

@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+// BenchmarkRecorderDisabled measures the disabled-observability cost of one
+// instrumentation site: a nil-receiver method call, i.e. the single branch
+// the DESIGN.md overhead budget promises. Expect low single-digit
+// nanoseconds (or less, after inlining).
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var r *Recorder
+	for i := 0; i < b.N; i++ {
+		s := r.Start()
+		r.RecordSince(PhaseFast, s)
+		r.RecordAbort(CauseConflict, 1, 0)
+		r.RecordEvent(EventCommit, PathFast, 0)
+	}
+}
+
+// BenchmarkRecorderEnabled measures one enabled fast-path instrumentation
+// round: two monotonic clock reads plus a histogram insert.
+func BenchmarkRecorderEnabled(b *testing.B) {
+	r := NewRecorder(Config{})
+	for i := 0; i < b.N; i++ {
+		s := r.Start()
+		r.RecordSince(PhaseFast, s)
+	}
+}
+
+// BenchmarkRecorderEnabledRing adds the abort-taxonomy update and a ring
+// append to the enabled round.
+func BenchmarkRecorderEnabledRing(b *testing.B) {
+	r := NewRecorder(Config{RingSize: 1024})
+	for i := 0; i < b.N; i++ {
+		s := r.Start()
+		r.RecordSince(PhaseFast, s)
+		r.RecordAbort(CauseConflict, 1, uint64(i))
+		r.RecordEvent(EventCommit, PathFast, uint64(i))
+	}
+}
+
+// BenchmarkHistogramRecord isolates the histogram insert.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i))
+	}
+}

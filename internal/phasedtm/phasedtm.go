@@ -19,6 +19,7 @@ import (
 
 	"rhnorec/internal/htm"
 	"rhnorec/internal/mem"
+	"rhnorec/internal/obs"
 	"rhnorec/internal/tm"
 )
 
@@ -28,7 +29,10 @@ const (
 	modeSW = 1
 )
 
-const abortWrongPhase = 1
+// abortWrongPhase is the XABORT payload for the phase-subscription check:
+// the canonical htm.ArgWrongPhase, so the observability taxonomy separates
+// phase-protocol aborts from data conflicts.
+const abortWrongPhase = htm.ArgWrongPhase
 
 // System is a PhasedTM over one shared memory.
 type System struct {
@@ -103,23 +107,32 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	defer t.base.EndTxn()
 	t.ro = ro
 	m := t.base.M
+	o := t.base.St.Obs
+	attemptStart := o.Start()
+	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
 	for {
 		if m.LoadPlain(t.sys.gMode) == modeSW {
 			// Opportunistic switch-back: if the software phase has
 			// drained, restore the hardware phase.
 			if m.LoadPlain(t.sys.gSWActive) != 0 || !m.CASPlain(t.sys.gMode, modeSW, modeHW) {
-				return t.softwareRun(fn)
+				err := t.softwareRun(fn)
+				o.RecordSince(obs.PhaseAttempt, attemptStart)
+				return err
 			}
 		}
+		fastStart := o.Start()
 		err, ab := t.fastAttempt(fn)
+		o.RecordSince(obs.PhaseFast, fastStart)
 		if ab == nil {
 			if err == nil {
 				t.base.Retry.OnFastCommit(retries)
+				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
 			}
+			o.RecordSince(obs.PhaseAttempt, attemptStart)
 			return err
 		}
-		t.recordAbort(ab)
+		t.base.RecordHTMAbort(ab, retries+1)
 		retries++
 		if !ab.MayRetry() && ab.Code != htm.Explicit {
 			break
@@ -131,21 +144,11 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	// Hardware gave up: switch the whole system to the software phase.
 	t.base.Retry.OnFallback()
 	t.base.St.Fallbacks++
+	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
 	m.CASPlain(t.sys.gMode, modeHW, modeSW)
-	return t.softwareRun(fn)
-}
-
-func (t *thread) recordAbort(ab *htm.Abort) {
-	switch ab.Code {
-	case htm.Conflict:
-		t.base.St.HTMConflictAborts++
-	case htm.Capacity:
-		t.base.St.HTMCapacityAborts++
-	case htm.Explicit:
-		t.base.St.HTMExplicitAborts++
-	case htm.Spurious:
-		t.base.St.HTMSpuriousAborts++
-	}
+	err := t.softwareRun(fn)
+	o.RecordSince(obs.PhaseAttempt, attemptStart)
+	return err
 }
 
 // fastAttempt runs fn as a pure hardware transaction of the hardware phase.
@@ -205,13 +208,22 @@ func (t *thread) softwareRun(fn func(tm.Tx) error) error {
 		m.AddPlain(t.sys.gSWActive, 1)
 	}
 	defer m.SubPlain(t.sys.gSWActive, 1)
+	o := t.base.St.Obs
+	restarts := 0
 	for {
 		t.base.St.SlowPathStarts++
+		swStart := o.Start()
 		err, restarted := t.softwareAttempt(fn)
+		o.RecordSince(obs.PhaseSoftware, swStart)
 		if !restarted {
+			if err == nil {
+				t.base.ObsEvent(obs.EventCommit, obs.PathSlow)
+			}
 			return err
 		}
 		t.base.St.SlowPathRestarts++
+		restarts++
+		t.base.RecordSTMRestart(restarts)
 	}
 }
 
@@ -243,8 +255,10 @@ func (t *thread) softwareAttempt(fn func(tm.Tx) error) (err error, restarted boo
 		return uerr, false
 	}
 	if t.writeDetected {
+		wbStart := t.base.St.Obs.Start()
 		m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
 		t.writeDetected = false
+		t.base.St.Obs.RecordSince(obs.PhaseWriteback, wbStart)
 	}
 	t.base.CommitCleanup()
 	t.base.St.Commits++

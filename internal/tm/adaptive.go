@@ -21,8 +21,9 @@ type RetryController struct {
 	enabled        bool
 }
 
-// InitRetry configures the controller from the policy; drivers call it at
-// thread construction.
+// InitRetry configures the controller from the policy (MaxHTMRetries seeds
+// the budget, per §3.3's static default); drivers call it at thread
+// construction.
 func (c *RetryController) InitRetry(p RetryPolicy) {
 	c.budget = p.MaxHTMRetries
 	c.min = 1
@@ -32,7 +33,8 @@ func (c *RetryController) InitRetry(p RetryPolicy) {
 	c.nearMissStreak = 0
 }
 
-// Budget returns the current fast-path retry budget.
+// Budget returns the current fast-path retry budget (the bound the §3.3
+// retry loop checks before falling back).
 func (c *RetryController) Budget() int { return c.budget }
 
 // OnFastCommit records a fast-path commit that needed retriesUsed hardware

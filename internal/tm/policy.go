@@ -46,7 +46,8 @@ type RetryPolicy struct {
 }
 
 // Backoff yields the processor according to the policy for the given retry
-// attempt (0-based); a no-op when ConflictBackoff is 0.
+// attempt (0-based); a no-op when ConflictBackoff is 0 — the paper's
+// static §3.3 policy, which backs off only by falling back.
 func (p RetryPolicy) Backoff(attempt int) {
 	if p.ConflictBackoff <= 0 {
 		return
@@ -73,7 +74,8 @@ func DefaultPolicy() RetryPolicy {
 	}
 }
 
-// withDefaults fills zero fields from DefaultPolicy.
+// WithDefaults fills zero fields from DefaultPolicy (the paper's static
+// §3.3 policy), so callers can set only the knobs they care about.
 func (p RetryPolicy) WithDefaults() RetryPolicy {
 	d := DefaultPolicy()
 	if p.MaxHTMRetries <= 0 {

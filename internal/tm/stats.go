@@ -1,13 +1,23 @@
 package tm
 
+import (
+	"reflect"
+
+	"rhnorec/internal/obs"
+)
+
 // Stats counts the events behind the analysis rows of the paper's Figures
-// 4–6. Each Thread owns one instance and updates it without atomics (a
-// thread is single-goroutine by contract); the harness aggregates snapshots
-// after workers stop.
+// 4–6 (slow-path ratio, HTM aborts per operation, restarts per slow-path
+// transaction, prefix/postfix success). Each Thread owns one instance and
+// updates it without atomics (a thread is single-goroutine by contract);
+// the harness aggregates snapshots after workers stop via Add.
 type Stats struct {
-	// Commits is the number of transactions that completed, on any path.
+	// Commits is the number of transactions that completed, on any path
+	// (the denominator of every per-operation row of Figures 4–6).
 	Commits uint64
-	// ReadOnlyCommits counts commits of transactions run via RunReadOnly.
+	// ReadOnlyCommits counts commits of transactions run via RunReadOnly —
+	// the paper's statically-read-only compiler hint (§2.3) mapped to an
+	// explicit entry point.
 	ReadOnlyCommits uint64
 	// UserAborts counts transactions whose callback returned an error.
 	UserAborts uint64
@@ -45,33 +55,45 @@ type Stats struct {
 	PostfixAttempts uint64
 	PostfixCommits  uint64
 
-	// STM-only counters.
+	// STM-only counters: restarts of pure-software (NOrec/TL2) attempts
+	// (the software baselines of §3.1).
 	STMRestarts uint64
+
+	// Obs, when non-nil, is the thread's observability recorder: per-phase
+	// latency histograms, the abort-cause taxonomy and the optional event
+	// ring (package obs). The harness attaches it after NewThread
+	// (Thread.Stats().Obs = ...); TM drivers consult it behind a nil
+	// check, so the disabled state costs one branch per instrumentation
+	// site. It is deliberately the only non-counter field of Stats — see
+	// Add.
+	Obs *obs.Recorder
 }
 
-// Add accumulates o into s.
+// Add accumulates o into s: every uint64 counter sums, and o's
+// observability recorder (if any) merges into s's. The counter sum is
+// reflective so a counter added to Stats can never be silently dropped
+// from aggregation; TestStatsAddAggregatesEveryField rejects any new field
+// that is neither a uint64 counter nor explicitly handled here.
 func (s *Stats) Add(o *Stats) {
-	s.Commits += o.Commits
-	s.ReadOnlyCommits += o.ReadOnlyCommits
-	s.UserAborts += o.UserAborts
-	s.FastPathCommits += o.FastPathCommits
-	s.SlowPathCommits += o.SlowPathCommits
-	s.SerialCommits += o.SerialCommits
-	s.Fallbacks += o.Fallbacks
-	s.HTMConflictAborts += o.HTMConflictAborts
-	s.HTMCapacityAborts += o.HTMCapacityAborts
-	s.HTMExplicitAborts += o.HTMExplicitAborts
-	s.HTMSpuriousAborts += o.HTMSpuriousAborts
-	s.SlowPathStarts += o.SlowPathStarts
-	s.SlowPathRestarts += o.SlowPathRestarts
-	s.PrefixAttempts += o.PrefixAttempts
-	s.PrefixCommits += o.PrefixCommits
-	s.PostfixAttempts += o.PostfixAttempts
-	s.PostfixCommits += o.PostfixCommits
-	s.STMRestarts += o.STMRestarts
+	sv := reflect.ValueOf(s).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		if f := sv.Field(i); f.Kind() == reflect.Uint64 {
+			f.SetUint(f.Uint() + ov.Field(i).Uint())
+		}
+	}
+	if o.Obs != nil {
+		if s.Obs == nil {
+			// Aggregates need no ring of their own: rings stay per-thread
+			// and are drained, not merged.
+			s.Obs = obs.NewRecorder(obs.Config{})
+		}
+		s.Obs.Merge(o.Obs)
+	}
 }
 
-// HTMAborts returns the total hardware aborts of any kind.
+// HTMAborts returns the total hardware aborts of any kind (the sum of the
+// Figures 4–6 abort series).
 func (s *Stats) HTMAborts() uint64 {
 	return s.HTMConflictAborts + s.HTMCapacityAborts + s.HTMExplicitAborts + s.HTMSpuriousAborts
 }

@@ -1,0 +1,116 @@
+package tm
+
+import (
+	"reflect"
+	"testing"
+
+	"rhnorec/internal/obs"
+)
+
+// addSpecialFields are the Stats fields Add handles by means other than
+// the reflective uint64 sum. Adding a field of any non-uint64 type to
+// Stats without extending Add *and* this allowlist fails the test below.
+var addSpecialFields = map[string]bool{"Obs": true}
+
+// TestStatsAddAggregatesEveryField is the guard the hand-maintained
+// field-by-field Add lacked: it walks Stats reflectively, so a newly added
+// counter is automatically covered — and a newly added non-counter field
+// fails loudly until Add learns to aggregate it.
+func TestStatsAddAggregatesEveryField(t *testing.T) {
+	var a, b Stats
+	bv := reflect.ValueOf(&b).Elem()
+	typ := bv.Type()
+	for i := 0; i < bv.NumField(); i++ {
+		name := typ.Field(i).Name
+		if addSpecialFields[name] {
+			continue
+		}
+		f := bv.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s has kind %v: Stats.Add only sums uint64 counters reflectively — extend Add and addSpecialFields for it", name, f.Kind())
+		}
+		// Distinct per-field values so a transposed aggregation would show.
+		f.SetUint(uint64(i + 1))
+	}
+	a.Add(&b)
+	a.Add(&b)
+	av := reflect.ValueOf(&a).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		name := typ.Field(i).Name
+		if addSpecialFields[name] {
+			continue
+		}
+		want := 2 * uint64(i+1)
+		if got := av.Field(i).Uint(); got != want {
+			t.Errorf("after two Adds, Stats.%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestStatsAddMergesObs checks the one non-counter aggregation path: the
+// observability recorder merges (histograms and taxonomy cells sum; the
+// aggregate materializes a recorder lazily and never grows a ring).
+func TestStatsAddMergesObs(t *testing.T) {
+	var agg Stats
+	var th Stats
+	th.Obs = obs.NewRecorder(obs.Config{RingSize: 8})
+	th.Obs.RecordPhase(obs.PhaseFast, 100)
+	th.Obs.RecordAbort(obs.CauseConflict, 2, 7)
+	th.Commits = 3
+
+	agg.Add(&th)
+	agg.Add(&th)
+	if agg.Commits != 6 {
+		t.Fatalf("Commits = %d, want 6", agg.Commits)
+	}
+	if agg.Obs == nil {
+		t.Fatal("aggregate recorder not materialized")
+	}
+	if h := agg.Obs.PhaseHist(obs.PhaseFast); h.Count() != 2 || h.Sum() != 200 {
+		t.Errorf("merged fast hist count=%d sum=%d, want 2/200", h.Count(), h.Sum())
+	}
+	if n := agg.Obs.AbortCount(obs.CauseConflict); n != 2 {
+		t.Errorf("merged conflict count = %d, want 2", n)
+	}
+	if agg.Obs.Ring() != nil {
+		t.Error("aggregate recorder must not grow a ring (rings are per-thread)")
+	}
+
+	// Adding a Stats with no recorder must not disturb the aggregate.
+	agg.Add(&Stats{Commits: 1})
+	if agg.Commits != 7 || agg.Obs.AbortCount(obs.CauseConflict) != 2 {
+		t.Error("nil-Obs Add disturbed the aggregate")
+	}
+}
+
+// TestStatsRatios pins the derived figure rows to hand-computed values.
+func TestStatsRatios(t *testing.T) {
+	s := Stats{
+		Commits:           10,
+		Fallbacks:         4,
+		HTMConflictAborts: 5,
+		HTMCapacityAborts: 2,
+		SlowPathCommits:   4,
+		SlowPathRestarts:  8,
+		PrefixAttempts:    4,
+		PrefixCommits:     3,
+		PostfixAttempts:   2,
+		PostfixCommits:    1,
+	}
+	if s.SlowPathRatio() != 0.4 {
+		t.Errorf("SlowPathRatio = %v", s.SlowPathRatio())
+	}
+	if s.ConflictAbortsPerOp() != 0.5 || s.CapacityAbortsPerOp() != 0.2 {
+		t.Errorf("aborts/op = %v, %v", s.ConflictAbortsPerOp(), s.CapacityAbortsPerOp())
+	}
+	if s.RestartsPerSlowPath() != 2 {
+		t.Errorf("RestartsPerSlowPath = %v", s.RestartsPerSlowPath())
+	}
+	if s.PrefixSuccessRatio() != 0.75 || s.PostfixSuccessRatio() != 0.5 {
+		t.Errorf("prefix/postfix = %v, %v", s.PrefixSuccessRatio(), s.PostfixSuccessRatio())
+	}
+	var zero Stats
+	if zero.SlowPathRatio() != 0 || zero.HTMAborts() != 0 {
+		t.Error("zero Stats must yield zero ratios")
+	}
+}
