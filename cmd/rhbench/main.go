@@ -9,14 +9,19 @@
 //	rhbench -experiment extra           # Kmeans, Labyrinth
 //	rhbench -experiment structures      # rbtree vs skiplist vs sortedlist
 //	rhbench -experiment ablation        # RH NOrec design-choice ablations
+//	rhbench -experiment disjoint        # per-thread private lines (striping scaling)
 //	rhbench -experiment all             # fig4+fig5+fig6+extra
 //	rhbench -experiment list            # list workloads and algorithms
 //
+// -experiment also accepts a comma-separated list (fig4,disjoint).
+//
 // Useful knobs: -duration per point, -repeat N (median of N runs),
-// -threads CSV sweep, -algos CSV subset, -spurious environmental-abort
-// probability, -falseconf bloom false-conflict probability, -swcost
-// instrumentation-cost units, -tsv machine-readable rows, -json FILE
-// machine-readable point dump (ops/sec per system per thread count).
+// -threads CSV sweep, -algos CSV subset, -stripes N memory seqlock stripe
+// count (1 reproduces the pre-striping single-clock substrate), -spurious
+// environmental-abort probability, -falseconf bloom false-conflict
+// probability, -swcost instrumentation-cost units, -tsv machine-readable
+// rows, -json FILE machine-readable point dump (ops/sec per system per
+// thread count).
 //
 // Observability (docs/METRICS.md): -obs attaches per-thread latency
 // histograms and the abort-cause taxonomy to every worker and embeds the
@@ -45,10 +50,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | all | list")
+		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | all | list (comma-separated ok)")
 		duration   = flag.Duration("duration", 150*time.Millisecond, "measurement time per benchmark point")
 		threadsCSV = flag.String("threads", "1,2,4,8,12,16", "thread counts to sweep")
 		algosCSV   = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's five)")
+		stripes    = flag.Int("stripes", 0, "memory seqlock stripe count (0 = default; 1 reproduces the single-clock substrate)")
 		spurious   = flag.Float64("spurious", 0.002, "per-operation spurious (environmental) HTM abort probability")
 		falseConf  = flag.Float64("falseconf", 0, "bloom-filter false-conflict probability per revalidation (hardware model ablation)")
 		tsv        = flag.Bool("tsv", false, "emit tab-separated rows instead of paper-style tables")
@@ -64,7 +70,7 @@ func main() {
 	tm.SetSoftwareAccessCost(*swcost)
 
 	if *experiment == "list" {
-		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation all")
+		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint all")
 		fmt.Print("algorithms:")
 		for _, a := range bench.StandardAlgos() {
 			fmt.Printf(" %s", a.Name)
@@ -84,6 +90,7 @@ func main() {
 	cfg := bench.FigureConfig{
 		Threads:  threads,
 		Duration: *duration,
+		Stripes:  *stripes,
 		HTM:      htm.Config{SpuriousAbortProb: *spurious, FalseConflictProb: *falseConf},
 		TSV:      *tsv,
 		Repeat:   *repeat,
@@ -153,6 +160,8 @@ func main() {
 			return bench.Extra(os.Stdout, cfg)
 		case "structures":
 			return bench.Structures(os.Stdout, cfg)
+		case "disjoint":
+			return bench.DisjointFigure(os.Stdout, cfg)
 		case "ablation":
 			acfg := cfg
 			if *algosCSV == "" {
@@ -164,9 +173,14 @@ func main() {
 		}
 	}
 
-	names := []string{*experiment}
-	if *experiment == "all" {
-		names = []string{"fig4", "fig5", "fig6", "extra"}
+	var names []string
+	for _, n := range strings.Split(*experiment, ",") {
+		n = strings.TrimSpace(n)
+		if n == "all" {
+			names = append(names, "fig4", "fig5", "fig6", "extra")
+			continue
+		}
+		names = append(names, n)
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

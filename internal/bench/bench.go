@@ -120,6 +120,10 @@ type RunConfig struct {
 	Duration time.Duration
 	// MemWords sizes the shared memory (default 1<<22).
 	MemWords int
+	// Stripes sets the memory's seqlock stripe count (default
+	// mem.DefaultStripes; 1 reproduces the pre-striping global-clock
+	// substrate).
+	Stripes int
 	// HTM configures the simulated hardware (zero fields take defaults).
 	HTM htm.Config
 	// Policy configures retries (zero fields take the paper's defaults).
@@ -167,7 +171,10 @@ func Run(cfg RunConfig) (Result, error) {
 	// collection barrier the garbage of earlier points taxes later ones,
 	// biasing sweeps against whichever algorithm runs last.
 	runtime.GC()
-	m := mem.New(cfg.MemWords)
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = mem.DefaultStripes
+	}
+	m := mem.NewStriped(cfg.MemWords, cfg.Stripes)
 	dev := htm.NewDevice(m, cfg.HTM)
 	dev.SetActiveThreads(cfg.Threads)
 	sys := cfg.Algo.New(m, dev, cfg.Policy)

@@ -18,8 +18,10 @@ type SweepConfig struct {
 	Threads  []int
 	Duration time.Duration
 	MemWords int
-	HTM      htm.Config
-	Policy   tm.RetryPolicy
+	// Stripes sets the memory's seqlock stripe count (see RunConfig).
+	Stripes int
+	HTM     htm.Config
+	Policy  tm.RetryPolicy
 	// Repeat runs each point this many times and reports the
 	// median-throughput run (noise control; default 1).
 	Repeat int
@@ -64,6 +66,7 @@ func RunSweep(cfg SweepConfig) (*Sweep, error) {
 					Threads:  n,
 					Duration: cfg.Duration,
 					MemWords: cfg.MemWords,
+					Stripes:  cfg.Stripes,
 					HTM:      cfg.HTM,
 					Policy:   cfg.Policy,
 					Obs:      cfg.Obs,
@@ -162,8 +165,10 @@ type FigureConfig struct {
 	Threads  []int
 	Duration time.Duration
 	MemWords int
-	HTM      htm.Config
-	Policy   tm.RetryPolicy
+	// Stripes sets the memory's seqlock stripe count (see RunConfig).
+	Stripes int
+	HTM     htm.Config
+	Policy  tm.RetryPolicy
 	// Repeat runs each point this many times and keeps the
 	// median-throughput run (noise control; default 1).
 	Repeat   int
@@ -178,8 +183,8 @@ type FigureConfig struct {
 func (c FigureConfig) sweep(f WorkloadFactory) SweepConfig {
 	return SweepConfig{
 		Factory: f, Algos: c.Algos, Threads: c.Threads, Duration: c.Duration,
-		MemWords: c.MemWords, HTM: c.HTM, Policy: c.Policy, Repeat: c.Repeat,
-		Progress: c.Progress, Obs: c.Obs, ObsRing: c.ObsRing,
+		MemWords: c.MemWords, Stripes: c.Stripes, HTM: c.HTM, Policy: c.Policy,
+		Repeat: c.Repeat, Progress: c.Progress, Obs: c.Obs, ObsRing: c.ObsRing,
 	}
 }
 
@@ -236,6 +241,16 @@ func Figure5(w io.Writer, cfg FigureConfig) error {
 func Figure6(w io.Writer, cfg FigureConfig) error {
 	return runAndPrint(w, "Figure 6: Vacation-High, SSCA2, Yada", cfg,
 		[]WorkloadFactory{VacationHigh(), SSCA2(), Yada()})
+}
+
+// DisjointFigure runs the disjoint-footprint scaling workload: every
+// thread commits write transactions over its own private block of cache
+// lines, so under the striped substrate no two commits ever touch the
+// same stripe. Sweep it at -stripes 1 versus the default to isolate the
+// substrate-level commit serialization that striping removes.
+func DisjointFigure(w io.Writer, cfg FigureConfig) error {
+	return runAndPrint(w, "Disjoint: per-thread private lines (stripe-parallel commits)", cfg,
+		[]WorkloadFactory{Disjoint(DisjointConfig{Lines: 4})})
 }
 
 // Extra reproduces the workloads the paper folds into the SSCA2 discussion

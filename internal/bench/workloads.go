@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"rhnorec/internal/mem"
 	"rhnorec/internal/rbtree"
@@ -97,6 +98,70 @@ func (w *rbWorkload) NewOp(th tm.Thread, seed int64) func() error {
 				return nil
 			})
 		}
+	}
+}
+
+// DisjointConfig parameterizes the disjoint-footprint scaling workload.
+type DisjointConfig struct {
+	// Lines is the number of cache lines each thread's transaction writes
+	// (default 4). With line-interleaved striping, a thread's Lines
+	// consecutive lines land on Lines consecutive stripes, so threads'
+	// footprints are stripe-disjoint as long as threads*Lines stays within
+	// the stripe count.
+	Lines int
+}
+
+// disjointWorkload gives every worker thread a private block of cache
+// lines; each op is one write transaction that increments every line of
+// the block. Under the per-stripe substrate these commits touch disjoint
+// stripes and never serialize on the memory; at -stripes 1 they all
+// contend on the single seqlock — the workload isolates exactly the
+// substrate-level commit contention that striping removes.
+type disjointWorkload struct {
+	cfg  DisjointConfig
+	base mem.Addr
+	slot atomic.Int64
+}
+
+const disjointSlots = 64
+
+// Disjoint returns a factory for the striping scaling workload.
+func Disjoint(cfg DisjointConfig) WorkloadFactory {
+	if cfg.Lines <= 0 {
+		cfg.Lines = 4
+	}
+	return func() Workload { return &disjointWorkload{cfg: cfg} }
+}
+
+func (w *disjointWorkload) Name() string {
+	return fmt.Sprintf("disjoint-%d", w.cfg.Lines)
+}
+
+func (w *disjointWorkload) Setup(th tm.Thread) error {
+	return th.Run(func(tx tm.Tx) error {
+		// Over-allocate one line so the slot blocks can start on a line
+		// boundary: an unaligned base would let adjacent slots share their
+		// boundary line's stripe.
+		raw := tx.Alloc((disjointSlots*w.cfg.Lines + 1) * mem.LineWords)
+		w.base = (raw + mem.LineWords - 1) &^ (mem.LineWords - 1)
+		return nil
+	})
+}
+
+func (w *disjointWorkload) NewOp(th tm.Thread, seed int64) func() error {
+	// NewOp runs once per worker, so the atomic counter hands each worker
+	// its own slot (wrapping only past disjointSlots threads).
+	slot := int(w.slot.Add(1)-1) % disjointSlots
+	base := w.base + mem.Addr(slot*w.cfg.Lines*mem.LineWords)
+	lines := w.cfg.Lines
+	return func() error {
+		return th.Run(func(tx tm.Tx) error {
+			for j := 0; j < lines; j++ {
+				a := base + mem.Addr(j*mem.LineWords)
+				tx.Store(a, tx.Load(a)+1)
+			}
+			return nil
+		})
 	}
 }
 

@@ -1,6 +1,8 @@
 package htm
 
 import (
+	"math/bits"
+
 	"rhnorec/internal/mem"
 )
 
@@ -128,6 +130,71 @@ func (s *writeSet) spill() {
 	for i := range s.entries {
 		s.idx[s.entries[i].Addr] = i
 	}
+}
+
+// ownedBits is a fixed bitmap over stripe indices, flagging the stripes
+// whose writeback locks the commit path holds.
+type ownedBits [mem.MaxStripes / 64]uint64
+
+func (b *ownedBits) clear()         { *b = ownedBits{} }
+func (b *ownedBits) set(s int)      { b[s>>6] |= 1 << (uint(s) & 63) }
+func (b *ownedBits) has(s int) bool { return b[s>>6]&(1<<(uint(s)&63)) != 0 }
+
+// markSet is the per-stripe watermark vector: for every stripe in the read
+// footprint, the even clock value the stripe's logged reads were last
+// validated at. The stripe index space is small and bounded, so the set is
+// direct-mapped: get/set on the per-read hot path are O(1) array accesses
+// gated by the footprint bitmap. (A small-set/spill variant measurably
+// taxed large footprints — an RBTree traversal touches dozens of stripes,
+// pushing every per-read lookup into a map.) Stale mark slots are never
+// read: the bitmap gates them, so reset is O(stripes/64), not O(stripes).
+type markSet struct {
+	marks   [mem.MaxStripes]uint64
+	present ownedBits
+	n       int
+}
+
+func (s *markSet) reset() {
+	if s.n != 0 {
+		s.present.clear()
+		s.n = 0
+	}
+}
+
+func (s *markSet) empty() bool { return s.n == 0 }
+
+// get returns the watermark for stripe idx, if one is recorded.
+func (s *markSet) get(idx int32) (uint64, bool) {
+	if !s.present.has(int(idx)) {
+		return 0, false
+	}
+	return s.marks[idx], true
+}
+
+// set records or updates the watermark for stripe idx.
+func (s *markSet) set(idx int32, mark uint64) {
+	if !s.present.has(int(idx)) {
+		s.present.set(int(idx))
+		s.n++
+	}
+	s.marks[idx] = mark
+}
+
+// forEach visits every (stripe, watermark) pair in ascending stripe order.
+// Updating the current stripe's mark from fn is allowed; adding stripes is
+// not.
+func (s *markSet) forEach(fn func(idx int32, mark uint64) bool) bool {
+	for w, word := range s.present {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			idx := int32(w<<6 + b)
+			if !fn(idx, s.marks[idx]) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // readEntry value-logs one speculative read for revalidation.

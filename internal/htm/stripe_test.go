@@ -1,0 +1,92 @@
+package htm
+
+import (
+	"testing"
+
+	"rhnorec/internal/mem"
+)
+
+// TestOpacityReaderSpansTwoStripes is the striping opacity regression: a
+// reader whose footprint spans two stripes must never observe half of a
+// commit that mutated both. The reader logs a from stripe A; one commit
+// then atomically rewrites a (stripe A) and b (stripe B); the subsequent
+// read of b has to abort rather than pair the stale a with the fresh b —
+// the cross-stripe sweep must catch stripe A's motion even though b's own
+// stripe looks pristine.
+func TestOpacityReaderSpansTwoStripes(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(2 * mem.LineWords)
+	b := a + mem.LineWords
+	if m.StripeOf(a) == m.StripeOf(b) {
+		t.Fatalf("a and b share stripe %d; the regression needs two stripes", m.StripeOf(a))
+	}
+	m.StorePlain(a, 10)
+	m.StorePlain(b, 20)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		if got := tx.Load(a); got != 10 {
+			t.Fatalf("Load(a) = %d, want 10", got)
+		}
+		if !m.CommitWrites([]mem.WriteEntry{{Addr: a, Value: 11}, {Addr: b, Value: 21}}, nil) {
+			t.Fatal("foreign commit failed")
+		}
+		if got := tx.Load(b); true {
+			t.Fatalf("Load(b) returned %d; the transaction observed {a:10, b:%d}, which no memory state ever held", got, got)
+		}
+	})
+	if ab == nil || ab.Code != Conflict {
+		t.Fatalf("abort = %v, want conflict", ab)
+	}
+}
+
+// TestReaderSurvivesDisjointStripeCommit is the payoff side of striping: a
+// commit whose write set never intersects the reader's footprint stripes
+// must not disturb the reader at all — no revalidation, no abort, and the
+// commit goes through while the reader is mid-flight.
+func TestReaderSurvivesDisjointStripeCommit(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(4 * mem.LineWords)
+	foreign1 := a + 2*mem.LineWords
+	foreign2 := a + 3*mem.LineWords
+	m.StorePlain(a, 10)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		if got := tx.Load(a); got != 10 {
+			t.Fatalf("Load(a) = %d, want 10", got)
+		}
+		if !m.CommitWrites([]mem.WriteEntry{{Addr: foreign1, Value: 1}, {Addr: foreign2, Value: 2}}, nil) {
+			t.Fatal("disjoint foreign commit failed")
+		}
+		if got := tx.Load(a + 1); got != 0 {
+			t.Fatalf("Load(a+1) = %d, want 0", got)
+		}
+	})
+	if ab != nil {
+		t.Fatalf("reader aborted on a disjoint-stripe commit: %v", ab)
+	}
+}
+
+// TestCommitValidatesOwnWriteStripeReads covers the read∩write stripe case
+// at commit: the transaction reads a word, another thread's store then
+// changes it, and the transaction tries to commit a write to a *different*
+// word of the same stripe. The commit holds that stripe's lock with the
+// window open, so the validation must check the read by value under its
+// own lock — and abort.
+func TestCommitValidatesOwnWriteStripeReads(t *testing.T) {
+	m, d, c := newTestDevice(Config{})
+	a := c.Alloc(mem.LineWords)
+	tx := d.NewTxn()
+	ab := attempt(tx, func() {
+		if got := tx.Load(a); got != 0 {
+			t.Fatalf("Load(a) = %d, want 0", got)
+		}
+		m.StorePlain(a, 99) // foreign store to the read word
+		tx.Store(a+1, 7)    // write lands in the same stripe
+	})
+	if ab == nil || ab.Code != Conflict {
+		t.Fatalf("abort = %v, want conflict from the owned-stripe value check", ab)
+	}
+	if got := m.LoadPlain(a + 1); got != 0 {
+		t.Errorf("aborted commit leaked its write: a+1 = %d", got)
+	}
+}

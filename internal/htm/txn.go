@@ -17,12 +17,19 @@ type Txn struct {
 	d      *Device
 	active bool
 
-	// snap is the even memory-clock value the whole read log is known to be
-	// valid at. It doubles as the validation watermark: any validation that
-	// observes the clock still at snap is a no-op, because the clock is
-	// monotonic and no mutation can have happened since the log was last
-	// validated. Successful revalidations advance it.
-	snap uint64
+	// marks is the per-stripe watermark vector: for every stripe in the
+	// read footprint, the even stripe-clock value the stripe's logged reads
+	// are known to be valid at — all of them at one common snapshot
+	// instant. It doubles as the validation filter: a stripe whose clock
+	// still reads its watermark needs no re-checking (an unchanged even
+	// stripe clock proves no store landed there), so a mutation only
+	// triggers revalidation in transactions whose footprint intersects its
+	// stripe. Successful sweeps advance the watermarks.
+	marks markSet
+
+	// owned flags the stripes whose writeback locks the commit path holds
+	// (the write footprint); valid only inside commitValidate.
+	owned ownedBits
 
 	// reads value-logs every *distinct* speculative read; duplicate loads
 	// are answered from the log (an L1 hit on real hardware) and are not
@@ -72,7 +79,9 @@ func (t *Txn) Begin() {
 	} else {
 		t.falseConfThresh = 0
 	}
-	t.snap = t.d.m.ClockStable()
+	if !t.marks.empty() {
+		t.marks.reset()
+	}
 	t.d.starts.Add(1)
 }
 
@@ -163,67 +172,189 @@ func (t *Txn) Load(a mem.Addr) uint64 {
 }
 
 // readConsistent returns a's value at a snapshot the whole read log is valid
-// at, extending the snapshot if the clock moved (NOrec-style incremental
-// validation — this is what makes the simulated HTM opaque). Validation is
-// skipped entirely while the clock still reads the snap watermark.
+// at, extending the snapshot if a's stripe moved (NOrec-style incremental
+// validation — this is what makes the simulated HTM opaque). A stripe whose
+// clock still reads its watermark needs no validation at all, so mutations
+// in stripes outside the footprint never perturb this transaction.
 func (t *Txn) readConsistent(a mem.Addr) uint64 {
 	m := t.d.m
+	s := int32(m.StripeOf(a))
 	for {
-		c0 := m.Clock()
+		c0 := m.StripeClock(int(s))
 		if c0&1 == 1 {
-			runtime.Gosched() // a write-back is in flight
+			runtime.Gosched() // a write-back is publishing into this stripe
 			continue
 		}
 		v := m.LoadPlain(a)
-		if m.Clock() != c0 {
-			continue // raced with a mutation
+		if m.StripeClock(int(s)) != c0 {
+			continue // raced with a mutation of this stripe
 		}
-		if c0 == t.snap {
+		mark, seen := t.marks.get(s)
+		if seen && mark == c0 {
+			// The stripe is unchanged since the snapshot instant the whole
+			// log is valid at, so v was a's value at that same instant:
+			// returning it extends the log without any re-validation.
 			return v
 		}
-		// The clock moved since our snapshot: revalidate every logged read
-		// by value, then confirm the clock still reads c0 so the validation
-		// itself was not torn. A bloom-filter hardware would not compare
-		// values — model its false positives first.
-		if t.falseConfThresh != 0 && t.reads.len() > 0 && t.nextRand()>>11 < t.falseConfThresh {
-			t.fail(Conflict, 0)
-		}
-		for _, r := range t.reads.entries {
-			if m.LoadPlain(r.addr) != r.val {
+		if seen {
+			// The stripe moved since its watermark, so its logged reads
+			// must be re-proved current at c0 before the watermark may
+			// advance — the sweep below would otherwise take the new mark
+			// at face value and skip them. Dice first: bloom hardware
+			// would see the motion, not the values.
+			diced := false
+			if !t.rollFalseConflict(&diced) || !t.valueCheckStripe(int(s)) {
 				t.fail(Conflict, 0)
 			}
+			if m.StripeClock(int(s)) != c0 {
+				continue // the re-check itself was torn
+			}
 		}
-		if m.Clock() != c0 {
-			continue
+		// Watermark s at c0 (for a first read of the stripe there is
+		// nothing logged there yet, so c0 needs no proof) and sweep the
+		// whole footprint to a fresh common instant. If s moves again
+		// during the sweep, v may predate the new instant — discard it
+		// and retry.
+		t.marks.set(s, c0)
+		if !t.sweepReads(false) {
+			t.fail(Conflict, 0)
 		}
-		t.snap = c0
-		return v
+		if m.StripeClock(int(s)) == c0 {
+			return v
+		}
 	}
 }
 
-// validateReads is the commit-time validation: skip if the clock still
-// reads the snap watermark, roll the bloom false-positive dice otherwise,
-// then re-check every distinct logged read by value. The caller guarantees
-// the verdict is only used if the clock was stable across the call (either
-// by holding the writeback lock or via the seqlock read protocol).
-func (t *Txn) validateReads() bool {
-	m := t.d.m
-	if m.Clock() == t.snap {
+// Validation pass/spin budgets for the commit path. While a committing
+// writer validates, it holds its write stripes' locks with their windows
+// open; another committer may symmetrically be validating reads against
+// those stripes while holding stripes *we* are validating against, so
+// unbounded waiting could deadlock. A bounded wait followed by a conflict
+// abort (the TL2 abort-on-locked rule) breaks the cycle; real best-effort
+// HTM is free to abort in such windows too.
+const (
+	commitSpinBudget = 128
+	commitPassBudget = 64
+)
+
+// rollFalseConflict models bloom-filter conflict detection: the first time
+// a sweep finds a moved stripe, roll the false-positive dice; a hit is a
+// phantom intersection. Reports false on a hit. At most one roll per sweep.
+func (t *Txn) rollFalseConflict(diced *bool) bool {
+	if *diced {
 		return true
 	}
-	// Bloom-filter false positives hit commit-time validation too: if
-	// memory moved since our snapshot, a filter-based hardware might see a
-	// phantom intersection.
-	if t.falseConfThresh != 0 && t.reads.len() > 0 && t.nextRand()>>11 < t.falseConfThresh {
-		return false
+	*diced = true
+	if t.falseConfThresh == 0 || t.reads.len() == 0 {
+		return true
 	}
-	for _, r := range t.reads.entries {
-		if m.LoadPlain(r.addr) != r.val {
+	return t.nextRand()>>11 >= t.falseConfThresh
+}
+
+// valueCheckStripe re-checks every logged read that lives in stripe s by
+// value. The caller supplies the stability argument (stripe seqlock
+// protocol, or holding the stripe's writeback lock).
+func (t *Txn) valueCheckStripe(s int) bool {
+	m := t.d.m
+	for i := range t.reads.entries {
+		r := &t.reads.entries[i]
+		if m.StripeOf(r.addr) == s && m.LoadPlain(r.addr) != r.val {
 			return false
 		}
 	}
 	return true
 }
+
+// sweepReads drives the read log to a single consistent snapshot instant:
+// it passes over the footprint watermarks until one clean pass observes
+// every stripe's clock equal to a watermark established before that pass
+// began. Each watermark certifies the stripe's logged reads were current
+// when it was set; an unchanged even clock at pass time certifies no store
+// landed in the stripe since — so at the instant the clean pass began,
+// every logged value was simultaneously current (opacity). A stripe whose
+// clock moved is re-checked by value under its seqlock read protocol and
+// its watermark advanced, which forces a further confirming pass.
+//
+// committing selects the writer-commit variant, called from inside
+// mem.CommitWrites with the write stripes locked and their windows open:
+// owned stripes read odd by our own hand, so they are checked by value
+// directly (stable — we hold the lock and have published nothing), against
+// the pre-open clock c-1; and waiting on other commits' windows is bounded
+// (see commitSpinBudget) to break symmetric validation deadlocks. Owned
+// stripes are frozen for the whole validation, so their checks need no
+// confirming pass.
+//
+// Returns false on a value mismatch, a false-conflict roll, or a commit
+// budget exhaustion; all are conflict aborts to the caller.
+func (t *Txn) sweepReads(committing bool) bool {
+	m := t.d.m
+	if t.marks.empty() {
+		return true
+	}
+	diced := false
+	for pass := 0; ; pass++ {
+		if committing && pass > commitPassBudget {
+			return false
+		}
+		clean := true
+		failed := false
+		t.marks.forEach(func(idx int32, mark uint64) bool {
+			s := int(idx)
+			c := m.StripeClock(s)
+			if committing && t.owned.has(s) {
+				// c is odd because our own window is open; c-1 is the value
+				// the clock had when CommitWrites opened it. Equal to the
+				// watermark means no store landed in s since the log was
+				// last valid (restored windows return the clock unchanged).
+				if c-1 == mark {
+					return true
+				}
+				if !t.rollFalseConflict(&diced) || !t.valueCheckStripe(s) {
+					failed = true
+					return false
+				}
+				t.marks.set(idx, c-1)
+				return true
+			}
+			if c == mark {
+				return true
+			}
+			for spins := 0; c&1 == 1; spins++ {
+				if committing && spins > commitSpinBudget {
+					failed = true
+					return false
+				}
+				runtime.Gosched() // a write-back is publishing into this stripe
+				c = m.StripeClock(s)
+			}
+			if c == mark {
+				return true // the open window restored without publishing
+			}
+			if !t.rollFalseConflict(&diced) || !t.valueCheckStripe(s) {
+				failed = true
+				return false
+			}
+			if m.StripeClock(s) != c {
+				clean = false // the check itself was torn: retry the pass
+				return true
+			}
+			t.marks.set(idx, c)
+			clean = false // watermark advanced: a confirming pass must follow
+			return true
+		})
+		if failed {
+			return false
+		}
+		if clean {
+			return true
+		}
+	}
+}
+
+// commitValidate is the writer-commit validation callback, run by
+// mem.CommitWrites with the write stripes (t.owned) locked and their
+// seqlock windows open.
+func (t *Txn) commitValidate() bool { return t.sweepReads(true) }
 
 // Store speculatively writes a word into the private write buffer. It aborts
 // (capacity) if the write set overflows.
@@ -255,15 +386,28 @@ func (t *Txn) Cancel() {
 // success the transaction becomes inactive; on failure it aborts (conflict).
 //
 // A writer commit publishes the write set directly from the write buffer
-// (no intermediate copy) under the memory's writeback lock. A read-only
-// commit publishes nothing and takes no lock: CommitWrites validates it
-// under the seqlock read protocol, which mirrors real RTM, where a
+// (no intermediate copy) under the writeback locks of exactly the stripes
+// it touches, taken in canonical order by mem.CommitWrites; disjoint-stripe
+// commits therefore do not serialize against each other, mirroring per-line
+// conflict detection on real hardware. A read-only commit publishes nothing
+// and takes no lock: it sweeps only its read-footprint stripes under the
+// per-stripe seqlock read protocol, which mirrors real RTM, where a
 // read-only commit touches nothing shared.
 func (t *Txn) Commit() {
 	t.mustActive("Commit")
 	t.maybeSpurious()
-	if !t.d.m.CommitWrites(t.writes.entries, t.validateReads) {
-		t.fail(Conflict, 0)
+	if t.writes.len() == 0 {
+		if !t.sweepReads(false) {
+			t.fail(Conflict, 0)
+		}
+	} else {
+		t.owned.clear()
+		for i := range t.writes.entries {
+			t.owned.set(t.d.m.StripeOf(t.writes.entries[i].Addr))
+		}
+		if !t.d.m.CommitWrites(t.writes.entries, t.commitValidate) {
+			t.fail(Conflict, 0)
+		}
 	}
 	t.active = false
 	t.d.commits.Add(1)

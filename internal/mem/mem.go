@@ -4,29 +4,40 @@
 // The memory plays the role of RAM in the reproduction: hardware
 // transactions (package htm) speculate over it, software transactions read
 // and write it directly, and non-transactional ("plain") code accesses it
-// through the atomic helpers below. A single global modification counter,
-// the memory clock, orders all mutations; the simulated HTM uses it to
-// detect that memory moved underneath a speculative read set.
+// through the atomic helpers below. Real Haswell RTM detects conflicts per
+// cache line, so the substrate mirrors that granularity: the word array is
+// partitioned into S padded stripes (line-interleaved), each with its own
+// seqlock version clock and writeback mutex. A mutation only perturbs the
+// stripes it touches, so disjoint-line commits proceed in parallel and only
+// transactions whose footprint intersects a mutated stripe revalidate.
 //
-// Two properties are load-bearing for the rest of the system:
+// Three properties are load-bearing for the rest of the system:
 //
-//  1. The memory clock is a seqlock: every mutation — a plain store, a plain
-//     read-modify-write, or an HTM commit write-back — moves the clock to an
-//     odd value before touching memory and back to an even value afterwards.
-//     A speculative reader that observes an even, unchanged clock around a
-//     read therefore observed a stable snapshot; any reader that can see a
-//     new value is guaranteed to also see the clock move, and revalidates.
+//  1. Each stripe clock is a seqlock: every mutation of a word moves its
+//     stripe's clock to an odd value before the store and back to an even
+//     value afterwards, and a failed (nothing-published) commit that opened
+//     a window restores the clock to its prior even value. A reader that
+//     observes an even, unchanged stripe clock around a read therefore
+//     observed stable words: an unchanged even clock proves no store
+//     happened in that stripe in between.
 //  2. HTM commits publish their entire write buffer while holding the
-//     writeback lock that plain mutators also take, so a commit is atomic
+//     writeback locks of every touched stripe — the same locks plain
+//     mutators take — with all touched windows open, so a commit is atomic
 //     with respect to all other memory traffic (strong isolation).
-//     Read-only commits publish nothing and therefore take no lock at all:
-//     they validate under the seqlock read protocol (observe an even clock,
-//     validate, observe the same clock), which is equivalent to validating
-//     while holding the lock — see CommitWrites.
+//     Multi-stripe lock acquisition is in canonical ascending stripe order,
+//     which makes it deadlock-free. Read-only commits publish nothing and
+//     take no lock at all: they validate under the per-stripe seqlock read
+//     protocol — see CommitWrites and ValidateLockFree.
+//  3. A global commit ticket (an atomic counter, never a lock) counts
+//     publishes for event stamping and linearization ordering. Clock()
+//     derives from it for compatibility, but it is a monotonic mutation
+//     counter only — NOT a seqlock; cross-stripe consistency always comes
+//     from the per-stripe clocks.
 package mem
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -54,27 +65,70 @@ type Line uint64
 // LineOf returns the cache line containing addr.
 func LineOf(a Addr) Line { return Line(a >> lineShift) }
 
-// Memory is a flat array of 64-bit words with a global modification clock.
+// DefaultStripes is the stripe count New uses. 64 stripes keep the
+// all-stripe sweep of ValidateLockFree cheap while making same-stripe
+// collisions of disjoint-line commits rare at benchmark thread counts.
+const DefaultStripes = 64
+
+// MaxStripes bounds the stripe count so touched-stripe sets fit in a small
+// fixed bitmap on the commit path.
+const MaxStripes = 1024
+
+// stripeWords is MaxStripes/64: the uint64 count of a full stripe bitmap.
+const stripeWords = MaxStripes / 64
+
+// stripe is one seqlock-protected partition of the word array. The padding
+// gives every stripe its own cache line so clock traffic on one stripe does
+// not false-share with its neighbours.
+type stripe struct {
+	clock atomic.Uint64
+	wb    sync.Mutex
+	_     [48]byte
+}
+
+// Memory is a flat array of 64-bit words striped over per-line seqlocks.
 // All fields are private; access goes through the methods below so that the
 // clock discipline can never be bypassed by accident.
 type Memory struct {
-	words []uint64
-	clock atomic.Uint64
+	words   []uint64
+	stripes []stripe
+	mask    uint64 // len(stripes)-1; stripe of a = (a>>lineShift)&mask
 
-	// wb serializes HTM commit write-backs and plain mutations so that a
-	// commit's whole write set becomes visible atomically.
-	wb sync.Mutex
+	// ticket counts publishes (plain mutations and commit write-backs).
+	// It orders events for observability but carries no seqlock meaning.
+	ticket atomic.Uint64
 
 	alloc allocState
 }
 
-// New creates a memory of the given size in words. The first line is
-// reserved (address 0 is nil), so the usable arena starts at LineWords.
-func New(sizeWords int) *Memory {
+// New creates a memory of the given size in words with DefaultStripes
+// stripes. The first line is reserved (address 0 is nil), so the usable
+// arena starts at LineWords.
+func New(sizeWords int) *Memory { return NewStriped(sizeWords, DefaultStripes) }
+
+// NewStriped creates a memory with an explicit stripe count, rounded up to
+// a power of two and clamped to [1, MaxStripes]. A single stripe reproduces
+// the original global-seqlock substrate exactly: one clock, one writeback
+// lock, every mutation serialized.
+func NewStriped(sizeWords, stripes int) *Memory {
 	if sizeWords < 2*LineWords {
 		sizeWords = 2 * LineWords
 	}
-	m := &Memory{words: make([]uint64, sizeWords)}
+	if stripes < 1 {
+		stripes = 1
+	}
+	if stripes > MaxStripes {
+		stripes = MaxStripes
+	}
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	m := &Memory{
+		words:   make([]uint64, sizeWords),
+		stripes: make([]stripe, n),
+		mask:    uint64(n - 1),
+	}
 	m.alloc.init(Addr(LineWords), Addr(sizeWords))
 	return m
 }
@@ -82,42 +136,55 @@ func New(sizeWords int) *Memory {
 // Size returns the memory size in words.
 func (m *Memory) Size() int { return len(m.words) }
 
-// Clock returns the current value of the global memory clock. The clock
-// advances on every mutation and never decreases; an odd value means a
-// mutation is in flight (seqlock discipline).
-func (m *Memory) Clock() uint64 { return m.clock.Load() }
+// StripeCount returns the number of stripes (a power of two).
+func (m *Memory) StripeCount() int { return len(m.stripes) }
 
-// ClockStable spins until the clock is even (no mutation in flight) and
-// returns that stable value.
-func (m *Memory) ClockStable() uint64 {
-	for {
-		c := m.clock.Load()
-		if c&1 == 0 {
-			return c
-		}
-		runtime.Gosched()
-	}
+// StripeOf returns the stripe index of addr. Stripes interleave by cache
+// line: consecutive lines land on consecutive stripes, so a contiguous
+// multi-line footprint spreads across stripes the way it spreads across
+// cache sets in hardware.
+func (m *Memory) StripeOf(a Addr) int { return int((uint64(a) >> lineShift) & m.mask) }
+
+// StripeClock returns the current seqlock clock of stripe s. Odd means a
+// mutation window is open. Readers needing a consistent view of words in s
+// use the seqlock read protocol: observe an even value, read, observe the
+// same value.
+func (m *Memory) StripeClock(s int) uint64 { return m.stripes[s].clock.Load() }
+
+// Ticket returns the global commit ticket: the number of publishes (plain
+// mutations and commit write-backs) completed so far. It is monotonic and
+// lock-free, suitable for stamping events into a global order, but it is
+// not a seqlock — use the per-stripe clocks for consistency.
+func (m *Memory) Ticket() uint64 { return m.ticket.Load() }
+
+// Clock returns a compatibility view of the retired global memory clock:
+// twice the commit ticket, so it still advances by exactly 2 per mutation
+// and never decreases. Unlike the per-stripe clocks it is never odd and
+// carries no seqlock meaning; it exists for event stamping and for tests
+// that count mutations.
+func (m *Memory) Clock() uint64 { return 2 * m.ticket.Load() }
+
+// ClockStable is retained for compatibility; Clock is always even (stable)
+// under striping, so it returns it directly.
+func (m *Memory) ClockStable() uint64 { return m.Clock() }
+
+// stripeFor returns the stripe owning addr.
+func (m *Memory) stripeFor(a Addr) *stripe { return &m.stripes[(uint64(a)>>lineShift)&m.mask] }
+
+// beginMutate takes addr's stripe writeback lock and opens its seqlock
+// write window; endMutate closes the window, retires a ticket, and releases
+// the lock. Every unconditional single-word mutation is bracketed by this
+// pair; conditional mutators (CASPlain) take the lock first and open the
+// window only once they know they will mutate.
+func (m *Memory) beginMutate(s *stripe) {
+	s.wb.Lock()
+	s.clock.Add(1)
 }
 
-// seqOpen moves the clock to an odd value, opening a seqlock write window;
-// seqClose returns it to even. These two functions are the only place the
-// odd/even protocol lives: every word mutation is bracketed by them, with
-// the writeback lock held (conditional mutators like CASPlain take the lock
-// first and open the window only once they know they will mutate).
-func (m *Memory) seqOpen()  { m.clock.Add(1) }
-func (m *Memory) seqClose() { m.clock.Add(1) }
-
-// beginMutate takes the writeback lock and opens the seqlock write window;
-// endMutate closes the window and releases the lock. Every unconditional
-// mutation of word contents is bracketed by this pair.
-func (m *Memory) beginMutate() {
-	m.wb.Lock()
-	m.seqOpen()
-}
-
-func (m *Memory) endMutate() {
-	m.seqClose()
-	m.wb.Unlock()
+func (m *Memory) endMutate(s *stripe) {
+	s.clock.Add(1)
+	m.ticket.Add(1)
+	s.wb.Unlock()
 }
 
 func (m *Memory) check(a Addr) {
@@ -133,28 +200,32 @@ func (m *Memory) LoadPlain(a Addr) uint64 {
 }
 
 // StorePlain performs a non-transactional atomic write of a word under the
-// seqlock discipline described in the package comment.
+// seqlock discipline of its stripe — only that stripe's clock moves, so
+// stores to distinct stripes neither contend nor invalidate each other's
+// readers.
 func (m *Memory) StorePlain(a Addr, v uint64) {
 	m.check(a)
-	m.beginMutate()
+	s := m.stripeFor(a)
+	m.beginMutate(s)
 	atomic.StoreUint64(&m.words[a], v)
-	m.endMutate()
+	m.endMutate(s)
 }
 
-// CASPlain performs a non-transactional compare-and-swap. The clock advances
-// only when the swap succeeds: the comparison runs under the writeback lock,
-// and the seqlock window opens only for the actual store.
+// CASPlain performs a non-transactional compare-and-swap. The stripe clock
+// advances only when the swap succeeds: the comparison runs under the
+// stripe's writeback lock, and the seqlock window opens only for the actual
+// store.
 func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 	m.check(a)
-	m.wb.Lock()
+	s := m.stripeFor(a)
+	s.wb.Lock()
 	if atomic.LoadUint64(&m.words[a]) != old {
-		m.wb.Unlock()
+		s.wb.Unlock()
 		return false
 	}
-	m.seqOpen()
+	s.clock.Add(1)
 	atomic.StoreUint64(&m.words[a], new)
-	m.seqClose()
-	m.wb.Unlock()
+	m.endMutate(s)
 	return true
 }
 
@@ -162,10 +233,11 @@ func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 // new value.
 func (m *Memory) AddPlain(a Addr, delta uint64) uint64 {
 	m.check(a)
-	m.beginMutate()
+	s := m.stripeFor(a)
+	m.beginMutate(s)
 	v := atomic.LoadUint64(&m.words[a]) + delta
 	atomic.StoreUint64(&m.words[a], v)
-	m.endMutate()
+	m.endMutate(s)
 	return v
 }
 
@@ -185,64 +257,153 @@ type WriteEntry struct {
 	Value uint64
 }
 
+// stripeBits is a fixed bitmap over stripe indices; forEach visits set
+// stripes in canonical ascending order.
+type stripeBits [stripeWords]uint64
+
+func (b *stripeBits) set(s int)      { b[s>>6] |= 1 << (uint(s) & 63) }
+func (b *stripeBits) has(s int) bool { return b[s>>6]&(1<<(uint(s)&63)) != 0 }
+
+func (b *stripeBits) forEach(fn func(s int)) {
+	for w, word := range b {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
 // CommitWrites atomically publishes a speculative write buffer. For a
-// non-empty buffer it takes the writeback lock, calls validate (which must
-// re-check the caller's read set by value while no other mutation can
-// interleave), and on success advances the clock once and stores every
-// entry. It reports whether the commit succeeded.
+// non-empty buffer it takes the writeback locks of every touched stripe in
+// canonical ascending index order (so concurrent multi-stripe commits
+// cannot deadlock), opens all their seqlock windows, calls validate, and on
+// success stores every entry, closes the windows, and retires one ticket.
+// It reports whether the commit succeeded.
+//
+// The windows are open *during* validation so that a validating reader in
+// another thread cannot certify its read set between this commit's
+// validation and its publish: any stripe this commit will mutate already
+// reads odd. validate therefore must not use the seqlock read protocol on
+// the touched stripes (it would spin forever); the htm commit path checks
+// reads in its own write stripes by value directly, which is stable because
+// this thread holds their locks and has published nothing yet.
+//
+// On validation failure nothing has been stored, so each opened window is
+// restored by moving the clock back to its prior even value. A clock that
+// returns to the same even value therefore still certifies "no store
+// happened" to seqlock readers — restores only occur on publish-free paths.
 //
 // A read-only caller passes an empty writes slice; since nothing is
-// published, the commit takes no lock and does not move the clock. Instead
-// validate runs under the seqlock read protocol (ValidateLockFree), which
-// yields the same verdict an under-the-lock validation would have produced
-// at the observed clock value.
+// published, the commit takes no lock, moves no clock and retires no
+// ticket. Instead validate runs under the per-stripe seqlock read protocol
+// (ValidateLockFree), which yields the same verdict an under-the-locks
+// validation would have produced.
 func (m *Memory) CommitWrites(writes []WriteEntry, validate func() bool) bool {
 	if len(writes) == 0 {
 		return m.ValidateLockFree(validate)
 	}
-	m.wb.Lock()
-	defer m.wb.Unlock()
-	if validate != nil && !validate() {
-		return false
+	var touched stripeBits
+	for i := range writes {
+		touched.set(m.StripeOf(writes[i].Addr))
 	}
-	m.seqOpen()
-	for _, w := range writes {
-		atomic.StoreUint64(&m.words[w.Addr], w.Value)
+	touched.forEach(func(s int) { m.stripes[s].wb.Lock() })
+	touched.forEach(func(s int) { m.stripes[s].clock.Add(1) })
+	ok := validate == nil || validate()
+	if ok {
+		for _, w := range writes {
+			atomic.StoreUint64(&m.words[w.Addr], w.Value)
+		}
+		touched.forEach(func(s int) { m.stripes[s].clock.Add(1) })
+		m.ticket.Add(1)
+	} else {
+		// Nothing was published: restore every window to its prior even
+		// value instead of closing it forward, so readers watermarked at
+		// that value are not forced into a spurious revalidation.
+		touched.forEach(func(s int) { m.stripes[s].clock.Add(^uint64(0)) })
 	}
-	m.seqClose()
-	return true
+	touched.forEach(func(s int) { m.stripes[s].wb.Unlock() })
+	return ok
 }
 
-// ValidateLockFree runs validate under the seqlock read protocol: spin to an
-// even clock c0, run validate, and accept its verdict only if the clock
-// still reads c0 afterwards. The clock is monotonic and every mutation
-// passes through an odd value, so an unchanged even clock proves no
-// mutation overlapped the validation — the verdict is exactly what validate
-// would have returned while holding the writeback lock at clock c0. If the
-// clock moved, the verdict may be torn (validate may have seen a
-// half-published write set) and the validation is retried at a new stable
-// clock. A nil validate trivially succeeds.
+// ValidateLockFree runs validate under the all-stripe seqlock read
+// protocol: record a stable (all-even) vector of stripe clocks, run
+// validate, and accept its verdict only if every stripe clock is unchanged
+// afterwards. Each stripe's unchanged even clock proves no store touched it
+// between its two samples — an interval that covers the whole validate call
+// — so validate saw frozen memory and its verdict is exactly what it would
+// have returned while holding every writeback lock. If any clock moved, the
+// verdict may be torn and the validation retries over a new stable vector.
+// A nil validate trivially succeeds.
+//
+// This is the generic whole-memory form; callers that know their read
+// footprint (htm transactions) sweep only the stripes they touched.
 func (m *Memory) ValidateLockFree(validate func() bool) bool {
 	if validate == nil {
 		return true
 	}
+	marks := make([]uint64, len(m.stripes))
 	for {
-		c0 := m.clock.Load()
-		if c0&1 != 0 {
-			runtime.Gosched() // a write-back is in flight
-			continue
+		for s := range m.stripes {
+			marks[s] = m.stripeClockStable(s)
 		}
 		ok := validate()
-		if m.clock.Load() == c0 {
+		clean := true
+		for s := range m.stripes {
+			if m.stripes[s].clock.Load() != marks[s] {
+				clean = false
+				break
+			}
+		}
+		if clean {
 			return ok
 		}
 	}
 }
 
-// Snapshot copies n words starting at a into dst for debugging and test
-// assertions. It is not atomic across words.
+// stripeClockStable spins until stripe s's clock is even (no mutation in
+// flight) and returns that stable value.
+func (m *Memory) stripeClockStable(s int) uint64 {
+	for {
+		c := m.stripes[s].clock.Load()
+		if c&1 == 0 {
+			return c
+		}
+		runtime.Gosched()
+	}
+}
+
+// Snapshot copies len(dst) words starting at a into dst as one consistent
+// snapshot: it records a stable clock vector for every stripe the range
+// touches, copies, and retries until no touched stripe's clock moved across
+// the copy. Each unchanged even stripe clock proves no store landed in that
+// stripe during the copy, so the words in dst coexisted in memory at every
+// instant of the copy interval. Multi-word test assertions use this instead
+// of per-word plain loads, which can tear against concurrent commits.
 func (m *Memory) Snapshot(a Addr, dst []uint64) {
-	for i := range dst {
-		dst[i] = m.LoadPlain(a + Addr(i))
+	if len(dst) == 0 {
+		return
+	}
+	m.check(a)
+	m.check(a + Addr(len(dst)) - 1)
+	var touched stripeBits
+	for l := uint64(a) >> lineShift; l <= (uint64(a)+uint64(len(dst))-1)>>lineShift; l++ {
+		touched.set(int(l & m.mask))
+	}
+	var marks [MaxStripes]uint64
+	for {
+		touched.forEach(func(s int) { marks[s] = m.stripeClockStable(s) })
+		for i := range dst {
+			dst[i] = m.loadRaw(a + Addr(i))
+		}
+		clean := true
+		touched.forEach(func(s int) {
+			if m.stripes[s].clock.Load() != marks[s] {
+				clean = false
+			}
+		})
+		if clean {
+			return
+		}
+		runtime.Gosched()
 	}
 }

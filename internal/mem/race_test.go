@@ -7,13 +7,34 @@ import (
 	"testing"
 )
 
+// readPairConsistent reads (x, y) under the per-stripe seqlock read
+// protocol: record a stable (even) clock for each word's stripe, read both
+// words, and accept only if neither stripe clock moved — exactly the
+// discipline htm transactions use per footprint stripe.
+func readPairConsistent(m *Memory, x, y Addr) (uint64, uint64) {
+	sx, sy := m.StripeOf(x), m.StripeOf(y)
+	for {
+		cx, cy := m.StripeClock(sx), m.StripeClock(sy)
+		if cx&1 != 0 || cy&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		vx, vy := m.LoadPlain(x), m.LoadPlain(y)
+		if m.StripeClock(sx) == cx && m.StripeClock(sy) == cy {
+			return vx, vy
+		}
+	}
+}
+
 // TestRaceLockFreeReadOnlyValidation hammers lock-free read-only commits
 // against every kind of concurrent mutation the memory supports — plain
 // stores, CASes, fetch-and-adds, and multi-word commit write-backs — and
 // asserts that no torn validation is ever observed: whenever a read-only
 // commit validates a logged (x, y) snapshot successfully, that snapshot
-// satisfied the writers' invariant x + y == total. Run under -race this also
-// proves the lock-free path is free of data races with the seqlock writers.
+// satisfied the writers' invariant x + y == total. The pair writer's write
+// set spans two stripes, so this also exercises cross-stripe commit
+// atomicity against per-stripe readers. Run under -race this proves the
+// lock-free path is free of data races with the seqlock writers.
 func TestRaceLockFreeReadOnlyValidation(t *testing.T) {
 	const total = 1 << 20
 	m := New(1 << 12)
@@ -22,6 +43,9 @@ func TestRaceLockFreeReadOnlyValidation(t *testing.T) {
 	y := c.Alloc(LineWords)
 	noise := c.Alloc(LineWords)
 	m.StorePlain(x, total)
+	if m.StripeOf(x) == m.StripeOf(y) {
+		t.Fatalf("x and y landed on the same stripe %d; the test needs a cross-stripe pair", m.StripeOf(x))
+	}
 
 	writerOps := 2000
 	if testing.Short() {
@@ -30,7 +54,7 @@ func TestRaceLockFreeReadOnlyValidation(t *testing.T) {
 	var wg sync.WaitGroup
 	var writersDone atomic.Int32
 
-	// Pair writer: keeps x + y == total with atomic two-word write-backs.
+	// Pair writer: keeps x + y == total with atomic two-stripe write-backs.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -43,8 +67,9 @@ func TestRaceLockFreeReadOnlyValidation(t *testing.T) {
 			}
 		}
 	}()
-	// Noise writer: moves the clock via stores, CASes and adds on an
-	// unrelated word, forcing validators to retry and revalidate.
+	// Noise writer: moves a third stripe's clock via stores, CASes and adds
+	// on an unrelated word; under striping this must NOT force the pair
+	// validators to retry (their footprint excludes the noise stripe).
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -78,19 +103,8 @@ func TestRaceLockFreeReadOnlyValidation(t *testing.T) {
 				if writersDone.Load() == 2 {
 					quiet++
 				}
-				// Log a seqlock-consistent snapshot of (x, y)...
-				var vx, vy uint64
-				for {
-					c0 := m.Clock()
-					if c0&1 != 0 {
-						runtime.Gosched()
-						continue
-					}
-					vx, vy = m.LoadPlain(x), m.LoadPlain(y)
-					if m.Clock() == c0 {
-						break
-					}
-				}
+				// Log a stripe-consistent snapshot of (x, y)...
+				vx, vy := readPairConsistent(m, x, y)
 				// ...then commit read-only, revalidating the log by value
 				// exactly the way htm.Txn.Commit does.
 				ok := m.CommitWrites(nil, func() bool {
@@ -112,5 +126,113 @@ func TestRaceLockFreeReadOnlyValidation(t *testing.T) {
 	}
 	if commits.Load() == 0 {
 		t.Error("no read-only commit ever succeeded; the stress proved nothing")
+	}
+}
+
+// TestRaceMultiStripeCommitOrdering is the striping lock-order stress:
+// concurrent commits whose write sets span overlapping multi-stripe
+// subsets, interleaved with plain mutators on the same stripes. Every
+// commit writes one common tuple of words — one word per stripe — with a
+// single writer-unique value, so any consistent snapshot must observe all
+// tuple words equal; a torn write set or a misordered lock acquisition
+// would surface as a mixed tuple (or as a deadlock, which the test timeout
+// catches). Snapshot supplies the consistent read side.
+func TestRaceMultiStripeCommitOrdering(t *testing.T) {
+	const tupleLines = 6 // tuple spans 6 distinct stripes
+	m := New(1 << 14)
+	c := m.NewThreadCache()
+	base := c.Alloc(tupleLines * LineWords)
+	tuple := make([]Addr, tupleLines)
+	for i := range tuple {
+		tuple[i] = base + Addr(i*LineWords)
+	}
+	for i := 1; i < tupleLines; i++ {
+		if m.StripeOf(tuple[i]) == m.StripeOf(tuple[0]) {
+			t.Fatalf("tuple words 0 and %d share stripe %d; the test needs distinct stripes", i, m.StripeOf(tuple[0]))
+		}
+	}
+	// Seed the tuple so early snapshots see a legal state.
+	m.CommitWrites([]WriteEntry{{tuple[0], 0}, {tuple[1], 0}, {tuple[2], 0}, {tuple[3], 0}, {tuple[4], 0}, {tuple[5], 0}}, nil)
+
+	writerOps := 1500
+	if testing.Short() {
+		writerOps = 250
+	}
+	const writers = 4
+	var wg sync.WaitGroup
+	var done atomic.Int32
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer done.Add(1)
+			writes := make([]WriteEntry, tupleLines)
+			for i := uint64(1); i <= uint64(writerOps); i++ {
+				v := uint64(id)<<32 | i
+				// Vary the entry order so lock acquisition order cannot
+				// accidentally match write-set order: correctness must come
+				// from the canonical stripe ordering inside CommitWrites.
+				for j := range writes {
+					writes[j] = WriteEntry{tuple[(j+id)%tupleLines], v}
+				}
+				m.CommitWrites(writes, nil)
+				if i%16 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	// Plain mutators keep single-stripe traffic (stores, CASes, adds)
+	// colliding with the multi-stripe commits on the same stripes, via the
+	// second word of each tuple line (never read by the checkers).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := uint64(0); i < uint64(writerOps); i++ {
+				a := tuple[i%tupleLines] + 1
+				switch i % 3 {
+				case 0:
+					m.StorePlain(a, i)
+				case 1:
+					m.CASPlain(a, m.LoadPlain(a), i)
+				case 2:
+					m.AddPlain(a, 1)
+				}
+				if i%16 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+
+	var mixed atomic.Uint64
+	var reads atomic.Uint64
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]uint64, tupleLines*LineWords)
+			quiet := 0
+			for quiet < 10 {
+				if done.Load() == writers {
+					quiet++
+				}
+				m.Snapshot(base, dst)
+				reads.Add(1)
+				v0 := dst[0]
+				for i := 1; i < tupleLines; i++ {
+					if dst[i*LineWords] != v0 {
+						mixed.Add(1)
+						break
+					}
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+	if mixed.Load() != 0 {
+		t.Errorf("torn write-set visibility: %d of %d snapshots saw a mixed tuple", mixed.Load(), reads.Load())
 	}
 }

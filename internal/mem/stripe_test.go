@@ -1,0 +1,153 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewStripedRoundsAndClamps(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {63, 64}, {64, 64},
+		{65, 128}, {MaxStripes, MaxStripes}, {MaxStripes + 1, MaxStripes},
+	}
+	for _, c := range cases {
+		if got := NewStriped(1024, c.in).StripeCount(); got != c.want {
+			t.Errorf("NewStriped(_, %d).StripeCount() = %d, want %d", c.in, got, c.want)
+		}
+	}
+	if got := New(1024).StripeCount(); got != DefaultStripes {
+		t.Errorf("New stripe count = %d, want %d", got, DefaultStripes)
+	}
+}
+
+func TestStripeOfInterleavesLines(t *testing.T) {
+	m := NewStriped(1<<16, 64)
+	for _, c := range []struct {
+		a    Addr
+		want int
+	}{{8, 1}, {15, 1}, {16, 2}, {8 * 64, 0}, {8*64 + 8, 1}, {8 * 63, 63}} {
+		if got := m.StripeOf(c.a); got != c.want {
+			t.Errorf("StripeOf(%d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+	// Words of one line never straddle stripes.
+	for a := Addr(8); a < 8+LineWords; a++ {
+		if m.StripeOf(a) != m.StripeOf(8) {
+			t.Fatalf("line 1 straddles stripes at word %d", a)
+		}
+	}
+}
+
+// TestSingleStripeDegenerate: -stripes 1 reproduces the original
+// global-seqlock substrate — one clock, every mutation serializes on it.
+func TestSingleStripeDegenerate(t *testing.T) {
+	m := NewStriped(1024, 1)
+	c := m.NewThreadCache()
+	a := c.Alloc(2 * LineWords)
+	b := a + LineWords
+	if m.StripeOf(a) != 0 || m.StripeOf(b) != 0 {
+		t.Fatal("single-stripe memory mapped addresses off stripe 0")
+	}
+	before := m.StripeClock(0)
+	m.StorePlain(a, 1)
+	m.StorePlain(b, 2)
+	if got := m.StripeClock(0); got != before+4 {
+		t.Errorf("stripe clock advanced %d, want 4 (two serialized mutations)", got-before)
+	}
+	if m.Clock() != m.StripeClock(0) {
+		t.Errorf("with one stripe Clock()=%d should track the stripe clock %d", m.Clock(), m.StripeClock(0))
+	}
+}
+
+// TestCommitWritesTouchesOnlyWrittenStripes: a commit must not perturb the
+// clocks of stripes outside its write set — that independence is what lets
+// disjoint commits run in parallel and spares unrelated readers a
+// revalidation.
+func TestCommitWritesTouchesOnlyWrittenStripes(t *testing.T) {
+	m := NewStriped(1<<14, 64)
+	c := m.NewThreadCache()
+	a := c.Alloc(4 * LineWords)
+	s0, s1 := m.StripeOf(a), m.StripeOf(a+LineWords)
+	other := m.StripeOf(a + 2*LineWords)
+	c0, c1, co := m.StripeClock(s0), m.StripeClock(s1), m.StripeClock(other)
+	tk := m.Ticket()
+	if !m.CommitWrites([]WriteEntry{{a, 1}, {a + LineWords, 2}}, nil) {
+		t.Fatal("commit failed")
+	}
+	if m.StripeClock(s0) != c0+2 || m.StripeClock(s1) != c1+2 {
+		t.Error("written stripes did not advance by one mutation each")
+	}
+	if m.StripeClock(other) != co {
+		t.Error("commit perturbed an untouched stripe's clock")
+	}
+	if m.Ticket() != tk+1 {
+		t.Errorf("ticket advanced %d, want 1 per publish", m.Ticket()-tk)
+	}
+}
+
+// TestCommitWritesFailedValidationRestoresWindows: a failed multi-stripe
+// commit must leave every touched stripe clock exactly where it was —
+// restored, not advanced — since nothing was published.
+func TestCommitWritesFailedValidationRestoresWindows(t *testing.T) {
+	m := NewStriped(1<<14, 64)
+	c := m.NewThreadCache()
+	a := c.Alloc(2 * LineWords)
+	s0, s1 := m.StripeOf(a), m.StripeOf(a+LineWords)
+	c0, c1 := m.StripeClock(s0), m.StripeClock(s1)
+	tk := m.Ticket()
+	var sawOpen bool
+	ok := m.CommitWrites([]WriteEntry{{a, 1}, {a + LineWords, 2}}, func() bool {
+		// Validation runs with every touched window open (odd).
+		sawOpen = m.StripeClock(s0)&1 == 1 && m.StripeClock(s1)&1 == 1
+		return false
+	})
+	if ok {
+		t.Fatal("commit succeeded despite failing validation")
+	}
+	if !sawOpen {
+		t.Error("validation did not observe the touched seqlock windows open")
+	}
+	if m.StripeClock(s0) != c0 || m.StripeClock(s1) != c1 {
+		t.Error("failed commit did not restore the stripe clocks")
+	}
+	if m.Ticket() != tk {
+		t.Error("failed commit retired a ticket")
+	}
+}
+
+// TestSnapshotConsistentAcrossStripes: Snapshot must never observe a
+// cross-stripe commit half-applied. A writer keeps two words in different
+// stripes summing to a constant; every snapshot must agree.
+func TestSnapshotConsistentAcrossStripes(t *testing.T) {
+	const total = 1000
+	m := NewStriped(1<<14, 64)
+	c := m.NewThreadCache()
+	a := c.Alloc(2 * LineWords)
+	b := a + LineWords
+	m.StorePlain(a, total)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := i % total
+			m.CommitWrites([]WriteEntry{{a, v}, {b, total - v}}, nil)
+		}
+	}()
+	dst := make([]uint64, 2*LineWords)
+	for i := 0; i < 3000; i++ {
+		m.Snapshot(a, dst)
+		if dst[0]+dst[LineWords] != total {
+			t.Errorf("snapshot tore across stripes: %d + %d != %d", dst[0], dst[LineWords], total)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -32,7 +32,7 @@ func (b *ThreadBase) RecordHTMAbort(ab *htm.Abort, retry int) {
 		b.St.HTMSpuriousAborts++
 	}
 	if o := b.St.Obs; o != nil {
-		o.RecordAbort(ab.Cause(), retry, b.M.Clock())
+		o.RecordAbort(ab.Cause(), retry, b.M.Ticket())
 	}
 }
 
@@ -44,15 +44,17 @@ func (b *ThreadBase) RecordHTMAbort(ab *htm.Abort, retry int) {
 // 1-based ordinal of the failed attempt.
 func (b *ThreadBase) RecordSTMRestart(retry int) {
 	if o := b.St.Obs; o != nil {
-		o.RecordAbort(obs.CauseSTMValidation, retry, b.M.Clock())
+		o.RecordAbort(obs.CauseSTMValidation, retry, b.M.Ticket())
 	}
 }
 
 // ObsEvent appends a begin/fallback/commit event to the thread's event
-// ring (if one is attached), stamped with the memory clock's logical time
-// — so cross-thread event orderings agree with the committed history.
+// ring (if one is attached), stamped with the memory's commit ticket — a
+// global publish counter that keeps cross-thread event orderings
+// consistent with the committed history without any lock (the striped
+// substrate has no single seqlock clock to sample; see docs/METRICS.md).
 func (b *ThreadBase) ObsEvent(k obs.EventKind, p obs.Path) {
 	if o := b.St.Obs; o != nil {
-		o.RecordEvent(k, p, b.M.Clock())
+		o.RecordEvent(k, p, b.M.Ticket())
 	}
 }
