@@ -1,14 +1,17 @@
 // Command rhstress is a randomized correctness harness: it drives every TM
 // algorithm through high-contention invariant workloads (bank transfers
 // with in-transaction invariant observation, a shared red-black tree with
-// structural validation, and an allocation churn test) and reports any
-// safety violation. Use it for long soak runs beyond what `go test`
-// exercises.
+// structural validation) and reports any safety violation. Use it for long
+// soak runs beyond what `go test` exercises; for deterministic exploration
+// of the same workloads, see cmd/rhexplore.
 //
 // Usage:
 //
-//	rhstress -duration 10s -threads 8 [-algos rh-norec,hy-norec] [-spurious 0.001]
+//	rhstress -duration 10s -threads 8 [-algos rh-norec,hy-norec] [-spurious 0.001] [-seed 1]
 //
+// Every run prints its seed so a failure reproduces with the same flags.
+// A panic in a worker goroutine is recovered, counted as a violation and
+// reported in the summary instead of killing the process mid-print.
 // Exit status is non-zero if any violation was detected.
 package main
 
@@ -17,6 +20,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,8 +29,8 @@ import (
 	"rhnorec/internal/bench"
 	"rhnorec/internal/htm"
 	"rhnorec/internal/mem"
-	"rhnorec/internal/rbtree"
 	"rhnorec/internal/tm"
+	"rhnorec/internal/tmtest"
 )
 
 func main() {
@@ -36,6 +40,7 @@ func main() {
 		algosCSV = flag.String("algos", "", "comma-separated algorithm subset (default: all)")
 		spurious = flag.Float64("spurious", 0.001, "spurious HTM abort probability")
 		tinyHTM  = flag.Bool("tiny-htm", false, "use tiny HTM capacities to force the slow paths")
+		seed     = flag.Int64("seed", 1, "base RNG seed (worker i uses seed+i)")
 	)
 	flag.Parse()
 
@@ -55,11 +60,12 @@ func main() {
 		hcfg.WriteCapacityLines = 8
 	}
 
+	fmt.Printf("rhstress: seed=%d threads=%d spurious=%g\n", *seed, *threads, *spurious)
 	failures := 0
 	for _, algo := range algos {
 		for _, scenario := range []struct {
 			name string
-			run  func(sys tm.System, threads int, d time.Duration) error
+			run  func(sys tm.System, threads int, d time.Duration, seed int64) error
 		}{
 			{"bank", bankScenario},
 			{"rbtree", treeScenario},
@@ -69,7 +75,7 @@ func main() {
 			dev.SetActiveThreads(*threads)
 			sys := algo.New(m, dev, tm.RetryPolicy{})
 			start := time.Now()
-			err := scenario.run(sys, *threads, *duration)
+			err := scenario.run(sys, *threads, *duration, *seed)
 			status := "ok"
 			if err != nil {
 				status = "FAIL: " + err.Error()
@@ -79,7 +85,7 @@ func main() {
 		}
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "rhstress: %d scenario(s) failed\n", failures)
+		fmt.Fprintf(os.Stderr, "rhstress: %d scenario(s) failed (seed %d)\n", failures, *seed)
 		os.Exit(1)
 	}
 }
@@ -93,129 +99,115 @@ func mustVariant(name string) bench.Algo {
 	return a
 }
 
+// violationLog collects safety violations across workers; a worker panic is
+// a violation too (a crashed worker proves nothing about the survivors, and
+// the old behaviour — the panic killing the process before the summary —
+// hid which algorithm and scenario was at fault).
+type violationLog struct {
+	count atomic.Uint64
+	mu    sync.Mutex
+	first string
+}
+
+func (v *violationLog) report(msg string) {
+	if v.count.Add(1) == 1 {
+		v.mu.Lock()
+		v.first = msg
+		v.mu.Unlock()
+	}
+}
+
+func (v *violationLog) err(scenario string) error {
+	n := v.count.Load()
+	if n == 0 {
+		return nil
+	}
+	v.mu.Lock()
+	first := v.first
+	v.mu.Unlock()
+	return fmt.Errorf("%s: %d violation(s); first: %s", scenario, n, first)
+}
+
+// guard recovers a worker panic into the violation log.
+func guard(v *violationLog, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			v.report(fmt.Sprintf("worker panic: %v\n%s", r, debug.Stack()))
+		}
+	}()
+	fn()
+}
+
 // bankScenario: transfers must preserve the total, and every transaction
 // (including read-only observers) must see a consistent snapshot.
-func bankScenario(sys tm.System, threads int, d time.Duration) error {
-	const accounts = 64
-	const initial = 1000
+func bankScenario(sys tm.System, threads int, d time.Duration, seed int64) error {
+	cfg := tmtest.BankConfig{Accounts: 64, TransferMax: 20, ObserverEvery: 4}
 	setup := sys.NewThread()
-	var base mem.Addr
-	if err := setup.Run(func(tx tm.Tx) error {
-		base = tx.Alloc(accounts * mem.LineWords)
-		for i := 0; i < accounts; i++ {
-			tx.Store(base+mem.Addr(i*mem.LineWords), initial)
-		}
-		return nil
-	}); err != nil {
+	base, err := tmtest.BankSetup(setup, cfg)
+	setup.Close()
+	if err != nil {
 		return err
 	}
-	setup.Close()
-	acct := func(i int) mem.Addr { return base + mem.Addr(i*mem.LineWords) }
 	var stop atomic.Bool
-	var violations atomic.Uint64
+	var vlog violationLog
 	var wg sync.WaitGroup
 	for i := 0; i < threads; i++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
-			th := sys.NewThread()
-			defer th.Close()
-			rng := rand.New(rand.NewSource(seed))
-			for !stop.Load() {
-				if rng.Intn(4) == 0 { // observer
-					_ = th.RunReadOnly(func(tx tm.Tx) error {
-						var sum uint64
-						for k := 0; k < accounts; k++ {
-							sum += tx.Load(acct(k))
-						}
-						if sum != accounts*initial {
-							violations.Add(1)
-						}
-						return nil
-					})
-					continue
+			guard(&vlog, func() {
+				th := sys.NewThread()
+				defer th.Close()
+				rng := rand.New(rand.NewSource(seed))
+				if err := tmtest.BankWorker(th, cfg, base, rng, -1, stop.Load, vlog.report); err != nil {
+					vlog.report(err.Error())
 				}
-				from, to := rng.Intn(accounts), rng.Intn(accounts)
-				amt := uint64(rng.Intn(20))
-				_ = th.Run(func(tx tm.Tx) error {
-					bf := tx.Load(acct(from))
-					if bf < amt || from == to {
-						return nil
-					}
-					tx.Store(acct(from), bf-amt)
-					tx.Store(acct(to), tx.Load(acct(to))+amt)
-					return nil
-				})
-			}
-		}(int64(i + 1))
+			})
+		}(seed + int64(i))
 	}
 	time.Sleep(d)
 	stop.Store(true)
 	wg.Wait()
-	if v := violations.Load(); v != 0 {
-		return fmt.Errorf("bank: %d opacity violations", v)
+	if err := vlog.err("bank"); err != nil {
+		return err
 	}
-	m := sys.Memory()
-	var total uint64
-	for i := 0; i < accounts; i++ {
-		total += m.LoadPlain(acct(i))
-	}
-	if total != accounts*initial {
-		return fmt.Errorf("bank: total %d, want %d", total, accounts*initial)
-	}
-	return nil
+	return tmtest.BankCheck(sys.Memory(), cfg, base)
 }
 
 // treeScenario: concurrent tree mutation must preserve the red-black
 // invariants.
-func treeScenario(sys tm.System, threads int, d time.Duration) error {
+func treeScenario(sys tm.System, threads int, d time.Duration, seed int64) error {
 	setup := sys.NewThread()
-	var tree rbtree.Tree
-	if err := setup.Run(func(tx tm.Tx) error {
-		tree = rbtree.New(tx)
-		for k := uint64(0); k < 128; k++ {
-			tree.Put(tx, k*2, k)
-		}
-		return nil
-	}); err != nil {
+	cfg := tmtest.TreeConfig{}
+	tree, err := tmtest.TreeSetup(setup, cfg)
+	setup.Close()
+	if err != nil {
 		return err
 	}
-	setup.Close()
 	var stop atomic.Bool
+	var vlog violationLog
 	var wg sync.WaitGroup
-	var opErr atomic.Value
 	for i := 0; i < threads; i++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
-			th := sys.NewThread()
-			defer th.Close()
-			rng := rand.New(rand.NewSource(seed))
-			for !stop.Load() {
-				k := uint64(rng.Intn(256))
-				var err error
-				switch rng.Intn(10) {
-				case 0, 1, 2:
-					err = th.Run(func(tx tm.Tx) error { tree.Put(tx, k, k); return nil })
-				case 3, 4:
-					err = th.Run(func(tx tm.Tx) error { tree.Delete(tx, k); return nil })
-				default:
-					err = th.RunReadOnly(func(tx tm.Tx) error { tree.Get(tx, k); return nil })
+			guard(&vlog, func() {
+				th := sys.NewThread()
+				defer th.Close()
+				rng := rand.New(rand.NewSource(seed))
+				if err := tmtest.TreeWorker(th, tree, cfg, rng, -1, stop.Load); err != nil {
+					vlog.report(err.Error())
 				}
-				if err != nil {
-					opErr.Store(err)
-					return
-				}
-			}
-		}(int64(i + 1))
+			})
+		}(seed + int64(i))
 	}
 	time.Sleep(d)
 	stop.Store(true)
 	wg.Wait()
-	if err, _ := opErr.Load().(error); err != nil {
+	if err := vlog.err("rbtree"); err != nil {
 		return err
 	}
 	check := sys.NewThread()
 	defer check.Close()
-	return check.Run(func(tx tm.Tx) error { return tree.CheckInvariants(tx) })
+	return tmtest.TreeCheck(check, tree)
 }

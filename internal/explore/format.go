@@ -1,0 +1,49 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+)
+
+// FormatTrace renders a run human-readably, one scheduler step per line:
+//
+//	step  worker  point          addr     note
+//	   0  W0      htm-begin
+//	   1  W0      htm-load       0x0040
+//	   5  W1      htm-commit              [injected spurious]
+//	   6  W1      htm-abort               cause=htm-spurious
+//
+// Abort events carry the packed abort code in Info and are labeled with the
+// same obs.Cause taxonomy the stress and bench tools report, so a shrunk
+// counterexample reads in the repo's own vocabulary.
+func FormatTrace(res RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s  %-7s %-14s %-8s %s\n", "step", "worker", "point", "addr", "note")
+	for _, ev := range res.Events {
+		addr := ""
+		if ev.Addr != mem.Nil {
+			addr = fmt.Sprintf("0x%04x", uint64(ev.Addr))
+		}
+		var notes []string
+		if ev.Point == PointHTMAbort {
+			code, arg := htm.UnpackAbortInfo(ev.Info)
+			ab := &htm.Abort{Code: code, Arg: arg}
+			notes = append(notes, "cause="+ab.Cause().String())
+		}
+		if ev.Fault != FaultNone {
+			notes = append(notes, "[injected "+ev.Fault.String()+"]")
+		}
+		fmt.Fprintf(&b, "%4d  W%-6d %-14s %-8s %s\n",
+			ev.Step, ev.Worker, ev.Point.String(), addr, strings.Join(notes, " "))
+	}
+	switch res.Outcome {
+	case OutcomeViolation:
+		fmt.Fprintf(&b, "=> violation after %d steps: %s\n", res.Steps, res.Violation)
+	default:
+		fmt.Fprintf(&b, "=> %s after %d steps\n", res.Outcome, res.Steps)
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package explore
+
+import (
+	"fmt"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+)
+
+// Point identifies a yield point: a substrate or device boundary where a
+// worker hands control to the scheduler. The mem points cover the plain
+// (non-speculative) accesses every software path issues; the htm points
+// cover the speculative operations. Together they are exactly the
+// boundaries where one thread's step can become visible to another, so a
+// schedule over these points determines the whole run (DESIGN.md §9 carries
+// the argument).
+type Point uint8
+
+const (
+	// PointStart marks a worker that has not yet executed its first step.
+	PointStart Point = iota
+	// PointMemLoad..PointMemCommit mirror mem.HookOp.
+	PointMemLoad
+	PointMemStore
+	PointMemCAS
+	PointMemAdd
+	PointMemCommit
+	// PointHTMBegin..PointHTMAbort mirror htm.HookOp.
+	PointHTMBegin
+	PointHTMLoad
+	PointHTMStore
+	PointHTMValidate
+	PointHTMCommit
+	PointHTMAbort
+	// PointDone marks a finished worker.
+	PointDone
+
+	numPoints
+)
+
+var pointNames = [numPoints]string{
+	PointStart:       "start",
+	PointMemLoad:     "mem-load",
+	PointMemStore:    "mem-store",
+	PointMemCAS:      "mem-cas",
+	PointMemAdd:      "mem-add",
+	PointMemCommit:   "mem-commit",
+	PointHTMBegin:    "htm-begin",
+	PointHTMLoad:     "htm-load",
+	PointHTMStore:    "htm-store",
+	PointHTMValidate: "htm-validate",
+	PointHTMCommit:   "htm-commit",
+	PointHTMAbort:    "htm-abort",
+	PointDone:        "done",
+}
+
+func (p Point) String() string {
+	if int(p) < len(pointNames) && pointNames[p] != "" {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("Point(%d)", uint8(p))
+}
+
+// injectable reports whether a fault directive makes sense for a worker
+// parked at p: only device points with a live transaction can be killed.
+func (p Point) injectable() bool {
+	switch p {
+	case PointHTMBegin, PointHTMLoad, PointHTMStore, PointHTMValidate, PointHTMCommit:
+		return true
+	}
+	return false
+}
+
+func memPoint(op mem.HookOp) Point {
+	switch op {
+	case mem.HookLoad:
+		return PointMemLoad
+	case mem.HookStore:
+		return PointMemStore
+	case mem.HookCAS:
+		return PointMemCAS
+	case mem.HookAdd:
+		return PointMemAdd
+	default:
+		return PointMemCommit
+	}
+}
+
+func htmPoint(op htm.HookOp) Point {
+	switch op {
+	case htm.HookBegin:
+		return PointHTMBegin
+	case htm.HookLoad:
+		return PointHTMLoad
+	case htm.HookStore:
+		return PointHTMStore
+	case htm.HookValidate:
+		return PointHTMValidate
+	case htm.HookCommit:
+		return PointHTMCommit
+	default:
+		return PointHTMAbort
+	}
+}
+
+// Fault is a scheduler-injected hazard, applied to a worker as it resumes
+// from a device yield point: the explorer's replacement for the device's
+// global SpuriousAbortProb knob, aimed at one chosen operation instead of
+// all of them. Commit-point stalls need no Fault value: stalling a worker
+// is the scheduler simply not resuming it, which exploration strategies
+// express through their choice sequence.
+type Fault uint8
+
+const (
+	FaultNone Fault = iota
+	FaultSpurious
+	FaultCapacity
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultSpurious:
+		return "spurious"
+	case FaultCapacity:
+		return "capacity"
+	default:
+		return fmt.Sprintf("Fault(%d)", uint8(f))
+	}
+}
+
+func (f Fault) directive() htm.Directive {
+	switch f {
+	case FaultSpurious:
+		return htm.DirSpurious
+	case FaultCapacity:
+		return htm.DirCapacity
+	default:
+		return htm.DirNone
+	}
+}
+
+// Choice is one scheduler decision: which worker runs the next step, and
+// the fault (if any) injected as it resumes. A run is a pure function of
+// its choice sequence, which is what makes traces replayable.
+type Choice struct {
+	Worker int   `json:"w"`
+	Fault  Fault `json:"f,omitempty"`
+}
+
+// Event is one observed step: worker Worker, resumed with Fault, ran until
+// it parked at Point (address Addr, extra Info for aborts). The event
+// sequence is the interleaving a trace certifies; EventsHash digests it.
+type Event struct {
+	Step   int
+	Worker int
+	Point  Point
+	Addr   mem.Addr
+	Info   uint64
+	Fault  Fault
+}
+
+// Outcome classifies a run.
+type Outcome uint8
+
+const (
+	// OutcomeOK: all workers finished and every oracle passed.
+	OutcomeOK Outcome = iota
+	// OutcomeViolation: a safety violation — an invariant breach, an oracle
+	// rejection, or a worker panic.
+	OutcomeViolation
+	// OutcomeDiverged: the step budget ran out (e.g. a schedule that
+	// livelocks two validators against each other). Not a safety verdict.
+	OutcomeDiverged
+	// OutcomeStuck: a resumed worker made no progress within the watchdog
+	// timeout — a potential real deadlock, reported distinctly because it
+	// is a liveness signal, not a safety one.
+	OutcomeStuck
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeViolation:
+		return "violation"
+	case OutcomeDiverged:
+		return "diverged"
+	case OutcomeStuck:
+		return "stuck"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// OutcomeByName is the inverse of Outcome.String, for trace files.
+func OutcomeByName(s string) (Outcome, bool) {
+	for _, o := range []Outcome{OutcomeOK, OutcomeViolation, OutcomeDiverged, OutcomeStuck} {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// RunResult is one explored run's outcome.
+type RunResult struct {
+	Outcome Outcome
+	// Violation is the first violation message (when Outcome is
+	// OutcomeViolation) or a diagnostic for diverged/stuck runs.
+	Violation string
+	// Choices are the decisions actually executed, in order; replaying them
+	// reproduces the run exactly.
+	Choices []Choice
+	// Events align with Choices: Events[i] is where Choices[i]'s worker
+	// parked.
+	Events []Event
+	// Enabled aligns with Choices: the runnable worker ids (ascending) the
+	// scheduler chose among at each step. Exploration strategies use it to
+	// enumerate alternatives.
+	Enabled [][]int
+	// Steps is len(Choices).
+	Steps int
+}

@@ -1,0 +1,279 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rhnorec/internal/linearize"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+	"rhnorec/internal/tmtest"
+)
+
+// Scenario is one explorable workload. Build runs single-threaded with the
+// hooks inactive (its setup traffic is not scheduled); the returned bodies
+// are the workers the scheduler serializes, and finish — run after all
+// workers complete, hooks inactive again — is the end-of-run oracle.
+//
+// Scenario bodies must not recover panics they did not raise themselves:
+// the scheduler's teardown unwinds parked workers with a private panic
+// value, and the TM drivers' own recover/cleanup/re-panic discipline must
+// reach the worker's top frame.
+type Scenario struct {
+	Name string
+	// NeedsTM: Build requires Config.Algo / Env.Sys.
+	NeedsTM bool
+	// FixedWorkers pins the worker count (0 = configurable).
+	FixedWorkers int
+	DefaultWorkers,
+	DefaultOps int
+	// MemWords sizes the run's memory (0 = 1<<16).
+	MemWords int
+	Build    func(env *Env, cfg Config) (bodies []func(), finish func() error, err error)
+}
+
+// Scenarios returns the registry, in presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{bankScenario, rbtreeScenario, kvScenario, htmOpacityScenario}
+}
+
+// ScenarioNames lists the registered scenario names.
+func ScenarioNames() []string {
+	var names []string
+	for _, sc := range Scenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}
+
+// ScenarioByName finds a scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// bankScenario explores the shared bank-transfer workload (with observers
+// asserting the in-transaction invariant) over any TM system: the tmtest
+// conformance check, but against chosen schedules instead of lucky ones.
+var bankScenario = Scenario{
+	Name:           "bank",
+	NeedsTM:        true,
+	DefaultWorkers: 3,
+	DefaultOps:     4,
+	Build: func(env *Env, cfg Config) ([]func(), func() error, error) {
+		wcfg := tmtest.BankConfig{Accounts: 4, Initial: 100, TransferMax: 10, ObserverEvery: 3}
+		setup := env.Sys.NewThread()
+		base, err := tmtest.BankSetup(setup, wcfg)
+		setup.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		report := func(msg string) { env.Violatef("%s", msg) }
+		bodies := make([]func(), cfg.Workers)
+		for i := range bodies {
+			i := i
+			bodies[i] = func() {
+				th := env.Sys.NewThread()
+				defer th.Close()
+				rng := rand.New(rand.NewSource(int64(i) + 1))
+				if err := tmtest.BankWorker(th, wcfg, base, rng, cfg.Ops, nil, report); err != nil {
+					env.Violatef("bank worker %d: %v", i, err)
+				}
+			}
+		}
+		finish := func() error { return tmtest.BankCheck(env.M, wcfg, base) }
+		return bodies, finish, nil
+	},
+}
+
+// rbtreeScenario explores the shared red-black tree workload; the oracle is
+// the structural invariant check.
+var rbtreeScenario = Scenario{
+	Name:           "rbtree",
+	NeedsTM:        true,
+	DefaultWorkers: 2,
+	DefaultOps:     3,
+	MemWords:       1 << 18,
+	Build: func(env *Env, cfg Config) ([]func(), func() error, error) {
+		wcfg := tmtest.TreeConfig{InitialKeys: 8, KeySpace: 32}
+		setup := env.Sys.NewThread()
+		tree, err := tmtest.TreeSetup(setup, wcfg)
+		setup.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies := make([]func(), cfg.Workers)
+		for i := range bodies {
+			i := i
+			bodies[i] = func() {
+				th := env.Sys.NewThread()
+				defer th.Close()
+				rng := rand.New(rand.NewSource(int64(i) + 1))
+				if err := tmtest.TreeWorker(th, tree, wcfg, rng, cfg.Ops, nil); err != nil {
+					env.Violatef("rbtree worker %d: %v", i, err)
+				}
+			}
+		}
+		finish := func() error {
+			check := env.Sys.NewThread()
+			defer check.Close()
+			return tmtest.TreeCheck(check, tree)
+		}
+		return bodies, finish, nil
+	},
+}
+
+// kvScenario drives a transactional key-value register map and judges the
+// recorded history with the linearizability checker — the oracle adapter
+// between the explorer and internal/linearize. Value 0 encodes "absent", so
+// the memory's zero state matches the checker's empty-map model; workers
+// therefore only write values ≥ 1.
+var kvScenario = Scenario{
+	Name:           "kv-linearize",
+	NeedsTM:        true,
+	DefaultWorkers: 3,
+	DefaultOps:     4,
+	Build: func(env *Env, cfg Config) ([]func(), func() error, error) {
+		// Size the key space so per-key subhistories stay under the
+		// checker's 64-op bitmask bound even if every op hit one key pair.
+		keys := 1 + cfg.Workers*cfg.Ops/32
+		setup := env.Sys.NewThread()
+		var base mem.Addr
+		err := setup.Run(func(tx tm.Tx) error {
+			base = tx.Alloc(keys * mem.LineWords)
+			return nil
+		})
+		setup.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		keyAddr := func(k uint64) mem.Addr { return base + mem.Addr(int(k)*mem.LineWords) }
+		rec := linearize.NewRecorder()
+		bodies := make([]func(), cfg.Workers)
+		for i := range bodies {
+			i := i
+			bodies[i] = func() {
+				th := env.Sys.NewThread()
+				defer th.Close()
+				rng := rand.New(rand.NewSource(int64(i) + 1))
+				for j := 0; j < cfg.Ops; j++ {
+					k := uint64(rng.Intn(keys))
+					switch rng.Intn(4) {
+					case 0: // put
+						v := uint64(1 + rng.Intn(100))
+						rec.Do(linearize.Put, k, v, func() (uint64, bool) {
+							var old uint64
+							if err := th.Run(func(tx tm.Tx) error {
+								old = tx.Load(keyAddr(k))
+								tx.Store(keyAddr(k), v)
+								return nil
+							}); err != nil {
+								env.Violatef("kv put: %v", err)
+							}
+							return old, old != 0
+						})
+					case 1: // delete
+						rec.Do(linearize.Delete, k, 0, func() (uint64, bool) {
+							var old uint64
+							if err := th.Run(func(tx tm.Tx) error {
+								old = tx.Load(keyAddr(k))
+								tx.Store(keyAddr(k), 0)
+								return nil
+							}); err != nil {
+								env.Violatef("kv delete: %v", err)
+							}
+							return old, old != 0
+						})
+					default: // get
+						rec.Do(linearize.Get, k, 0, func() (uint64, bool) {
+							var v uint64
+							if err := th.RunReadOnly(func(tx tm.Tx) error {
+								v = tx.Load(keyAddr(k))
+								return nil
+							}); err != nil {
+								env.Violatef("kv get: %v", err)
+							}
+							return v, v != 0
+						})
+					}
+				}
+			}
+		}
+		finish := func() error {
+			res, err := linearize.CheckErr(rec.History())
+			if err != nil {
+				return fmt.Errorf("kv oracle: %w", err)
+			}
+			if !res.Linearizable {
+				return fmt.Errorf("kv history not linearizable: key %d (%d ops)", res.FailedKey, res.Ops)
+			}
+			return nil
+		}
+		return bodies, finish, nil
+	},
+}
+
+// htmOpacityScenario runs the raw device (no TM driver): a reader asserts
+// in-transaction that x+y is conserved while a blind writer republishes the
+// pair. Against the correct protocol no schedule or fault can break it —
+// the reader's stale log is caught by value re-validation. With the
+// skip-validation planted bug it has a 12-step counterexample, which is the
+// shrinking demo of docs/EXPLORE.md and the CI acceptance gate.
+var htmOpacityScenario = Scenario{
+	Name:         "htm-opacity",
+	FixedWorkers: 2,
+	DefaultOps:   1,
+	Build: func(env *Env, cfg Config) ([]func(), func() error, error) {
+		const total = 1000
+		tc := env.M.NewThreadCache()
+		block := tc.Alloc(2 * mem.LineWords)
+		x, y := block, block+mem.LineWords
+		env.M.StorePlain(x, total*6/10)
+		env.M.StorePlain(y, total*4/10)
+		reader := func() {
+			txn := env.Dev.NewTxn()
+			for j := 0; j < cfg.Ops; j++ {
+				for try := 0; try < 8; try++ {
+					ab := txn.Attempt(func() {
+						vx := txn.Load(x)
+						vy := txn.Load(y)
+						if vx+vy != total {
+							env.Violatef("opacity: reader saw x=%d y=%d, sum %d != %d", vx, vy, vx+vy, total)
+						}
+					})
+					if ab == nil {
+						break
+					}
+				}
+			}
+		}
+		writer := func() {
+			txn := env.Dev.NewTxn()
+			for j := 0; j < cfg.Ops; j++ {
+				// Blind writes keep the writer abort-free under conflicts:
+				// the round's split is computed, never read back.
+				d := uint64((j + 1) * 100 % total)
+				for try := 0; try < 8; try++ {
+					ab := txn.Attempt(func() {
+						txn.Store(x, total-d)
+						txn.Store(y, d)
+					})
+					if ab == nil {
+						break
+					}
+				}
+			}
+		}
+		finish := func() error {
+			if got := env.M.LoadPlain(x) + env.M.LoadPlain(y); got != total {
+				return fmt.Errorf("htm-opacity: final sum %d, want %d", got, total)
+			}
+			return nil
+		}
+		return []func(){reader, writer}, finish, nil
+	},
+}

@@ -1,0 +1,84 @@
+package explore
+
+// Shrinking: reduce a failing choice sequence to a minimal one that still
+// fails, with ddmin (Zeller & Hildebrandt's delta debugging). Candidates
+// are evaluated by lenient replay — splicing chunks out of a schedule
+// routinely mis-aligns the remaining choices, and the lenient strategy
+// absorbs that by substituting the default continuation — and every
+// accepted candidate is re-anchored to the choices the run *actually*
+// executed (RunResult.Choices), which snaps the sequence back to executable
+// reality and truncates it at the violation-detection step for free.
+
+// ShrinkResult is the outcome of a shrink.
+type ShrinkResult struct {
+	// Choices is the minimized failing sequence.
+	Choices []Choice
+	// Result is the failing run the minimized sequence produces.
+	Result RunResult
+	// Runs is how many replays the shrink spent.
+	Runs int
+}
+
+// Shrink minimizes failing (a choice sequence for cfg known to produce a
+// violation) within a replay budget. It returns the smallest failing
+// sequence found; if the input unexpectedly fails to reproduce (which
+// determinism rules out short of an infrastructure bug), it returns ok =
+// false.
+func Shrink(cfg Config, failing []Choice, budget int) (ShrinkResult, bool) {
+	sr := ShrinkResult{}
+	try := func(cand []Choice) (RunResult, bool) {
+		sr.Runs++
+		res, err := RunOnce(cfg, newReplay(cand, false))
+		return res, err == nil && res.Outcome == OutcomeViolation
+	}
+	res, ok := try(failing)
+	if !ok {
+		return sr, false
+	}
+	// Re-anchor: the executed choices end at the detection step, so this
+	// alone usually drops the tail of the recording.
+	cur, best := res.Choices, res
+	n := 2
+	for len(cur) >= 2 && (budget <= 0 || sr.Runs < budget) {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for i := 0; i < n; i++ {
+			lo := i * chunk
+			if lo >= len(cur) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			cand := make([]Choice, 0, len(cur)-(hi-lo))
+			cand = append(cand, cur[:lo]...)
+			cand = append(cand, cur[hi:]...)
+			res, ok := try(cand)
+			// Accept only strict progress; equal-length "reductions" could
+			// cycle between equivalent schedules forever.
+			if ok && len(res.Choices) < len(cur) {
+				cur, best = res.Choices, res
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+			if budget > 0 && sr.Runs >= budget {
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	sr.Choices, sr.Result = cur, best
+	return sr, true
+}

@@ -1,0 +1,132 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// TraceVersion identifies the trace file format.
+const TraceVersion = "rhexplore.v1"
+
+// Trace is the serialized form of one run: the Config that shapes the
+// world, the Choice sequence that determines the interleaving, and the
+// recorded outcome plus an events digest so a replay can certify it
+// reproduced the identical interleaving — not merely the same verdict.
+type Trace struct {
+	Version   string `json:"version"`
+	Scenario  string `json:"scenario"`
+	Algo      string `json:"algo,omitempty"`
+	Workers   int    `json:"workers"`
+	Ops       int    `json:"ops"`
+	Bug       string `json:"bug,omitempty"`
+	Outcome   string `json:"outcome"`
+	Violation string `json:"violation,omitempty"`
+	// EventsHash is an FNV-64a digest over the event sequence
+	// (step, worker, point, addr, info, fault per event).
+	EventsHash string   `json:"events_hash"`
+	Choices    []Choice `json:"choices"`
+}
+
+// EventsHash digests an event sequence for replay certification.
+func EventsHash(events []Event) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, e := range events {
+		put(uint64(e.Step))
+		put(uint64(e.Worker))
+		put(uint64(e.Point))
+		put(uint64(e.Addr))
+		put(e.Info)
+		put(uint64(e.Fault))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// NewTrace packages a run for serialization. cfg should be the Config the
+// run executed under (normalized or not; it is re-normalized on load).
+func NewTrace(cfg Config, res RunResult) Trace {
+	return Trace{
+		Version:    TraceVersion,
+		Scenario:   cfg.Scenario,
+		Algo:       cfg.Algo,
+		Workers:    cfg.Workers,
+		Ops:        cfg.Ops,
+		Bug:        cfg.Bug,
+		Outcome:    res.Outcome.String(),
+		Violation:  res.Violation,
+		EventsHash: EventsHash(res.Events),
+		Choices:    res.Choices,
+	}
+}
+
+// Config reconstructs the run configuration a trace was recorded under.
+func (tr Trace) Config() Config {
+	return Config{
+		Scenario: tr.Scenario,
+		Algo:     tr.Algo,
+		Workers:  tr.Workers,
+		Ops:      tr.Ops,
+		Bug:      tr.Bug,
+	}
+}
+
+// Save writes the trace as indented JSON.
+func (tr Trace) Save(path string) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadTrace reads and validates a trace file.
+func LoadTrace(path string) (Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Trace{}, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return Trace{}, fmt.Errorf("explore: %s: %w", path, err)
+	}
+	if tr.Version != TraceVersion {
+		return Trace{}, fmt.Errorf("explore: %s: version %q, want %q", path, tr.Version, TraceVersion)
+	}
+	if _, ok := OutcomeByName(tr.Outcome); !ok {
+		return Trace{}, fmt.Errorf("explore: %s: unknown outcome %q", path, tr.Outcome)
+	}
+	return tr, nil
+}
+
+// Replay re-executes a trace under strict guided replay and certifies the
+// reproduction: the outcome and the events digest must both match the
+// recording. It returns the replayed result; a non-nil error means the
+// trace did not reproduce (or could not run).
+func (tr Trace) Replay() (RunResult, error) {
+	cfg := tr.Config()
+	// Replays inherit a generous budget: the recording bounds the schedule
+	// already, and the default continuation finishes the run after it.
+	strat := newReplay(tr.Choices, true)
+	res, err := RunOnce(cfg, strat)
+	if err != nil {
+		return res, err
+	}
+	if strat.divergedAt >= 0 {
+		return res, fmt.Errorf("explore: replay diverged at step %d: recorded worker no longer runnable", strat.divergedAt)
+	}
+	if got, want := res.Outcome.String(), tr.Outcome; got != want {
+		return res, fmt.Errorf("explore: replay outcome %s, recorded %s", got, want)
+	}
+	if got := EventsHash(res.Events); got != tr.EventsHash {
+		return res, fmt.Errorf("explore: replay events hash %s, recorded %s — interleaving not reproduced", got, tr.EventsHash)
+	}
+	return res, nil
+}

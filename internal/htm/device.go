@@ -30,6 +30,9 @@ type Device struct {
 	// seedCounter hands out distinct RNG seeds to transactions.
 	seedCounter atomic.Uint64
 
+	// hook, when non-nil, observes every transactional operation (see Hook).
+	hook Hook
+
 	_       [48]byte // keep starts off the line holding the fields above
 	starts  counter
 	commits counter
@@ -95,10 +98,17 @@ func (d *Device) Stats() DeviceStats {
 
 // NewTxn creates a reusable hardware-transaction context bound to this
 // device. A Txn belongs to one thread; each simulated hardware thread
-// creates its own.
+// creates its own. The per-transaction RNG seed comes from Config.SeedFn
+// when set; the default arrival-order counter depends on goroutine
+// scheduling, which is exactly what deterministic-replay harnesses cannot
+// tolerate.
 func (d *Device) NewTxn() *Txn {
+	seed := d.seedCounter.Add(1)
+	if fn := d.cfg.SeedFn; fn != nil {
+		seed = fn()
+	}
 	return &Txn{
 		d:        d,
-		rngState: d.seedCounter.Add(1)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
+		rngState: seed*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D,
 	}
 }

@@ -191,6 +191,11 @@ type Config struct {
 	// restore that interleaving. Zero takes the default; negative
 	// disables.
 	YieldPeriod int
+	// SeedFn, when non-nil, supplies each transaction's RNG seed instead of
+	// the device's arrival-order counter, whose value depends on goroutine
+	// scheduling. The explorer installs a deterministic source here so runs
+	// are bit-reproducible; nil keeps the counter.
+	SeedFn func() uint64
 }
 
 // DefaultConfig mirrors the paper's testbed: 8 cores, a 32 KiB L1 write

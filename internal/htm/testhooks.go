@@ -1,0 +1,16 @@
+package htm
+
+import "sync/atomic"
+
+// PlantedBugs holds deliberately injectable protocol defects, off by
+// default. They exist so the schedule explorer (internal/explore,
+// cmd/rhexplore) can demonstrate that it finds and shrinks real safety
+// violations: CI flips one on, asserts rhexplore produces a minimal
+// counterexample, and flips it back off (docs/EXPLORE.md walks through the
+// resulting trace). Production code never sets these.
+var PlantedBugs struct {
+	// SkipValueRevalidation makes valueCheckStripe vacuously succeed, so a
+	// transaction whose read stripe moved keeps its stale log — an opacity
+	// bug: a reader can observe values from two different snapshots.
+	SkipValueRevalidation atomic.Bool
+}

@@ -83,6 +83,7 @@ func (t *Txn) Begin() {
 		t.marks.reset()
 	}
 	t.d.starts.Add(1)
+	t.hookYield(HookBegin, mem.Nil, 0)
 }
 
 // Active reports whether a speculation is in progress.
@@ -104,6 +105,11 @@ func (t *Txn) mustActive(op string) {
 func (t *Txn) fail(code Code, arg uint64) {
 	t.active = false
 	t.d.aborts[code].Add(1)
+	if h := t.d.hook; h != nil {
+		// Announce the abort so traces can label it with its taxonomy cell;
+		// the directive is ignored — the transaction is already dead.
+		h.Yield(HookAbort, mem.Nil, AbortInfo(code, arg))
+	}
 	panic(&Abort{Code: code, Arg: arg})
 }
 
@@ -153,6 +159,7 @@ func (t *Txn) maybeSpurious() {
 // protocol.
 func (t *Txn) Load(a mem.Addr) uint64 {
 	t.mustActive("Load")
+	t.hookYield(HookLoad, a, 0)
 	t.maybeYield()
 	t.maybeSpurious()
 	if t.writes.len() > 0 {
@@ -202,6 +209,7 @@ func (t *Txn) readConsistent(a mem.Addr) uint64 {
 			// advance — the sweep below would otherwise take the new mark
 			// at face value and skip them. Dice first: bloom hardware
 			// would see the motion, not the values.
+			t.hookYield(HookValidate, a, 0)
 			diced := false
 			if !t.rollFalseConflict(&diced) || !t.valueCheckStripe(int(s)) {
 				t.fail(Conflict, 0)
@@ -255,6 +263,9 @@ func (t *Txn) rollFalseConflict(diced *bool) bool {
 // value. The caller supplies the stability argument (stripe seqlock
 // protocol, or holding the stripe's writeback lock).
 func (t *Txn) valueCheckStripe(s int) bool {
+	if PlantedBugs.SkipValueRevalidation.Load() {
+		return true
+	}
 	m := t.d.m
 	for i := range t.reads.entries {
 		r := &t.reads.entries[i]
@@ -360,6 +371,7 @@ func (t *Txn) commitValidate() bool { return t.sweepReads(true) }
 // (capacity) if the write set overflows.
 func (t *Txn) Store(a mem.Addr, v uint64) {
 	t.mustActive("Store")
+	t.hookYield(HookStore, a, 0)
 	t.maybeYield()
 	t.maybeSpurious()
 	if t.writes.put(a, v) {
@@ -395,6 +407,7 @@ func (t *Txn) Cancel() {
 // read-only commit touches nothing shared.
 func (t *Txn) Commit() {
 	t.mustActive("Commit")
+	t.hookYield(HookCommit, mem.Nil, 0)
 	t.maybeSpurious()
 	if t.writes.len() == 0 {
 		if !t.sweepReads(false) {

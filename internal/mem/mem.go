@@ -86,6 +86,39 @@ type stripe struct {
 	_     [48]byte
 }
 
+// HookOp identifies which substrate boundary a Hook observes.
+type HookOp uint8
+
+const (
+	// HookLoad fires before a plain atomic load.
+	HookLoad HookOp = iota
+	// HookStore fires before a plain atomic store takes its stripe lock.
+	HookStore
+	// HookCAS fires before a plain compare-and-swap takes its stripe lock.
+	HookCAS
+	// HookAdd fires before a plain fetch-and-add takes its stripe lock.
+	HookAdd
+	// HookCommit fires before CommitWrites locks the touched stripes of a
+	// non-empty write buffer.
+	HookCommit
+)
+
+// Hook receives control at substrate boundaries. The deterministic schedule
+// explorer (internal/explore) installs one to serialize worker goroutines:
+// Yield parks the calling goroutine until an external scheduler resumes it.
+//
+// AtomicBegin/AtomicEnd bracket regions where the caller holds stripe
+// writeback locks with seqlock windows open (the locked span of
+// CommitWrites). Yield must not park inside such a region — a parked holder
+// would hang every seqlock reader — so hooks suppress yields between the
+// two calls. The bracket is maintained by this package; hook implementations
+// only need to honor it.
+type Hook interface {
+	Yield(op HookOp, a Addr)
+	AtomicBegin()
+	AtomicEnd()
+}
+
 // Memory is a flat array of 64-bit words striped over per-line seqlocks.
 // All fields are private; access goes through the methods below so that the
 // clock discipline can never be bypassed by accident.
@@ -97,6 +130,10 @@ type Memory struct {
 	// ticket counts publishes (plain mutations and commit write-backs).
 	// It orders events for observability but carries no seqlock meaning.
 	ticket atomic.Uint64
+
+	// hook, when non-nil, observes every plain access and commit (see Hook).
+	// Costs one nil check per operation when unset.
+	hook Hook
 
 	alloc allocState
 }
@@ -132,6 +169,11 @@ func NewStriped(sizeWords, stripes int) *Memory {
 	m.alloc.init(Addr(LineWords), Addr(sizeWords))
 	return m
 }
+
+// SetHook installs (or, with nil, removes) the substrate hook. It must be
+// called while no other goroutine is accessing the memory; the explorer
+// installs it before starting its workers.
+func (m *Memory) SetHook(h Hook) { m.hook = h }
 
 // Size returns the memory size in words.
 func (m *Memory) Size() int { return len(m.words) }
@@ -196,6 +238,9 @@ func (m *Memory) check(a Addr) {
 // LoadPlain performs a non-transactional atomic read of a word.
 func (m *Memory) LoadPlain(a Addr) uint64 {
 	m.check(a)
+	if h := m.hook; h != nil {
+		h.Yield(HookLoad, a)
+	}
 	return atomic.LoadUint64(&m.words[a])
 }
 
@@ -205,6 +250,9 @@ func (m *Memory) LoadPlain(a Addr) uint64 {
 // readers.
 func (m *Memory) StorePlain(a Addr, v uint64) {
 	m.check(a)
+	if h := m.hook; h != nil {
+		h.Yield(HookStore, a)
+	}
 	s := m.stripeFor(a)
 	m.beginMutate(s)
 	atomic.StoreUint64(&m.words[a], v)
@@ -217,6 +265,9 @@ func (m *Memory) StorePlain(a Addr, v uint64) {
 // store.
 func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 	m.check(a)
+	if h := m.hook; h != nil {
+		h.Yield(HookCAS, a)
+	}
 	s := m.stripeFor(a)
 	s.wb.Lock()
 	if atomic.LoadUint64(&m.words[a]) != old {
@@ -233,6 +284,9 @@ func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 // new value.
 func (m *Memory) AddPlain(a Addr, delta uint64) uint64 {
 	m.check(a)
+	if h := m.hook; h != nil {
+		h.Yield(HookAdd, a)
+	}
 	s := m.stripeFor(a)
 	m.beginMutate(s)
 	v := atomic.LoadUint64(&m.words[a]) + delta
@@ -306,6 +360,15 @@ func (m *Memory) CommitWrites(writes []WriteEntry, validate func() bool) bool {
 	for i := range writes {
 		touched.set(m.StripeOf(writes[i].Addr))
 	}
+	h := m.hook
+	if h != nil {
+		h.Yield(HookCommit, writes[0].Addr)
+		// The locked span below runs validate with windows open; a parked
+		// holder would hang every seqlock reader, so nested yields (the
+		// LoadPlains of the commit validation) are suppressed until the
+		// locks drop.
+		h.AtomicBegin()
+	}
 	touched.forEach(func(s int) { m.stripes[s].wb.Lock() })
 	touched.forEach(func(s int) { m.stripes[s].clock.Add(1) })
 	ok := validate == nil || validate()
@@ -322,6 +385,9 @@ func (m *Memory) CommitWrites(writes []WriteEntry, validate func() bool) bool {
 		touched.forEach(func(s int) { m.stripes[s].clock.Add(^uint64(0)) })
 	}
 	touched.forEach(func(s int) { m.stripes[s].wb.Unlock() })
+	if h != nil {
+		h.AtomicEnd()
+	}
 	return ok
 }
 

@@ -39,6 +39,17 @@ func SetSoftwareAccessCost(units int) { softwareAccessCost.Store(int32(units)) }
 // SoftwareAccessCost reports the current cost-model setting.
 func SoftwareAccessCost() int { return int(softwareAccessCost.Load()) }
 
+// cooperative marks that an external deterministic scheduler (see
+// internal/explore) serializes every worker, so MaybeYield's Gosched calls
+// — which exist to approximate hardware interleaving under free-running
+// goroutines — would only add scheduling noise. Process-wide, like the cost
+// model: the explorer owns the whole process while it runs.
+var cooperative atomic.Bool
+
+// SetCooperative switches the free-running yield pacing off (true) or back
+// on (false).
+func SetCooperative(on bool) { cooperative.Store(on) }
+
 // ThreadBase carries the state every algorithm's Thread needs: the memory,
 // a thread-local allocator cache, a reclamation slot, per-attempt
 // allocation/free tracking, and the statistics counters. Algorithm packages
@@ -88,7 +99,7 @@ func (b *ThreadBase) CallUser(fn func(Tx) error, view Tx) error {
 // interleave mid-transaction.
 func (b *ThreadBase) MaybeYield() {
 	b.ops++
-	if b.ops%yieldPeriod == 0 {
+	if b.ops%yieldPeriod == 0 && !cooperative.Load() {
 		runtime.Gosched()
 	}
 }

@@ -260,25 +260,19 @@ func concurrentCounter(t *testing.T, f Factory, opts Options) {
 	}
 }
 
-// bankInvariant: concurrent transfers preserve the total balance.
+// bankInvariant: concurrent transfers preserve the total balance. The
+// workload itself lives in workloads.go, shared with rhstress and the
+// schedule explorer.
 func bankInvariant(t *testing.T, f Factory, opts Options) {
-	const accounts = 32
-	const initial = 1000
+	cfg := BankConfig{}
 	m := newMem()
 	sys := f(m)
 	setup := sys.NewThread()
-	var base mem.Addr
-	if err := setup.Run(func(tx tm.Tx) error {
-		base = tx.Alloc(accounts * mem.LineWords)
-		for i := 0; i < accounts; i++ {
-			tx.Store(base+mem.Addr(i*mem.LineWords), initial)
-		}
-		return nil
-	}); err != nil {
+	base, err := BankSetup(setup, cfg)
+	setup.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	setup.Close()
-	acct := func(i int) mem.Addr { return base + mem.Addr(i*mem.LineWords) }
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Threads; i++ {
 		wg.Add(1)
@@ -287,39 +281,14 @@ func bankInvariant(t *testing.T, f Factory, opts Options) {
 			th := sys.NewThread()
 			defer th.Close()
 			rng := rand.New(rand.NewSource(seed))
-			for j := 0; j < opts.Ops; j++ {
-				from, to := rng.Intn(accounts), rng.Intn(accounts)
-				amt := uint64(rng.Intn(50))
-				if err := th.Run(func(tx tm.Tx) error {
-					bf := tx.Load(acct(from))
-					bt := tx.Load(acct(to))
-					if bf < amt {
-						return nil // insufficient funds; still commits (no-op)
-					}
-					if from == to {
-						return nil
-					}
-					tx.Store(acct(from), bf-amt)
-					tx.Store(acct(to), bt+amt)
-					return nil
-				}); err != nil {
-					t.Errorf("transfer error: %v", err)
-					return
-				}
+			if err := BankWorker(th, cfg, base, rng, opts.Ops, nil, nil); err != nil {
+				t.Errorf("transfer error: %v", err)
 			}
 		}(int64(i + 1))
 	}
 	wg.Wait()
-	// Sum over a consistent snapshot: per-word plain loads could tear
-	// against a straggling commit if a worker ever leaked past wg.Wait.
-	snap := make([]uint64, accounts*mem.LineWords)
-	m.Snapshot(base, snap)
-	var total uint64
-	for i := 0; i < accounts; i++ {
-		total += snap[i*mem.LineWords]
-	}
-	if total != accounts*initial {
-		t.Errorf("total balance = %d, want %d", total, accounts*initial)
+	if err := BankCheck(m, cfg, base); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -1,0 +1,195 @@
+package tmtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rhnorec/internal/mem"
+	"rhnorec/internal/rbtree"
+	"rhnorec/internal/tm"
+)
+
+// This file holds the invariant workloads shared by the conformance suite,
+// the rhstress soak harness and the schedule explorer (internal/explore).
+// Keeping one copy matters beyond hygiene: the explorer replays recorded
+// schedules, so the worker logic driving a trace must be byte-for-byte the
+// logic the other harnesses run, or a shrunk counterexample would not
+// reproduce outside the explorer.
+
+// BankConfig parameterizes the bank-transfer workload: transfers between
+// random accounts must preserve the total balance, and (optionally)
+// read-only observers assert the in-transaction invariant — the opacity
+// check every TM in this repository claims to satisfy.
+type BankConfig struct {
+	// Accounts is the number of accounts (each on its own cache line).
+	Accounts int
+	// Initial is every account's starting balance.
+	Initial uint64
+	// TransferMax bounds a single transfer amount (exclusive).
+	TransferMax int
+	// ObserverEvery, when > 0, makes roughly 1/ObserverEvery of the loop
+	// iterations run a read-only full-sum observer instead of a transfer.
+	// Zero disables observers (and draws no dice for them, so the transfer
+	// RNG sequence matches the observer-free workload exactly).
+	ObserverEvery int
+}
+
+func (c BankConfig) withDefaults() BankConfig {
+	if c.Accounts <= 0 {
+		c.Accounts = 32
+	}
+	if c.Initial == 0 {
+		c.Initial = 1000
+	}
+	if c.TransferMax <= 0 {
+		c.TransferMax = 50
+	}
+	return c
+}
+
+// BankAccount returns account i's address given the base BankSetup returned.
+func BankAccount(base mem.Addr, i int) mem.Addr {
+	return base + mem.Addr(i*mem.LineWords)
+}
+
+// BankSetup allocates and funds the accounts, one per cache line.
+func BankSetup(th tm.Thread, cfg BankConfig) (mem.Addr, error) {
+	cfg = cfg.withDefaults()
+	var base mem.Addr
+	err := th.Run(func(tx tm.Tx) error {
+		base = tx.Alloc(cfg.Accounts * mem.LineWords)
+		for i := 0; i < cfg.Accounts; i++ {
+			tx.Store(BankAccount(base, i), cfg.Initial)
+		}
+		return nil
+	})
+	return base, err
+}
+
+// BankWorker runs one worker's transfer loop. With ops >= 0 it runs exactly
+// ops iterations; with ops < 0 it runs until stop returns true. Observer
+// transactions report invariant violations through report (which must be
+// non-nil when cfg.ObserverEvery > 0); violations inside attempts that later
+// restart count too, exactly as in opacityWithin — opacity promises a
+// consistent snapshot to live transactions, not just committed ones.
+func BankWorker(th tm.Thread, cfg BankConfig, base mem.Addr, rng *rand.Rand, ops int, stop func() bool, report func(msg string)) error {
+	cfg = cfg.withDefaults()
+	want := uint64(cfg.Accounts) * cfg.Initial
+	for j := 0; ops < 0 || j < ops; j++ {
+		if ops < 0 && stop() {
+			return nil
+		}
+		if cfg.ObserverEvery > 0 && rng.Intn(cfg.ObserverEvery) == 0 {
+			if err := th.RunReadOnly(func(tx tm.Tx) error {
+				var sum uint64
+				for k := 0; k < cfg.Accounts; k++ {
+					sum += tx.Load(BankAccount(base, k))
+				}
+				if sum != want {
+					report(fmt.Sprintf("bank observer: sum %d, want %d", sum, want))
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		from, to := rng.Intn(cfg.Accounts), rng.Intn(cfg.Accounts)
+		amt := uint64(rng.Intn(cfg.TransferMax))
+		if err := th.Run(func(tx tm.Tx) error {
+			bf := tx.Load(BankAccount(base, from))
+			bt := tx.Load(BankAccount(base, to))
+			if bf < amt {
+				return nil // insufficient funds; still commits (no-op)
+			}
+			if from == to {
+				return nil
+			}
+			tx.Store(BankAccount(base, from), bf-amt)
+			tx.Store(BankAccount(base, to), bt+amt)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BankCheck verifies the conserved total over a tear-free snapshot.
+func BankCheck(m *mem.Memory, cfg BankConfig, base mem.Addr) error {
+	cfg = cfg.withDefaults()
+	snap := make([]uint64, cfg.Accounts*mem.LineWords)
+	m.Snapshot(base, snap)
+	var total uint64
+	for i := 0; i < cfg.Accounts; i++ {
+		total += snap[i*mem.LineWords]
+	}
+	if want := uint64(cfg.Accounts) * cfg.Initial; total != want {
+		return fmt.Errorf("bank: total balance %d, want %d", total, want)
+	}
+	return nil
+}
+
+// TreeConfig parameterizes the red-black tree workload: concurrent
+// put/delete/get traffic must preserve the structural invariants.
+type TreeConfig struct {
+	// InitialKeys seeds the tree with keys 0, 2, ..., 2*(InitialKeys-1).
+	InitialKeys int
+	// KeySpace bounds the keys workers touch (exclusive).
+	KeySpace int
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.InitialKeys <= 0 {
+		c.InitialKeys = 128
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 2 * c.InitialKeys
+	}
+	return c
+}
+
+// TreeSetup builds and seeds the shared tree.
+func TreeSetup(th tm.Thread, cfg TreeConfig) (rbtree.Tree, error) {
+	cfg = cfg.withDefaults()
+	var tree rbtree.Tree
+	err := th.Run(func(tx tm.Tx) error {
+		tree = rbtree.New(tx)
+		for k := uint64(0); k < uint64(cfg.InitialKeys); k++ {
+			tree.Put(tx, k*2, k)
+		}
+		return nil
+	})
+	return tree, err
+}
+
+// TreeWorker runs one worker's mutation loop (30% put, 20% delete, 50%
+// lookup). With ops >= 0 it runs exactly ops iterations; with ops < 0 it
+// runs until stop returns true.
+func TreeWorker(th tm.Thread, tree rbtree.Tree, cfg TreeConfig, rng *rand.Rand, ops int, stop func() bool) error {
+	cfg = cfg.withDefaults()
+	for j := 0; ops < 0 || j < ops; j++ {
+		if ops < 0 && stop() {
+			return nil
+		}
+		k := uint64(rng.Intn(cfg.KeySpace))
+		var err error
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			err = th.Run(func(tx tm.Tx) error { tree.Put(tx, k, k); return nil })
+		case 3, 4:
+			err = th.Run(func(tx tm.Tx) error { tree.Delete(tx, k); return nil })
+		default:
+			err = th.RunReadOnly(func(tx tm.Tx) error { tree.Get(tx, k); return nil })
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TreeCheck validates the red-black invariants in one transaction.
+func TreeCheck(th tm.Thread, tree rbtree.Tree) error {
+	return th.Run(func(tx tm.Tx) error { return tree.CheckInvariants(tx) })
+}
