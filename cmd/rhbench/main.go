@@ -10,6 +10,7 @@
 //	rhbench -experiment structures      # rbtree vs skiplist vs sortedlist
 //	rhbench -experiment ablation        # RH NOrec design-choice ablations
 //	rhbench -experiment disjoint        # per-thread private lines (striping scaling)
+//	rhbench -experiment contention      # hotspot vs disjoint under policy variants
 //	rhbench -experiment all             # fig4+fig5+fig6+extra
 //	rhbench -experiment list            # list workloads and algorithms
 //
@@ -22,6 +23,17 @@
 // probability, -swcost instrumentation-cost units, -tsv machine-readable
 // rows, -json FILE machine-readable point dump (ops/sec per system per
 // thread count).
+//
+// Contention management (docs/POLICY.md): -policy static|backoff|adaptive
+// selects the retry-policy kind (default: static, overridable via the
+// RHNOREC_POLICY environment variable), -retries the fast-path retry
+// budget, -backoff the base backoff bound in scheduler yields.
+//
+// CI perf gate: -compare BASELINE.json re-checks this run's points against
+// a baseline dump and exits non-zero when any point is missing or fell
+// below 1 - -compare-tolerance of its baseline throughput;
+// -compare-normalize divides each dump by its own median throughput first,
+// so the gate tracks relative shape rather than machine speed.
 //
 // Observability (docs/METRICS.md): -obs attaches per-thread latency
 // histograms and the abort-cause taxonomy to every worker and embeds the
@@ -50,7 +62,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | all | list (comma-separated ok)")
+		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | contention | all | list (comma-separated ok)")
 		duration   = flag.Duration("duration", 150*time.Millisecond, "measurement time per benchmark point")
 		threadsCSV = flag.String("threads", "1,2,4,8,12,16", "thread counts to sweep")
 		algosCSV   = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's five)")
@@ -65,18 +77,30 @@ func main() {
 		tracePath  = flag.String("trace", "", "write per-thread event-ring traces to this file (implies -obs plus rings; replay with rhtrace)")
 		ringSize   = flag.Int("ringsize", 2048, "events held per thread ring for -trace")
 		verbose    = flag.Bool("v", false, "print each point as it completes")
+
+		policyName  = flag.String("policy", "", "contention policy kind: static | backoff | adaptive (default: static, or $RHNOREC_POLICY)")
+		retries     = flag.Int("retries", 0, "fast-path HTM retry budget before fallback (0 = paper default)")
+		backoffBase = flag.Int("backoff", 0, "base backoff bound in scheduler yields for the randomized policies (0 = default)")
+
+		comparePath = flag.String("compare", "", "baseline rhbench JSON dump to gate this run against (exit 1 on regression)")
+		compareTol  = flag.Float64("compare-tolerance", 0.25, "allowed fractional throughput drop per point before -compare fails")
+		compareNorm = flag.Bool("compare-normalize", false, "normalize each dump by its own median throughput before comparing (machine-speed independent)")
 	)
 	flag.Parse()
 	tm.SetSoftwareAccessCost(*swcost)
 
 	if *experiment == "list" {
-		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint all")
+		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint contention all")
 		fmt.Print("algorithms:")
 		for _, a := range bench.StandardAlgos() {
 			fmt.Printf(" %s", a.Name)
 		}
 		fmt.Print("\nablation variants:")
 		for _, a := range bench.RHVariants() {
+			fmt.Printf(" %s", a.Name)
+		}
+		fmt.Print("\npolicy variants:")
+		for _, a := range bench.PolicyVariants() {
 			fmt.Printf(" %s", a.Name)
 		}
 		fmt.Println()
@@ -96,6 +120,19 @@ func main() {
 		Repeat:   *repeat,
 		Obs:      *obsOn || *tracePath != "",
 	}
+	if *policyName != "" {
+		k, ok := tm.PolicyKindByName(*policyName)
+		if !ok {
+			fatal(fmt.Errorf("unknown -policy %q (want static, backoff or adaptive)", *policyName))
+		}
+		cfg.Policy.Kind = k
+	}
+	if *retries > 0 {
+		cfg.Policy.MaxHTMRetries = *retries
+	}
+	if *backoffBase > 0 {
+		cfg.Policy.BackoffBaseYields = *backoffBase
+	}
 	if *tracePath != "" {
 		if *ringSize <= 0 {
 			fatal(fmt.Errorf("-trace needs -ringsize > 0, got %d", *ringSize))
@@ -113,6 +150,10 @@ func main() {
 	}
 	var rec *bench.JSONRecorder
 	var jsonFile *os.File
+	if *comparePath != "" {
+		// The gate needs every point recorded even without -json.
+		rec = new(bench.JSONRecorder)
+	}
 	if *jsonPath != "" {
 		// Open the output up front: a bad path should fail before the sweep
 		// runs, not after.
@@ -162,6 +203,8 @@ func main() {
 			return bench.Structures(os.Stdout, cfg)
 		case "disjoint":
 			return bench.DisjointFigure(os.Stdout, cfg)
+		case "contention":
+			return bench.ContentionFigure(os.Stdout, cfg)
 		case "ablation":
 			acfg := cfg
 			if *algosCSV == "" {
@@ -187,7 +230,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if rec != nil {
+	if rec != nil && jsonFile != nil {
 		if err := rec.WriteJSON(jsonFile); err != nil {
 			jsonFile.Close()
 			fatal(err)
@@ -206,6 +249,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "rhbench: wrote %d traces to %s\n", len(traces), *tracePath)
+	}
+	if *comparePath != "" {
+		baseline, err := bench.LoadDump(*comparePath)
+		if err != nil {
+			fatal(err)
+		}
+		deltas := bench.Compare(baseline, rec.Dump(), *compareNorm)
+		bad := bench.Regressions(deltas, *compareTol)
+		for _, d := range bad {
+			fmt.Fprintf(os.Stderr, "rhbench: REGRESSION %s\n", d)
+		}
+		if len(bad) > 0 {
+			fatal(fmt.Errorf("%d of %d baseline points regressed beyond tolerance %.0f%%",
+				len(bad), len(deltas), *compareTol*100))
+		}
+		fmt.Fprintf(os.Stderr, "rhbench: compare ok: %d baseline points within tolerance %.0f%% of %s\n",
+			len(deltas), *compareTol*100, *comparePath)
 	}
 }
 

@@ -50,8 +50,8 @@ func StandardAlgos() []Algo {
 		{Name: "lock-elision", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
 			return lockelision.New(m, d, p)
 		}},
-		{Name: "norec", New: func(m *mem.Memory, _ *htm.Device, _ tm.RetryPolicy) tm.System {
-			return norec.New(m, norec.Eager)
+		{Name: "norec", New: func(m *mem.Memory, _ *htm.Device, p tm.RetryPolicy) tm.System {
+			return norec.NewWithPolicy(m, norec.Eager, p)
 		}},
 		{Name: "tl2", New: func(m *mem.Memory, _ *htm.Device, _ tm.RetryPolicy) tm.System {
 			return tl2.New(m, 0)
@@ -82,8 +82,8 @@ func RHVariants() []Algo {
 		override("rh-nopostfix", func(p *tm.RetryPolicy) { p.DisablePostfix = true }),
 		override("rh-noadapt", func(p *tm.RetryPolicy) { p.DisablePrefixAdaptation = true }),
 		override("rh-allsoft", func(p *tm.RetryPolicy) { p.DisablePrefix = true; p.DisablePostfix = true }),
-		{Name: "norec-lazy", New: func(m *mem.Memory, _ *htm.Device, _ tm.RetryPolicy) tm.System {
-			return norec.New(m, norec.Lazy)
+		{Name: "norec-lazy", New: func(m *mem.Memory, _ *htm.Device, p tm.RetryPolicy) tm.System {
+			return norec.NewWithPolicy(m, norec.Lazy, p)
 		}},
 		{Name: "rh-tl2", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
 			return rhtl2.New(m, d, p, 0)
@@ -97,7 +97,31 @@ func RHVariants() []Algo {
 	}
 }
 
-// AlgoByName returns the standard or variant algorithm with the given name.
+// PolicyVariants returns the contention-management ablation algorithms:
+// the hybrids pinned to each retry-policy kind (overriding any -policy
+// flag or RHNOREC_POLICY environment setting), so one sweep compares the
+// kinds side by side. This is the algorithm set of the contention
+// experiment and of the CI bench-regress gate.
+func PolicyVariants() []Algo {
+	rh := func(name string, k tm.PolicyKind) Algo {
+		return Algo{Name: name, New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			p.Kind = k
+			return core.New(m, d, p)
+		}}
+	}
+	return []Algo{
+		rh("rh-norec+static", tm.PolicyStatic),
+		rh("rh-norec+backoff", tm.PolicyBackoff),
+		rh("rh-norec+adaptive", tm.PolicyAdaptive),
+		{Name: "hy-norec+adaptive", New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			p.Kind = tm.PolicyAdaptive
+			return hynorec.New(m, d, p)
+		}},
+	}
+}
+
+// AlgoByName returns the standard, ablation or policy-variant algorithm
+// with the given name.
 func AlgoByName(name string) (Algo, bool) {
 	for _, a := range StandardAlgos() {
 		if a.Name == name {
@@ -105,6 +129,11 @@ func AlgoByName(name string) (Algo, bool) {
 		}
 	}
 	for _, a := range RHVariants() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	for _, a := range PolicyVariants() {
 		if a.Name == name {
 			return a, true
 		}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Delta is one baseline point compared against the matching point of a
+// current run. Points are matched by (workload, algo, threads).
+type Delta struct {
+	Workload string
+	Algo     string
+	Threads  int
+	// Baseline and Current are ops/sec — divided by the owning dump's
+	// median when the comparison is normalized.
+	Baseline float64
+	Current  float64
+	// Ratio is Current/Baseline (0 when the point is missing).
+	Ratio float64
+	// Missing marks a baseline point with no counterpart in the current
+	// run: a coverage regression, always fatal.
+	Missing bool
+}
+
+func (d Delta) String() string {
+	if d.Missing {
+		return fmt.Sprintf("%s/%s/t=%d: missing from current run", d.Workload, d.Algo, d.Threads)
+	}
+	return fmt.Sprintf("%s/%s/t=%d: %.4g -> %.4g (x%.2f)",
+		d.Workload, d.Algo, d.Threads, d.Baseline, d.Current, d.Ratio)
+}
+
+// LoadDump reads and schema-validates an rhbench -json dump.
+func LoadDump(path string) (*JSONDump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateDump(data); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// ValidateDump already decoded successfully; decode again for the value.
+	var dump JSONDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &dump, nil
+}
+
+// Compare matches every baseline point against the current dump. With
+// normalize set, each dump's throughputs are first divided by that dump's
+// own median throughput, making the comparison about relative shape
+// (which algorithm/thread-count cells are fast) rather than absolute
+// machine speed — the mode the CI perf gate uses, since runner hardware
+// varies. Points present only in the current dump are ignored: adding
+// coverage is not a regression.
+func Compare(baseline, current *JSONDump, normalize bool) []Delta {
+	bScale, cScale := 1.0, 1.0
+	if normalize {
+		bScale = 1 / medianThroughput(baseline)
+		cScale = 1 / medianThroughput(current)
+	}
+	type key struct {
+		w, a string
+		t    int
+	}
+	cur := make(map[key]float64, len(current.Points))
+	for _, p := range current.Points {
+		cur[key{p.Workload, p.Algo, p.Threads}] = p.OpsPerSec * cScale
+	}
+	deltas := make([]Delta, 0, len(baseline.Points))
+	for _, p := range baseline.Points {
+		d := Delta{
+			Workload: p.Workload,
+			Algo:     p.Algo,
+			Threads:  p.Threads,
+			Baseline: p.OpsPerSec * bScale,
+		}
+		if c, ok := cur[key{p.Workload, p.Algo, p.Threads}]; ok {
+			d.Current = c
+			if d.Baseline > 0 {
+				d.Ratio = c / d.Baseline
+			}
+		} else {
+			d.Missing = true
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters the deltas the perf gate fails on: missing points,
+// and points whose throughput fell below 1-tolerance of the baseline.
+// Speedups never fail — only coverage loss and slowdowns do.
+func Regressions(deltas []Delta, tolerance float64) []Delta {
+	var bad []Delta
+	for _, d := range deltas {
+		if d.Missing || d.Ratio < 1-tolerance {
+			bad = append(bad, d)
+		}
+	}
+	return bad
+}
+
+// medianThroughput returns the dump's median ops/sec (1 when the dump has
+// no usable points, so normalization degenerates to identity rather than
+// dividing by zero).
+func medianThroughput(d *JSONDump) float64 {
+	vals := make([]float64, 0, len(d.Points))
+	for _, p := range d.Points {
+		if p.OpsPerSec > 0 {
+			vals = append(vals, p.OpsPerSec)
+		}
+	}
+	if len(vals) == 0 {
+		return 1
+	}
+	sort.Float64s(vals)
+	if n := len(vals); n%2 == 1 {
+		return vals[n/2]
+	} else {
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+}

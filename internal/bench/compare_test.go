@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func dumpOf(points ...JSONPoint) *JSONDump {
+	return &JSONDump{SchemaVersion: SchemaVersion, Points: points}
+}
+
+func pt(workload, algo string, threads int, ops float64) JSONPoint {
+	return JSONPoint{Workload: workload, Algo: algo, Threads: threads,
+		Ops: uint64(ops), ElapsedSec: 1, OpsPerSec: ops}
+}
+
+func TestCompareMatchesByKey(t *testing.T) {
+	base := dumpOf(
+		pt("hotspot-2", "rh-norec+static", 1, 100),
+		pt("hotspot-2", "rh-norec+static", 2, 200),
+	)
+	cur := dumpOf(
+		pt("hotspot-2", "rh-norec+static", 2, 190),
+		pt("hotspot-2", "rh-norec+static", 1, 50),
+		pt("hotspot-2", "rh-norec+adaptive", 1, 10), // extra point: ignored
+	)
+	deltas := Compare(base, cur, false)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (one per baseline point)", len(deltas))
+	}
+	if d := deltas[0]; d.Threads != 1 || d.Ratio != 0.5 {
+		t.Errorf("t=1 delta = %+v, want ratio 0.5", d)
+	}
+	if d := deltas[1]; d.Threads != 2 || d.Ratio != 0.95 {
+		t.Errorf("t=2 delta = %+v, want ratio 0.95", d)
+	}
+	bad := Regressions(deltas, 0.25)
+	if len(bad) != 1 || bad[0].Threads != 1 {
+		t.Errorf("Regressions(0.25) = %v, want only the t=1 halving", bad)
+	}
+	if bad := Regressions(deltas, 0.6); len(bad) != 0 {
+		t.Errorf("Regressions(0.6) = %v, want none", bad)
+	}
+}
+
+func TestCompareMissingPointAlwaysRegresses(t *testing.T) {
+	base := dumpOf(pt("w", "a", 1, 100), pt("w", "a", 2, 100))
+	cur := dumpOf(pt("w", "a", 1, 100))
+	deltas := Compare(base, cur, false)
+	bad := Regressions(deltas, 0.99)
+	if len(bad) != 1 || !bad[0].Missing || bad[0].Threads != 2 {
+		t.Fatalf("Regressions = %v, want the missing t=2 point regardless of tolerance", bad)
+	}
+}
+
+func TestCompareNormalizeCancelsMachineSpeed(t *testing.T) {
+	base := dumpOf(
+		pt("w", "a", 1, 100),
+		pt("w", "b", 1, 200),
+		pt("w", "c", 1, 400),
+	)
+	// The same shape measured on a machine 10x slower.
+	cur := dumpOf(
+		pt("w", "a", 1, 10),
+		pt("w", "b", 1, 20),
+		pt("w", "c", 1, 40),
+	)
+	if bad := Regressions(Compare(base, cur, true), 0.01); len(bad) != 0 {
+		t.Errorf("normalized compare of a uniformly-scaled dump regressed: %v", bad)
+	}
+	if bad := Regressions(Compare(base, cur, false), 0.25); len(bad) != 3 {
+		t.Errorf("unnormalized compare should fail all 3 points, got %v", bad)
+	}
+	// A genuine shape change survives normalization: algo "a" collapses.
+	skew := dumpOf(
+		pt("w", "a", 1, 1),
+		pt("w", "b", 1, 20),
+		pt("w", "c", 1, 40),
+	)
+	bad := Regressions(Compare(base, skew, true), 0.25)
+	if len(bad) != 1 || bad[0].Algo != "a" {
+		t.Errorf("normalized compare of a skewed dump = %v, want just algo a", bad)
+	}
+}
+
+func TestLoadDumpValidates(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema_version":"rhbench.v1","points":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDump(bad); err == nil {
+		t.Fatal("LoadDump accepted a wrong schema version")
+	}
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"schema_version":"rhbench.v2","points":[{"workload":"w","algo":"a","threads":1,"ops":5,"elapsed_sec":1,"ops_per_sec":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDump(good)
+	if err != nil {
+		t.Fatalf("LoadDump: %v", err)
+	}
+	if len(d.Points) != 1 || d.Points[0].OpsPerSec != 5 {
+		t.Fatalf("LoadDump returned %+v", d)
+	}
+}

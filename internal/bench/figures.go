@@ -253,6 +253,33 @@ func DisjointFigure(w io.Writer, cfg FigureConfig) error {
 		[]WorkloadFactory{Disjoint(DisjointConfig{Lines: 4})})
 }
 
+// ContentionFigure runs the contention-management sweep (DESIGN.md §10):
+// the hotspot workload — every transaction read-modify-writes the same two
+// shared lines, so concurrent writers always conflict — against the
+// disjoint workload — no conflicts at all — under the policy-variant
+// algorithms. The adaptive policy should beat or match static retry on the
+// hotspot (randomized backoff de-synchronizes the conflicting retries,
+// the contention window keeps doomed speculations away from a hot slow
+// path) while staying within noise of it on disjoint, where the policy
+// machinery is pure overhead. CI's bench-regress job gates on exactly this
+// sweep against the checked-in BENCH_3.json baseline.
+func ContentionFigure(w io.Writer, cfg FigureConfig) error {
+	if len(cfg.Algos) == 0 {
+		cfg.Algos = PolicyVariants()
+	}
+	if cfg.MemWords == 0 {
+		// Both workloads touch a handful of lines; the default
+		// multi-megabyte memory only adds allocation and GC noise to the
+		// short CI points this sweep feeds.
+		cfg.MemWords = 1 << 18
+	}
+	return runAndPrint(w, "Contention: hotspot (shared lines) vs disjoint (private lines), policy variants", cfg,
+		[]WorkloadFactory{
+			Hotspot(HotspotConfig{Lines: 2}),
+			Disjoint(DisjointConfig{Lines: 4}),
+		})
+}
+
 // Extra reproduces the workloads the paper folds into the SSCA2 discussion
 // (Kmeans and Labyrinth, §3.6) plus Bayes, which the paper omits for
 // inconsistent behaviour (no claims are made about it).

@@ -165,6 +165,59 @@ func (w *disjointWorkload) NewOp(th tm.Thread, seed int64) func() error {
 	}
 }
 
+// HotspotConfig parameterizes the high-contention workload.
+type HotspotConfig struct {
+	// Lines is the number of shared cache lines every transaction
+	// read-modify-writes (default 2).
+	Lines int
+}
+
+// hotspotWorkload is the adversarial opposite of disjointWorkload: every
+// thread's every transaction read-modify-writes the same few shared lines,
+// so any two concurrent writers conflict. Commit rates are governed almost
+// entirely by the contention-management policy — the workload the policy
+// sweep uses to separate static retry from randomized backoff.
+type hotspotWorkload struct {
+	cfg  HotspotConfig
+	base mem.Addr
+}
+
+// Hotspot returns a factory for the maximal-conflict workload.
+func Hotspot(cfg HotspotConfig) WorkloadFactory {
+	if cfg.Lines <= 0 {
+		cfg.Lines = 2
+	}
+	return func() Workload { return &hotspotWorkload{cfg: cfg} }
+}
+
+func (w *hotspotWorkload) Name() string {
+	return fmt.Sprintf("hotspot-%d", w.cfg.Lines)
+}
+
+func (w *hotspotWorkload) Setup(th tm.Thread) error {
+	return th.Run(func(tx tm.Tx) error {
+		// Align the block to a line boundary so the footprint is exactly
+		// cfg.Lines lines (and stripes) for every thread.
+		raw := tx.Alloc((w.cfg.Lines + 1) * mem.LineWords)
+		w.base = (raw + mem.LineWords - 1) &^ (mem.LineWords - 1)
+		return nil
+	})
+}
+
+func (w *hotspotWorkload) NewOp(th tm.Thread, seed int64) func() error {
+	base := w.base
+	lines := w.cfg.Lines
+	return func() error {
+		return th.Run(func(tx tm.Tx) error {
+			for j := 0; j < lines; j++ {
+				a := base + mem.Addr(j*mem.LineWords)
+				tx.Store(a, tx.Load(a)+1)
+			}
+			return nil
+		})
+	}
+}
+
 // orderedWorkload drives the same mixed key-value operation profile as the
 // RBTree microbenchmark over a different ordered structure (skip list or
 // sorted list), for structure-comparison benchmarks.

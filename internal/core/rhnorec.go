@@ -56,6 +56,7 @@ type System struct {
 	dev    *htm.Device
 	rec    *tm.Reclaimer
 	policy tm.RetryPolicy
+	engine *tm.Engine
 
 	gClock     mem.Addr
 	gHTMLock   mem.Addr
@@ -69,12 +70,16 @@ func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
 	if dev.Memory() != m {
 		panic("core: device bound to a different memory")
 	}
+	// The contention engine draws its jitter seeds from the device's seed
+	// source, so explore replays stay bit-reproducible (engine.go).
+	engine := tm.NewEngine(policy, dev.Config().SeedFn)
 	tc := m.NewThreadCache()
 	return &System{
 		m:          m,
 		dev:        dev,
 		rec:        tm.NewReclaimer(),
-		policy:     policy.WithDefaults(),
+		policy:     engine.Policy(),
+		engine:     engine,
 		gClock:     tc.Alloc(mem.LineWords),
 		gHTMLock:   tc.Alloc(mem.LineWords),
 		gFallbacks: tc.Alloc(mem.LineWords),
@@ -99,7 +104,7 @@ func (s *System) NewThread() tm.Thread {
 		htx:         s.dev.NewTxn(),
 		expectedLen: s.policy.InitialPrefixLength,
 	}
-	t.base.Retry.InitRetry(s.policy)
+	t.base.CM = s.engine.NewThreadPolicy(&t.base)
 	return t
 }
 
@@ -154,32 +159,30 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	attemptStart := o.Start()
 	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
-	for {
-		fastStart := o.Start()
-		err, ab := t.fastAttempt(fn)
-		o.RecordSince(obs.PhaseFast, fastStart)
-		if ab == nil {
-			if err == nil {
-				t.base.Retry.OnFastCommit(retries)
-				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+	if t.base.CM.AdmitFast() {
+		for {
+			fastStart := o.Start()
+			err, ab := t.fastAttempt(fn)
+			o.RecordSince(obs.PhaseFast, fastStart)
+			if ab == nil {
+				if err == nil {
+					t.base.CM.OnFastCommit(retries)
+					t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+				}
+				o.RecordSince(obs.PhaseAttempt, attemptStart)
+				return err
 			}
-			o.RecordSince(obs.PhaseAttempt, attemptStart)
-			return err
-		}
-		t.base.RecordHTMAbort(ab, retries+1)
-		retries++
-		if !ab.MayRetry() && ab.Code != htm.Explicit {
-			break // NO_RETRY (capacity, environmental): straight to the mixed slow path
-		}
-		if retries >= t.base.Retry.Budget() {
-			break
-		}
-		t.waitOutAbortCause(ab)
-		if ab.Code == htm.Conflict {
-			t.sys.policy.Backoff(retries - 1)
+			t.base.RecordHTMAbort(ab, retries+1)
+			retries++
+			// The policy judges the abort (capacity demotion, budget,
+			// backoff); protocol-specific lock spins stay here.
+			if t.base.CM.OnAbort(ab, retries) != tm.RetryFast {
+				break
+			}
+			t.waitOutAbortCause(ab)
 		}
 	}
-	t.base.Retry.OnFallback()
+	t.base.CM.OnFallback()
 	t.base.St.Fallbacks++
 	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
 	err := t.mixedSlowRun(fn)
@@ -273,6 +276,7 @@ func (t *thread) mixedSlowRun(fn func(tm.Tx) error) error {
 	t.postfixBanned = false
 	restarts := 0
 	defer func() {
+		t.base.CM.OnSlowDone()
 		if t.fallbackRegistered {
 			m.SubPlain(t.sys.gFallbacks, 1)
 			t.fallbackRegistered = false
@@ -296,6 +300,7 @@ func (t *thread) mixedSlowRun(fn func(tm.Tx) error) error {
 		}
 		t.base.St.SlowPathRestarts++
 		restarts++
+		t.base.CM.OnSTMRestart(restarts)
 		if restarts >= t.sys.policy.MaxSlowPathRestarts && !t.serialHeld {
 			for !m.CASPlain(t.sys.serialLock, 0, 1) {
 				runtime.Gosched()

@@ -52,6 +52,7 @@ type System struct {
 	dev     *htm.Device
 	rec     *tm.Reclaimer
 	policy  tm.RetryPolicy
+	engine  *tm.Engine
 	variant Variant
 
 	gClock     mem.Addr
@@ -72,12 +73,14 @@ func NewVariant(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy, v Variant
 	if dev.Memory() != m {
 		panic("hynorec: device bound to a different memory")
 	}
+	engine := tm.NewEngine(policy, dev.Config().SeedFn)
 	tc := m.NewThreadCache()
 	return &System{
 		m:          m,
 		dev:        dev,
 		rec:        tm.NewReclaimer(),
-		policy:     policy.WithDefaults(),
+		policy:     engine.Policy(),
+		engine:     engine,
 		variant:    v,
 		gClock:     tc.Alloc(mem.LineWords),
 		gHTMLock:   tc.Alloc(mem.LineWords),
@@ -105,7 +108,7 @@ func (s *System) NewThread() tm.Thread {
 		htx:      s.dev.NewTxn(),
 		writeMap: make(map[mem.Addr]uint64, 16),
 	}
-	t.base.Retry.InitRetry(s.policy)
+	t.base.CM = s.engine.NewThreadPolicy(&t.base)
 	return t
 }
 
@@ -149,45 +152,36 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	attemptStart := o.Start()
 	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
-	for {
-		fastStart := o.Start()
-		err, ab := t.fastAttempt(fn)
-		o.RecordSince(obs.PhaseFast, fastStart)
-		if ab == nil {
-			if err == nil {
-				t.base.Retry.OnFastCommit(retries)
-				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+	if t.base.CM.AdmitFast() {
+		for {
+			fastStart := o.Start()
+			err, ab := t.fastAttempt(fn)
+			o.RecordSince(obs.PhaseFast, fastStart)
+			if ab == nil {
+				if err == nil {
+					t.base.CM.OnFastCommit(retries)
+					t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+				}
+				o.RecordSince(obs.PhaseAttempt, attemptStart)
+				return err
 			}
-			o.RecordSince(obs.PhaseAttempt, attemptStart)
-			return err
-		}
-		t.base.RecordHTMAbort(ab, retries+1)
-		retries++
-		if !t.shouldRetryFast(ab, retries) {
-			break
-		}
-		t.waitOutAbortCause(ab)
-		if ab.Code == htm.Conflict {
-			t.sys.policy.Backoff(retries - 1)
+			t.base.RecordHTMAbort(ab, retries+1)
+			retries++
+			// The policy judges the abort (§3.3 gives capacity and other
+			// no-retry statuses straight to the slow path); protocol lock
+			// spins stay here.
+			if t.base.CM.OnAbort(ab, retries) != tm.RetryFast {
+				break
+			}
+			t.waitOutAbortCause(ab)
 		}
 	}
-	t.base.Retry.OnFallback()
+	t.base.CM.OnFallback()
 	t.base.St.Fallbacks++
 	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
 	err := t.slowRun(fn)
 	o.RecordSince(obs.PhaseAttempt, attemptStart)
 	return err
-}
-
-// shouldRetryFast applies the paper's retry policy (§3.3): aborts whose
-// status clears the retry hint (capacity, environmental) fall back
-// immediately; conflicts and protocol-explicit aborts retry up to the
-// budget.
-func (t *thread) shouldRetryFast(ab *htm.Abort, retries int) bool {
-	if !ab.MayRetry() && ab.Code != htm.Explicit {
-		return false
-	}
-	return retries < t.base.Retry.Budget()
 }
 
 // waitOutAbortCause avoids restarting straight into a certain abort when
@@ -275,6 +269,7 @@ func (t *thread) slowRun(fn func(tm.Tx) error) error {
 	m := t.base.M
 	m.AddPlain(t.sys.gFallbacks, 1)
 	defer m.SubPlain(t.sys.gFallbacks, 1)
+	defer t.base.CM.OnSlowDone()
 	o := t.base.St.Obs
 	restarts := 0
 	for {
@@ -295,6 +290,7 @@ func (t *thread) slowRun(fn func(tm.Tx) error) error {
 		t.base.St.SlowPathRestarts++
 		t.base.RecordSTMRestart(restarts + 1)
 		restarts++
+		t.base.CM.OnSTMRestart(restarts)
 		if restarts >= t.sys.policy.MaxSlowPathRestarts && !t.serialHeld {
 			for !m.CASPlain(t.sys.serialLock, 0, 1) {
 				runtime.Gosched()

@@ -26,6 +26,7 @@ type System struct {
 	dev    *htm.Device
 	rec    *tm.Reclaimer
 	policy tm.RetryPolicy
+	engine *tm.Engine
 	gLock  mem.Addr
 }
 
@@ -35,12 +36,14 @@ func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
 	if dev.Memory() != m {
 		panic("lockelision: device bound to a different memory")
 	}
+	engine := tm.NewEngine(policy, dev.Config().SeedFn)
 	tc := m.NewThreadCache()
 	s := &System{
 		m:      m,
 		dev:    dev,
 		rec:    tm.NewReclaimer(),
-		policy: policy.WithDefaults(),
+		policy: engine.Policy(),
+		engine: engine,
 		gLock:  tc.Alloc(mem.LineWords), // the lock gets its own cache line
 	}
 	return s
@@ -59,7 +62,7 @@ func (s *System) NewThread() tm.Thread {
 		base: tm.NewThreadBase(s.m, s.rec),
 		htx:  s.dev.NewTxn(),
 	}
-	t.base.Retry.InitRetry(s.policy)
+	t.base.CM = s.engine.NewThreadPolicy(&t.base)
 	return t
 }
 
@@ -89,35 +92,32 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	attemptStart := o.Start()
 	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
-	for {
-		t.waitLockFree()
-		fastStart := o.Start()
-		err, ab := t.fastAttempt(fn)
-		o.RecordSince(obs.PhaseFast, fastStart)
-		if ab == nil {
-			if err == nil {
-				t.base.Retry.OnFastCommit(retries)
-				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+	if t.base.CM.AdmitFast() {
+		for {
+			t.waitLockFree()
+			fastStart := o.Start()
+			err, ab := t.fastAttempt(fn)
+			o.RecordSince(obs.PhaseFast, fastStart)
+			if ab == nil {
+				if err == nil {
+					t.base.CM.OnFastCommit(retries)
+					t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+				}
+				o.RecordSince(obs.PhaseAttempt, attemptStart)
+				return err
 			}
-			o.RecordSince(obs.PhaseAttempt, attemptStart)
-			return err
-		}
-		t.base.RecordHTMAbort(ab, retries+1)
-		retries++
-		if !ab.MayRetry() && ab.Code != htm.Explicit {
-			break // capacity: hardware retry is futile
-		}
-		if retries >= t.base.Retry.Budget() {
-			break
-		}
-		if ab.Code == htm.Conflict {
-			t.sys.policy.Backoff(retries - 1)
+			t.base.RecordHTMAbort(ab, retries+1)
+			retries++
+			if t.base.CM.OnAbort(ab, retries) != tm.RetryFast {
+				break
+			}
 		}
 	}
-	t.base.Retry.OnFallback()
+	t.base.CM.OnFallback()
 	t.base.St.Fallbacks++
 	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
 	err := t.lockFallback(fn)
+	t.base.CM.OnSlowDone()
 	o.RecordSince(obs.PhaseAttempt, attemptStart)
 	return err
 }

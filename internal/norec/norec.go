@@ -43,16 +43,28 @@ func (v Variant) String() string {
 type System struct {
 	m       *mem.Memory
 	rec     *tm.Reclaimer
+	engine  *tm.Engine
 	variant Variant
 	clock   mem.Addr
 }
 
-// New creates a NOrec system of the given variant.
+// New creates a NOrec system of the given variant with the default
+// contention policy.
 func New(m *mem.Memory, variant Variant) *System {
+	return NewWithPolicy(m, variant, tm.RetryPolicy{})
+}
+
+// NewWithPolicy creates a NOrec system with an explicit contention policy.
+// Only the policy's software-restart behaviour applies (NOrec has no
+// hardware fast path): the randomized kinds back off between restarts.
+// There is no HTM device, so the engine seeds its jitter from its own
+// deterministic counter.
+func NewWithPolicy(m *mem.Memory, variant Variant, policy tm.RetryPolicy) *System {
 	tc := m.NewThreadCache()
 	return &System{
 		m:       m,
 		rec:     tm.NewReclaimer(),
+		engine:  tm.NewEngine(policy, nil),
 		variant: variant,
 		clock:   tc.Alloc(mem.LineWords),
 	}
@@ -66,11 +78,13 @@ func (s *System) Memory() *mem.Memory { return s.m }
 
 // NewThread implements tm.System.
 func (s *System) NewThread() tm.Thread {
-	return &thread{
+	t := &thread{
 		sys:      s,
 		base:     tm.NewThreadBase(s.m, s.rec),
 		writeMap: make(map[mem.Addr]uint64, 32),
 	}
+	t.base.CM = s.engine.NewThreadPolicy(&t.base)
+	return t
 }
 
 type readEntry struct {
@@ -129,6 +143,7 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 		t.base.St.STMRestarts++
 		restarts++
 		t.base.RecordSTMRestart(restarts)
+		t.base.CM.OnSTMRestart(restarts)
 	}
 }
 

@@ -1,0 +1,59 @@
+package obs
+
+// PolicyDecision labels one contention-management decision (internal/tm's
+// policy engine). Decisions are exposed on two ledgers, like aborts: a
+// per-thread counter cell here in the Recorder, and — for the rare,
+// state-changing decisions — an event-ring entry, so rhtrace timelines show
+// *when* a thread was demoted or throttled relative to the commits and
+// aborts around it.
+type PolicyDecision uint8
+
+const (
+	// DecisionDemote: a capacity abort demoted the thread past the hardware
+	// fast path (its transactions are oversized for the transactional
+	// cache; retrying in hardware is futile until the workload changes).
+	DecisionDemote PolicyDecision = iota
+	// DecisionPromoteProbe: a demoted thread reached an epoch boundary and
+	// probed the fast path again; a hardware commit of the probe re-promotes
+	// the thread.
+	DecisionPromoteProbe
+	// DecisionThrottle: fast-path entry was delayed because the global
+	// contention window found the slow path hot (concurrent slow-path
+	// writers above the policy threshold).
+	DecisionThrottle
+	// DecisionBackoff: a bounded randomized backoff before a retry
+	// (hardware conflict retry or software-path restart).
+	DecisionBackoff
+
+	// NumPolicyDecisions bounds the enum; every valid decision is
+	// < NumPolicyDecisions.
+	NumPolicyDecisions
+)
+
+var policyDecisionNames = [NumPolicyDecisions]string{
+	DecisionDemote:       "demote",
+	DecisionPromoteProbe: "promote-probe",
+	DecisionThrottle:     "throttle",
+	DecisionBackoff:      "backoff",
+}
+
+// String returns the stable schema name of the decision (docs/POLICY.md and
+// docs/METRICS.md document the enum; downstream tooling keys on these
+// strings).
+func (d PolicyDecision) String() string {
+	if d < NumPolicyDecisions {
+		return policyDecisionNames[d]
+	}
+	return "invalid"
+}
+
+// PolicyDecisionByName returns the PolicyDecision with the given schema
+// name.
+func PolicyDecisionByName(name string) (PolicyDecision, bool) {
+	for d, n := range policyDecisionNames {
+		if n == name {
+			return PolicyDecision(d), true
+		}
+	}
+	return 0, false
+}

@@ -17,15 +17,28 @@ const (
 	// EventCommit marks a commit; Path tells which execution path it
 	// committed on.
 	EventCommit
+	// EventDemote marks a contention-management demotion: a capacity abort
+	// sent this thread past the hardware fast path until an epoch probe
+	// re-promotes it (Decision carries obs.DecisionDemote).
+	EventDemote
+	// EventPromoteProbe marks a demoted thread's epoch-boundary probe of
+	// the fast path (Decision carries obs.DecisionPromoteProbe).
+	EventPromoteProbe
+	// EventThrottle marks a fast-path entry delayed by the global
+	// contention window (Decision carries obs.DecisionThrottle).
+	EventThrottle
 
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
-	EventBegin:    "begin",
-	EventAbort:    "abort",
-	EventFallback: "fallback",
-	EventCommit:   "commit",
+	EventBegin:        "begin",
+	EventAbort:        "abort",
+	EventFallback:     "fallback",
+	EventCommit:       "commit",
+	EventDemote:       "demote",
+	EventPromoteProbe: "promote-probe",
+	EventThrottle:     "throttle",
 }
 
 // String returns the stable schema name of the kind.

@@ -11,6 +11,11 @@ type Snapshot struct {
 	// Aborts holds one entry per abort cause observed at least once, in
 	// Cause enum order.
 	Aborts []AbortSnapshot `json:"aborts"`
+	// Policy holds one entry per contention-management decision kind taken
+	// at least once, in PolicyDecision enum order. Omitted entirely when no
+	// decisions fired, so pre-policy dumps stay byte-identical (additive
+	// optional field — no schema_version bump, per the METRICS.md contract).
+	Policy []PolicySnapshot `json:"policy,omitempty"`
 }
 
 // PhaseSnapshot is one phase's latency distribution. All durations are
@@ -46,6 +51,14 @@ type AbortSnapshot struct {
 	RetryMax uint64 `json:"retry_max"`
 }
 
+// PolicySnapshot is one contention-management decision counter.
+type PolicySnapshot struct {
+	// Decision is the schema name of the decision (PolicyDecision.String).
+	Decision string `json:"decision"`
+	// Count is the number of times the decision fired.
+	Count uint64 `json:"count"`
+}
+
 // Snapshot renders the recorder for the JSON dump. A nil recorder yields
 // an empty (but non-nil) snapshot.
 func (r *Recorder) Snapshot() *Snapshot {
@@ -78,6 +91,15 @@ func (r *Recorder) Snapshot() *Snapshot {
 			Count:     r.abortCount[c],
 			RetryMean: r.abortRetry[c].Mean(),
 			RetryMax:  r.abortRetry[c].Max(),
+		})
+	}
+	for d := PolicyDecision(0); d < NumPolicyDecisions; d++ {
+		if r.policyCount[d] == 0 {
+			continue
+		}
+		s.Policy = append(s.Policy, PolicySnapshot{
+			Decision: d.String(),
+			Count:    r.policyCount[d],
 		})
 	}
 	return s

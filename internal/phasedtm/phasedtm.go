@@ -40,6 +40,7 @@ type System struct {
 	dev    *htm.Device
 	rec    *tm.Reclaimer
 	policy tm.RetryPolicy
+	engine *tm.Engine
 
 	gMode     mem.Addr
 	gSWActive mem.Addr
@@ -51,12 +52,14 @@ func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
 	if dev.Memory() != m {
 		panic("phasedtm: device bound to a different memory")
 	}
+	engine := tm.NewEngine(policy, dev.Config().SeedFn)
 	tc := m.NewThreadCache()
 	return &System{
 		m:         m,
 		dev:       dev,
 		rec:       tm.NewReclaimer(),
-		policy:    policy.WithDefaults(),
+		policy:    engine.Policy(),
+		engine:    engine,
 		gMode:     tc.Alloc(mem.LineWords),
 		gSWActive: tc.Alloc(mem.LineWords),
 		gClock:    tc.Alloc(mem.LineWords),
@@ -76,7 +79,7 @@ func (s *System) NewThread() tm.Thread {
 		base: tm.NewThreadBase(s.m, s.rec),
 		htx:  s.dev.NewTxn(),
 	}
-	t.base.Retry.InitRetry(s.policy)
+	t.base.CM = s.engine.NewThreadPolicy(&t.base)
 	return t
 }
 
@@ -111,42 +114,43 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	attemptStart := o.Start()
 	t.base.ObsEvent(obs.EventBegin, obs.PathNone)
 	retries := 0
-	for {
-		if m.LoadPlain(t.sys.gMode) == modeSW {
-			// Opportunistic switch-back: if the software phase has
-			// drained, restore the hardware phase.
-			if m.LoadPlain(t.sys.gSWActive) != 0 || !m.CASPlain(t.sys.gMode, modeSW, modeHW) {
-				err := t.softwareRun(fn)
+	if t.base.CM.AdmitFast() {
+		for {
+			if m.LoadPlain(t.sys.gMode) == modeSW {
+				// Opportunistic switch-back: if the software phase has
+				// drained, restore the hardware phase.
+				if m.LoadPlain(t.sys.gSWActive) != 0 || !m.CASPlain(t.sys.gMode, modeSW, modeHW) {
+					err := t.softwareRun(fn)
+					o.RecordSince(obs.PhaseAttempt, attemptStart)
+					return err
+				}
+			}
+			fastStart := o.Start()
+			err, ab := t.fastAttempt(fn)
+			o.RecordSince(obs.PhaseFast, fastStart)
+			if ab == nil {
+				if err == nil {
+					t.base.CM.OnFastCommit(retries)
+					t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+				}
 				o.RecordSince(obs.PhaseAttempt, attemptStart)
 				return err
 			}
-		}
-		fastStart := o.Start()
-		err, ab := t.fastAttempt(fn)
-		o.RecordSince(obs.PhaseFast, fastStart)
-		if ab == nil {
-			if err == nil {
-				t.base.Retry.OnFastCommit(retries)
-				t.base.ObsEvent(obs.EventCommit, obs.PathFast)
+			t.base.RecordHTMAbort(ab, retries+1)
+			retries++
+			if t.base.CM.OnAbort(ab, retries) != tm.RetryFast {
+				break
 			}
-			o.RecordSince(obs.PhaseAttempt, attemptStart)
-			return err
-		}
-		t.base.RecordHTMAbort(ab, retries+1)
-		retries++
-		if !ab.MayRetry() && ab.Code != htm.Explicit {
-			break
-		}
-		if retries >= t.base.Retry.Budget() {
-			break
 		}
 	}
-	// Hardware gave up: switch the whole system to the software phase.
-	t.base.Retry.OnFallback()
+	// Hardware gave up (or the policy kept it away): switch the whole
+	// system to the software phase.
+	t.base.CM.OnFallback()
 	t.base.St.Fallbacks++
 	t.base.ObsEvent(obs.EventFallback, obs.PathNone)
 	m.CASPlain(t.sys.gMode, modeHW, modeSW)
 	err := t.softwareRun(fn)
+	t.base.CM.OnSlowDone()
 	o.RecordSince(obs.PhaseAttempt, attemptStart)
 	return err
 }
@@ -224,6 +228,7 @@ func (t *thread) softwareRun(fn func(tm.Tx) error) error {
 		t.base.St.SlowPathRestarts++
 		restarts++
 		t.base.RecordSTMRestart(restarts)
+		t.base.CM.OnSTMRestart(restarts)
 	}
 }
 

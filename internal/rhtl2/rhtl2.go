@@ -35,6 +35,7 @@ type System struct {
 	dev    *htm.Device
 	rec    *tm.Reclaimer
 	policy tm.RetryPolicy
+	engine *tm.Engine
 
 	// gv is the global version clock (even values; odd = a software
 	// commit's stripe-lock phase is in progress is not used here — locks
@@ -67,12 +68,14 @@ func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy, stripeCount int)
 	for n < stripeCount {
 		n <<= 1
 	}
+	engine := tm.NewEngine(policy, dev.Config().SeedFn)
 	tc := m.NewThreadCache()
 	return &System{
 		m:          m,
 		dev:        dev,
 		rec:        tm.NewReclaimer(),
-		policy:     policy.WithDefaults(),
+		policy:     engine.Policy(),
+		engine:     engine,
 		gv:         tc.Alloc(mem.LineWords),
 		stripes:    tc.Alloc(n),
 		mask:       uint64(n - 1),
@@ -99,7 +102,7 @@ func (s *System) NewThread() tm.Thread {
 		htx:  s.dev.NewTxn(),
 		id:   s.nextThreadID.Add(1),
 	}
-	t.base.Retry.InitRetry(s.policy)
+	t.base.CM = s.engine.NewThreadPolicy(&t.base)
 	return t
 }
 
@@ -138,27 +141,23 @@ func (t *thread) run(fn func(tm.Tx) error, ro bool) error {
 	defer t.base.EndTxn()
 	t.ro = ro
 	retries := 0
-	for {
-		err, ab := t.fastAttempt(fn)
-		if ab == nil {
-			if err == nil {
-				t.base.Retry.OnFastCommit(retries)
+	if t.base.CM.AdmitFast() {
+		for {
+			err, ab := t.fastAttempt(fn)
+			if ab == nil {
+				if err == nil {
+					t.base.CM.OnFastCommit(retries)
+				}
+				return err
 			}
-			return err
-		}
-		t.recordAbort(ab)
-		retries++
-		if !ab.MayRetry() && ab.Code != htm.Explicit {
-			break
-		}
-		if retries >= t.base.Retry.Budget() {
-			break
-		}
-		if ab.Code == htm.Conflict {
-			t.sys.policy.Backoff(retries - 1)
+			t.recordAbort(ab)
+			retries++
+			if t.base.CM.OnAbort(ab, retries) != tm.RetryFast {
+				break
+			}
 		}
 	}
-	t.base.Retry.OnFallback()
+	t.base.CM.OnFallback()
 	t.base.St.Fallbacks++
 	return t.slowRun(fn)
 }
@@ -236,6 +235,7 @@ func (t *thread) fastAttempt(fn func(tm.Tx) error) (err error, ab *htm.Abort) {
 // slowRun drives lazy-TL2 slow-path attempts with the serial escape.
 func (t *thread) slowRun(fn func(tm.Tx) error) error {
 	m := t.base.M
+	defer t.base.CM.OnSlowDone()
 	restarts := 0
 	for {
 		t.base.St.SlowPathStarts++
@@ -249,6 +249,7 @@ func (t *thread) slowRun(fn func(tm.Tx) error) error {
 		}
 		t.base.St.SlowPathRestarts++
 		restarts++
+		t.base.CM.OnSTMRestart(restarts)
 		if restarts >= t.sys.policy.MaxSlowPathRestarts && !t.serialHeld {
 			for !m.CASPlain(t.sys.serialLock, 0, 1) {
 				runtime.Gosched()

@@ -59,7 +59,10 @@ type ThreadBase struct {
 	Cache *mem.ThreadCache
 	Slot  *Slot
 	St    Stats
-	Retry RetryController
+	// CM is the thread's contention-management policy (engine.go). Systems
+	// set it at thread construction via Engine.NewThreadPolicy; drivers
+	// route their retry loops through it unconditionally.
+	CM Policy
 
 	allocs  []block // blocks allocated by the current attempt
 	frees   []block // frees requested by the current attempt

@@ -1,0 +1,279 @@
+package tm
+
+import (
+	"sync"
+	"testing"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+)
+
+func newTestEngine(p RetryPolicy) (*Engine, *ThreadBase) {
+	m := mem.New(1 << 12)
+	b := NewThreadBase(m, NewReclaimer())
+	e := NewEngine(p, nil)
+	return e, &b
+}
+
+func TestPolicyKindNames(t *testing.T) {
+	for _, k := range []PolicyKind{PolicyStatic, PolicyBackoff, PolicyAdaptive} {
+		got, ok := PolicyKindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("PolicyKindByName(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := PolicyKindByName("default"); ok {
+		t.Error("PolicyKindByName accepted \"default\" (the unset state)")
+	}
+	if _, ok := PolicyKindByName("bogus"); ok {
+		t.Error("PolicyKindByName accepted an unknown name")
+	}
+}
+
+func TestWithDefaultsResolvesKindFromEnv(t *testing.T) {
+	t.Setenv(PolicyEnvVar, "adaptive")
+	p := RetryPolicy{}.WithDefaults()
+	if p.Kind != PolicyAdaptive {
+		t.Fatalf("Kind = %v, want adaptive from env", p.Kind)
+	}
+	if !p.Adaptive {
+		t.Error("PolicyAdaptive must imply the adaptive retry budget")
+	}
+	// An explicitly set kind wins over the environment.
+	p = RetryPolicy{Kind: PolicyBackoff}.WithDefaults()
+	if p.Kind != PolicyBackoff {
+		t.Errorf("explicit Kind = %v, want backoff (env must not clobber)", p.Kind)
+	}
+	t.Setenv(PolicyEnvVar, "nonsense")
+	if p := (RetryPolicy{}.WithDefaults()); p.Kind != PolicyStatic {
+		t.Errorf("Kind = %v, want static for an unparseable env value", p.Kind)
+	}
+}
+
+func TestEnginePicksPolicyByKind(t *testing.T) {
+	for _, k := range []PolicyKind{PolicyStatic, PolicyBackoff, PolicyAdaptive} {
+		e, b := newTestEngine(RetryPolicy{Kind: k})
+		if got := e.NewThreadPolicy(b).Kind(); got != k {
+			t.Errorf("NewThreadPolicy under %v built a %v policy", k, got)
+		}
+	}
+}
+
+// TestStaticPolicyDecisions pins the static policy to the paper's §3.3
+// rules, which the pre-engine drivers hard-coded.
+func TestStaticPolicyDecisions(t *testing.T) {
+	e, b := newTestEngine(RetryPolicy{Kind: PolicyStatic, MaxHTMRetries: 3})
+	p := e.NewThreadPolicy(b)
+	cases := []struct {
+		name    string
+		ab      *htm.Abort
+		retries int
+		want    Decision
+	}{
+		{"conflict under budget", &htm.Abort{Code: htm.Conflict}, 1, RetryFast},
+		{"explicit under budget", &htm.Abort{Code: htm.Explicit, Arg: htm.ArgHTMLockTaken}, 2, RetryFast},
+		{"conflict at budget", &htm.Abort{Code: htm.Conflict}, 3, GiveUpFast},
+		{"capacity is never retried", &htm.Abort{Code: htm.Capacity}, 1, GiveUpFast},
+		{"spurious is never retried", &htm.Abort{Code: htm.Spurious}, 1, GiveUpFast},
+	}
+	for _, tc := range cases {
+		if got := p.OnAbort(tc.ab, tc.retries); got != tc.want {
+			t.Errorf("%s: OnAbort = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !p.AdmitFast() {
+		t.Error("static policy must always admit the fast path")
+	}
+	if b.St.PolicyBackoffs != 0 || b.St.PolicyDemotions != 0 {
+		t.Errorf("static policy recorded CM decisions: %+v", b.St)
+	}
+}
+
+// TestAdaptiveStateTransitions drives the adaptive policy through its
+// demotion/probe/re-promotion state machine, table-driven: each step is one
+// policy callback plus the expected externally visible state.
+func TestAdaptiveStateTransitions(t *testing.T) {
+	const probePeriod = 3
+	e, b := newTestEngine(RetryPolicy{
+		Kind:                 PolicyAdaptive,
+		PromotionProbePeriod: probePeriod,
+		ContentionWindow:     -1, // isolate demotion from throttling
+	})
+	p := e.NewThreadPolicy(b)
+	capacity := &htm.Abort{Code: htm.Capacity}
+
+	steps := []struct {
+		name string
+		do   func() bool // returns the AdmitFast result where relevant
+		ok   func() bool
+	}{
+		{"fresh thread admits", p.AdmitFast, func() bool { return true }},
+		{"capacity abort gives up fast", func() bool { return p.OnAbort(capacity, 1) == GiveUpFast },
+			func() bool { return b.St.PolicyDemotions == 1 }},
+		{"fallback after demotion", func() bool { p.OnFallback(); p.OnSlowDone(); return true },
+			func() bool { return true }},
+		{"skip 1", func() bool { return !p.AdmitFast() }, func() bool { return b.St.PolicyFastSkips == 1 }},
+		{"skip 2", func() bool { return !p.AdmitFast() }, func() bool { return b.St.PolicyFastSkips == 2 }},
+		{"epoch boundary probes", p.AdmitFast, func() bool { return b.St.PolicyPromotionProbes == 1 }},
+		{"probe fails: stays demoted", func() bool { p.OnFallback(); p.OnSlowDone(); return true },
+			func() bool { return true }},
+		{"skip resumes after failed probe", func() bool { return !p.AdmitFast() },
+			func() bool { return b.St.PolicyFastSkips == 3 }},
+		{"skip 4", func() bool { return !p.AdmitFast() }, func() bool { return b.St.PolicyFastSkips == 4 }},
+		{"second probe", p.AdmitFast, func() bool { return b.St.PolicyPromotionProbes == 2 }},
+		{"probe commits: re-promoted", func() bool { p.OnFastCommit(0); return true }, func() bool { return true }},
+		{"re-promoted thread admits freely", p.AdmitFast, func() bool { return b.St.PolicyFastSkips == 4 }},
+		{"second demotion counts again", func() bool { return p.OnAbort(capacity, 1) == GiveUpFast },
+			func() bool { return b.St.PolicyDemotions == 2 }},
+	}
+	for _, s := range steps {
+		if !s.do() {
+			t.Fatalf("%s: unexpected transition result", s.name)
+		}
+		if !s.ok() {
+			t.Fatalf("%s: post-state check failed (stats %+v)", s.name, b.St)
+		}
+	}
+	// A repeated capacity abort within one demotion must not double-count.
+	p.OnFallback()
+	p.OnSlowDone()
+	if p.OnAbort(capacity, 1) != GiveUpFast || b.St.PolicyDemotions != 2 {
+		t.Errorf("capacity abort while demoted re-counted a demotion: %d", b.St.PolicyDemotions)
+	}
+}
+
+func TestAdaptiveContentionWindow(t *testing.T) {
+	e, b := newTestEngine(RetryPolicy{Kind: PolicyAdaptive, ContentionWindow: 2})
+	p := e.NewThreadPolicy(b)
+	// Two peers sit on the slow path: the window is at threshold.
+	_, b1 := newTestEngine(RetryPolicy{})
+	_, b2 := newTestEngine(RetryPolicy{})
+	peer1, peer2 := e.NewThreadPolicy(b1), e.NewThreadPolicy(b2)
+	peer1.OnFallback()
+	peer2.OnFallback()
+	if e.SlowPathLoad() != 2 {
+		t.Fatalf("SlowPathLoad = %d, want 2", e.SlowPathLoad())
+	}
+	if !p.AdmitFast() {
+		t.Fatal("throttling must delay, not deny, fast-path entry")
+	}
+	if b.St.PolicyThrottleWaits != 1 {
+		t.Errorf("PolicyThrottleWaits = %d, want 1", b.St.PolicyThrottleWaits)
+	}
+	// Window closes when the slow path drains.
+	peer1.OnSlowDone()
+	peer2.OnSlowDone()
+	if !p.AdmitFast() || b.St.PolicyThrottleWaits != 1 {
+		t.Errorf("open window still throttled (waits=%d)", b.St.PolicyThrottleWaits)
+	}
+	// Negative window disables throttling outright.
+	e2, b3 := newTestEngine(RetryPolicy{Kind: PolicyAdaptive, ContentionWindow: -1})
+	p3 := e2.NewThreadPolicy(b3)
+	x, y := e2.NewThreadPolicy(b1), e2.NewThreadPolicy(b2)
+	x.OnFallback()
+	y.OnFallback()
+	if !p3.AdmitFast() || b3.St.PolicyThrottleWaits != 0 {
+		t.Errorf("ContentionWindow<0 still throttled (waits=%d)", b3.St.PolicyThrottleWaits)
+	}
+}
+
+func TestBackoffPolicyJitterIsSeedDeterministic(t *testing.T) {
+	// Two engines over the same seed source must draw identical jitter
+	// streams — the property explore replay depends on.
+	mkSeed := func() func() uint64 {
+		var ctr uint64
+		return func() uint64 { ctr++; return ctr }
+	}
+	drain := func(seedFn func() uint64) []uint64 {
+		m := mem.New(1 << 12)
+		b := NewThreadBase(m, NewReclaimer())
+		e := NewEngine(RetryPolicy{Kind: PolicyBackoff}, seedFn)
+		p := e.NewThreadPolicy(&b).(*backoffPolicy)
+		out := make([]uint64, 8)
+		for i := range out {
+			out[i] = p.nextRand()
+		}
+		return out
+	}
+	a, c := drain(mkSeed()), drain(mkSeed())
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("jitter stream diverged at %d: %d vs %d", i, a[i], c[i])
+		}
+	}
+	// Distinct threads of one engine must NOT share a stream (lock-step
+	// jitter defeats backoff).
+	e, _ := newTestEngine(RetryPolicy{Kind: PolicyBackoff})
+	m := mem.New(1 << 12)
+	b1, b2 := NewThreadBase(m, NewReclaimer()), NewThreadBase(m, NewReclaimer())
+	p1 := e.NewThreadPolicy(&b1).(*backoffPolicy)
+	p2 := e.NewThreadPolicy(&b2).(*backoffPolicy)
+	if p1.nextRand() == p2.nextRand() {
+		t.Error("two threads drew identical first jitter values")
+	}
+}
+
+func TestBackoffRecordsAndClamps(t *testing.T) {
+	e, b := newTestEngine(RetryPolicy{Kind: PolicyBackoff, MaxHTMRetries: 100,
+		BackoffBaseYields: 4, BackoffMaxYields: 8})
+	p := e.NewThreadPolicy(b)
+	// A huge retry ordinal must clamp the exponent, not shift past 63 bits.
+	for _, retries := range []int{1, 2, 40, 99} {
+		if got := p.OnAbort(&htm.Abort{Code: htm.Conflict}, retries); got != RetryFast {
+			t.Fatalf("retries=%d: OnAbort = %v, want RetryFast", retries, got)
+		}
+	}
+	if b.St.PolicyBackoffs != 4 {
+		t.Errorf("PolicyBackoffs = %d, want 4", b.St.PolicyBackoffs)
+	}
+	// Software restarts back off too.
+	p.OnSTMRestart(1)
+	if b.St.PolicyBackoffs != 5 {
+		t.Errorf("PolicyBackoffs after OnSTMRestart = %d, want 5", b.St.PolicyBackoffs)
+	}
+}
+
+// TestRacePolicyConcurrentWindow stresses the engine's only shared state —
+// the contention window — from many goroutines under -race, interleaving
+// admission checks with window opens/closes.
+func TestRacePolicyConcurrentWindow(t *testing.T) {
+	e, _ := newTestEngine(RetryPolicy{Kind: PolicyAdaptive, ContentionWindow: 2})
+	m := mem.New(1 << 14)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := NewThreadBase(m, NewReclaimer())
+			p := e.NewThreadPolicy(&b)
+			for i := 0; i < 2000; i++ {
+				if p.AdmitFast() {
+					switch i % 3 {
+					case 0:
+						p.OnFastCommit(0)
+					case 1:
+						if p.OnAbort(&htm.Abort{Code: htm.Conflict}, 1) == RetryFast {
+							p.OnFastCommit(1)
+							continue
+						}
+						p.OnFallback()
+						p.OnSTMRestart(1)
+						p.OnSlowDone()
+					case 2:
+						p.OnAbort(&htm.Abort{Code: htm.Capacity}, 1)
+						p.OnFallback()
+						p.OnSlowDone()
+					}
+				} else {
+					p.OnFallback()
+					p.OnSlowDone()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.SlowPathLoad(); got != 0 {
+		t.Errorf("SlowPathLoad = %d after all workers drained, want 0", got)
+	}
+}

@@ -48,6 +48,17 @@ func (b *ThreadBase) RecordSTMRestart(retry int) {
 	}
 }
 
+// RecordPolicy accounts one contention-management decision on the obs
+// ledger (counter always; ring event for the rare state-changing kinds),
+// stamped like every other event with the memory's commit ticket. The
+// corresponding Stats counters stay with the policy implementations, which
+// know which decision they just took.
+func (b *ThreadBase) RecordPolicy(d obs.PolicyDecision) {
+	if o := b.St.Obs; o != nil {
+		o.RecordPolicy(d, b.M.Ticket())
+	}
+}
+
 // ObsEvent appends a begin/fallback/commit event to the thread's event
 // ring (if one is attached), stamped with the memory's commit ticket — a
 // global publish counter that keeps cross-thread event orderings

@@ -1,6 +1,72 @@
 package tm
 
-import "runtime"
+import (
+	"os"
+	"runtime"
+)
+
+// PolicyKind selects the contention-management policy (the Engine picks the
+// Policy implementation from it; see engine.go). The paper fixes the static
+// §3.3 policy; the other kinds are the contention-management layer this
+// simulator adds on top, measurable head-to-head via rhbench -policy.
+type PolicyKind uint8
+
+const (
+	// PolicyDefault means "unset": WithDefaults resolves it from the
+	// RHNOREC_POLICY environment variable (static|backoff|adaptive), falling
+	// back to PolicyStatic. An explicitly set kind always wins over the
+	// environment, so CLI flags override ambient CI configuration.
+	PolicyDefault PolicyKind = iota
+	// PolicyStatic is the paper's §3.3 policy verbatim: a fixed hardware
+	// retry budget, immediate fallback on capacity, no backoff (except the
+	// deterministic ConflictBackoff ablation knob, off by default).
+	PolicyStatic
+	// PolicyBackoff is static plus bounded randomized exponential backoff
+	// before hardware conflict retries and software-path restarts, the
+	// classic contention-management baseline.
+	PolicyBackoff
+	// PolicyAdaptive is the abort-cause-aware policy: capacity aborts demote
+	// the thread past the fast path (with epoch-based re-promotion probes),
+	// conflict aborts back off randomized-exponentially, a global contention
+	// window throttles fast-path entry while slow-path writers are hot, and
+	// the per-thread retry budget self-tunes (implies RetryPolicy.Adaptive).
+	PolicyAdaptive
+
+	numPolicyKinds
+)
+
+var policyKindNames = [numPolicyKinds]string{
+	PolicyDefault:  "default",
+	PolicyStatic:   "static",
+	PolicyBackoff:  "backoff",
+	PolicyAdaptive: "adaptive",
+}
+
+// String returns the kind's stable name (the rhbench -policy vocabulary).
+func (k PolicyKind) String() string {
+	if k < numPolicyKinds {
+		return policyKindNames[k]
+	}
+	return "invalid"
+}
+
+// PolicyKindByName parses a kind name as accepted by rhbench -policy and
+// the RHNOREC_POLICY environment variable ("default" is not accepted: it
+// names the unset state, not a policy).
+func PolicyKindByName(name string) (PolicyKind, bool) {
+	for k, n := range policyKindNames {
+		if n == name && PolicyKind(k) != PolicyDefault {
+			return PolicyKind(k), true
+		}
+	}
+	return PolicyDefault, false
+}
+
+// PolicyEnvVar is the environment variable WithDefaults consults when
+// RetryPolicy.Kind is PolicyDefault, mirroring RHNOREC_STRIPES: it lets CI
+// sweep the conformance suite across policies without threading a knob
+// through every test harness.
+const PolicyEnvVar = "RHNOREC_POLICY"
 
 // RetryPolicy captures the static retry policy of paper §3.3–§3.4, shared
 // by Hybrid NOrec and RH NOrec (Lock Elision uses only the fast-path part).
@@ -42,7 +108,31 @@ type RetryPolicy struct {
 	// conflict retries: the k-th retry yields the processor
 	// ConflictBackoff<<k times (capped). The paper's static policy has
 	// none (0); the knob exists as a contention-management ablation.
+	// (Deterministic; the randomized policies use BackoffBaseYields
+	// instead.)
 	ConflictBackoff int
+
+	// Kind selects the contention-management policy. PolicyDefault resolves
+	// from RHNOREC_POLICY, then PolicyStatic.
+	Kind PolicyKind
+	// BackoffBaseYields is the randomized-backoff base: before the k-th
+	// conflict retry (1-based) a thread yields uniformly in
+	// [1, BackoffBaseYields<<(k-1)], capped at BackoffMaxYields. Used by
+	// PolicyBackoff and PolicyAdaptive.
+	BackoffBaseYields int
+	// BackoffMaxYields caps one randomized backoff's yield count.
+	BackoffMaxYields int
+	// PromotionProbePeriod is the re-promotion epoch of PolicyAdaptive: a
+	// capacity-demoted thread skips the fast path for this many transactions,
+	// then probes it once; a hardware commit of the probe re-promotes the
+	// thread (so a workload phase change can recover the fast path).
+	PromotionProbePeriod int
+	// ContentionWindow is PolicyAdaptive's fast-path admission threshold:
+	// when at least this many threads are concurrently on the slow path,
+	// fast-path entry is briefly throttled (a bounded wait) to keep hardware
+	// speculation from convoying on the slow-path commit lock. Negative
+	// disables throttling; 0 takes the default.
+	ContentionWindow int
 }
 
 // Backoff yields the processor according to the policy for the given retry
@@ -65,12 +155,17 @@ func (p RetryPolicy) Backoff(attempt int) {
 // slow-path restarts before serialization, single-try prefix and postfix.
 func DefaultPolicy() RetryPolicy {
 	return RetryPolicy{
-		MaxHTMRetries:       10,
-		MaxSlowPathRestarts: 10,
-		PrefixRetries:       1,
-		PostfixRetries:      1,
-		InitialPrefixLength: 4096,
-		MinPrefixLength:     4,
+		MaxHTMRetries:        10,
+		MaxSlowPathRestarts:  10,
+		PrefixRetries:        1,
+		PostfixRetries:       1,
+		InitialPrefixLength:  4096,
+		MinPrefixLength:      4,
+		Kind:                 PolicyStatic,
+		BackoffBaseYields:    64,
+		BackoffMaxYields:     1024,
+		PromotionProbePeriod: 64,
+		ContentionWindow:     2,
 	}
 }
 
@@ -95,6 +190,29 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 	}
 	if p.MinPrefixLength <= 0 {
 		p.MinPrefixLength = d.MinPrefixLength
+	}
+	if p.Kind == PolicyDefault {
+		if k, ok := PolicyKindByName(os.Getenv(PolicyEnvVar)); ok {
+			p.Kind = k
+		} else {
+			p.Kind = d.Kind
+		}
+	}
+	if p.Kind == PolicyAdaptive {
+		// The adaptive policy subsumes the per-thread budget controller.
+		p.Adaptive = true
+	}
+	if p.BackoffBaseYields <= 0 {
+		p.BackoffBaseYields = d.BackoffBaseYields
+	}
+	if p.BackoffMaxYields <= 0 {
+		p.BackoffMaxYields = d.BackoffMaxYields
+	}
+	if p.PromotionProbePeriod <= 0 {
+		p.PromotionProbePeriod = d.PromotionProbePeriod
+	}
+	if p.ContentionWindow == 0 {
+		p.ContentionWindow = d.ContentionWindow
 	}
 	return p
 }

@@ -59,6 +59,19 @@ type Stats struct {
 	// (the software baselines of §3.1).
 	STMRestarts uint64
 
+	// Contention-management decision counters (engine.go; the obs ledger
+	// mirrors them per obs.PolicyDecision). PolicyDemotions counts capacity
+	// demotions past the fast path; PolicyPromotionProbes the epoch-boundary
+	// fast-path probes of demoted threads; PolicyThrottleWaits fast-path
+	// entries delayed by the contention window; PolicyBackoffs randomized
+	// backoffs before a retry; PolicyFastSkips transactions sent straight
+	// to the slow path because their thread was demoted.
+	PolicyDemotions       uint64
+	PolicyPromotionProbes uint64
+	PolicyThrottleWaits   uint64
+	PolicyBackoffs        uint64
+	PolicyFastSkips       uint64
+
 	// Obs, when non-nil, is the thread's observability recorder: per-phase
 	// latency histograms, the abort-cause taxonomy and the optional event
 	// ring (package obs). The harness attaches it after NewThread
