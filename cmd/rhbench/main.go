@@ -11,6 +11,7 @@
 //	rhbench -experiment ablation        # RH NOrec design-choice ablations
 //	rhbench -experiment disjoint        # per-thread private lines (striping scaling)
 //	rhbench -experiment contention      # hotspot vs disjoint under policy variants
+//	rhbench -experiment signature       # sig-filter / group-commit ablation grid
 //	rhbench -experiment all             # fig4+fig5+fig6+extra
 //	rhbench -experiment list            # list workloads and algorithms
 //
@@ -18,7 +19,9 @@
 //
 // Useful knobs: -duration per point, -repeat N (median of N runs),
 // -threads CSV sweep, -algos CSV subset, -stripes N memory seqlock stripe
-// count (1 reproduces the pre-striping single-clock substrate), -spurious
+// count (1 reproduces the pre-striping single-clock substrate), -sigbits N
+// write-signature bloom width (0 = off), -combine slow-path group commit,
+// -spurious
 // environmental-abort probability, -falseconf bloom false-conflict
 // probability, -swcost instrumentation-cost units, -tsv machine-readable
 // rows, -json FILE machine-readable point dump (ops/sec per system per
@@ -62,11 +65,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | contention | all | list (comma-separated ok)")
+		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | contention | signature | all | list (comma-separated ok)")
 		duration   = flag.Duration("duration", 150*time.Millisecond, "measurement time per benchmark point")
 		threadsCSV = flag.String("threads", "1,2,4,8,12,16", "thread counts to sweep")
 		algosCSV   = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's five)")
 		stripes    = flag.Int("stripes", 0, "memory seqlock stripe count (0 = default; 1 reproduces the single-clock substrate)")
+		sigBits    = flag.Int("sigbits", 0, "write-signature bloom width in bits (0 = off; clamped to a power of two in [64,256]); lets validators skip provably-disjoint value sweeps")
+		combine    = flag.Bool("combine", false, "enable slow-path group commit (flat combining) on the algorithms that support it")
 		spurious   = flag.Float64("spurious", 0.002, "per-operation spurious (environmental) HTM abort probability")
 		falseConf  = flag.Float64("falseconf", 0, "bloom-filter false-conflict probability per revalidation (hardware model ablation)")
 		tsv        = flag.Bool("tsv", false, "emit tab-separated rows instead of paper-style tables")
@@ -90,7 +95,7 @@ func main() {
 	tm.SetSoftwareAccessCost(*swcost)
 
 	if *experiment == "list" {
-		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint contention all")
+		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint contention signature all")
 		fmt.Print("algorithms:")
 		for _, a := range bench.StandardAlgos() {
 			fmt.Printf(" %s", a.Name)
@@ -101,6 +106,10 @@ func main() {
 		}
 		fmt.Print("\npolicy variants:")
 		for _, a := range bench.PolicyVariants() {
+			fmt.Printf(" %s", a.Name)
+		}
+		fmt.Print("\nsignature variants:")
+		for _, a := range bench.SignatureVariants(0) {
 			fmt.Printf(" %s", a.Name)
 		}
 		fmt.Println()
@@ -115,6 +124,8 @@ func main() {
 		Threads:  threads,
 		Duration: *duration,
 		Stripes:  *stripes,
+		SigBits:  *sigBits,
+		Combine:  *combine,
 		HTM:      htm.Config{SpuriousAbortProb: *spurious, FalseConflictProb: *falseConf},
 		TSV:      *tsv,
 		Repeat:   *repeat,
@@ -205,6 +216,8 @@ func main() {
 			return bench.DisjointFigure(os.Stdout, cfg)
 		case "contention":
 			return bench.ContentionFigure(os.Stdout, cfg)
+		case "signature":
+			return bench.SignatureFigure(os.Stdout, cfg)
 		case "ablation":
 			acfg := cfg
 			if *algosCSV == "" {

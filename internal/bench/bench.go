@@ -120,8 +120,36 @@ func PolicyVariants() []Algo {
 	}
 }
 
-// AlgoByName returns the standard, ablation or policy-variant algorithm
-// with the given name.
+// SignatureVariants returns the signature/combining ablation grid over RH
+// NOrec: the baseline, signature-filtered validation alone, slow-path group
+// commit alone, and both together. Signature publication is a per-memory
+// setting, so the sig variants flip it on the point's fresh memory inside
+// New — a -sigbits/-combine sweep flag is unnecessary for this set. This is
+// the algorithm set of the signature experiment and of the CI gate against
+// the checked-in BENCH_4.json baseline.
+func SignatureVariants(sigBits int) []Algo {
+	if sigBits <= 0 {
+		sigBits = mem.MaxSigBits
+	}
+	v := func(name string, sig, combine bool) Algo {
+		return Algo{Name: name, New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			if sig {
+				m.SetSignatureBits(sigBits)
+			}
+			p.Combine = combine
+			return core.New(m, d, p)
+		}}
+	}
+	return []Algo{
+		v("rh-norec", false, false),
+		v("rh-norec+sig", true, false),
+		v("rh-norec+combine", false, true),
+		v("rh-norec+sig+combine", true, true),
+	}
+}
+
+// AlgoByName returns the standard, ablation, policy-variant or
+// signature-variant algorithm with the given name.
 func AlgoByName(name string) (Algo, bool) {
 	for _, a := range StandardAlgos() {
 		if a.Name == name {
@@ -134,6 +162,11 @@ func AlgoByName(name string) (Algo, bool) {
 		}
 	}
 	for _, a := range PolicyVariants() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	for _, a := range SignatureVariants(0) {
 		if a.Name == name {
 			return a, true
 		}
@@ -153,6 +186,13 @@ type RunConfig struct {
 	// mem.DefaultStripes; 1 reproduces the pre-striping global-clock
 	// substrate).
 	Stripes int
+	// SigBits, when > 0, enables write-signature publication on the memory
+	// at that bloom width (see mem.SetSignatureBits), letting validators
+	// skip value sweeps over provably-disjoint windows.
+	SigBits int
+	// Combine turns on slow-path group commit (flat combining) for the
+	// algorithms that support it; equivalent to Policy.Combine.
+	Combine bool
 	// HTM configures the simulated hardware (zero fields take defaults).
 	HTM htm.Config
 	// Policy configures retries (zero fields take the paper's defaults).
@@ -204,6 +244,13 @@ func Run(cfg RunConfig) (Result, error) {
 		cfg.Stripes = mem.DefaultStripes
 	}
 	m := mem.NewStriped(cfg.MemWords, cfg.Stripes)
+	if cfg.SigBits > 0 {
+		m.SetSignatureBits(cfg.SigBits)
+		cfg.HTM.SignatureFiltering = true
+	}
+	if cfg.Combine {
+		cfg.Policy.Combine = true
+	}
 	dev := htm.NewDevice(m, cfg.HTM)
 	dev.SetActiveThreads(cfg.Threads)
 	sys := cfg.Algo.New(m, dev, cfg.Policy)

@@ -20,6 +20,10 @@ type SweepConfig struct {
 	MemWords int
 	// Stripes sets the memory's seqlock stripe count (see RunConfig).
 	Stripes int
+	// SigBits/Combine enable signature publication and slow-path group
+	// commit for every point (see RunConfig).
+	SigBits int
+	Combine bool
 	HTM     htm.Config
 	Policy  tm.RetryPolicy
 	// Repeat runs each point this many times and reports the
@@ -67,6 +71,8 @@ func RunSweep(cfg SweepConfig) (*Sweep, error) {
 					Duration: cfg.Duration,
 					MemWords: cfg.MemWords,
 					Stripes:  cfg.Stripes,
+					SigBits:  cfg.SigBits,
+					Combine:  cfg.Combine,
 					HTM:      cfg.HTM,
 					Policy:   cfg.Policy,
 					Obs:      cfg.Obs,
@@ -167,6 +173,10 @@ type FigureConfig struct {
 	MemWords int
 	// Stripes sets the memory's seqlock stripe count (see RunConfig).
 	Stripes int
+	// SigBits/Combine enable signature publication and slow-path group
+	// commit for every point (see RunConfig).
+	SigBits int
+	Combine bool
 	HTM     htm.Config
 	Policy  tm.RetryPolicy
 	// Repeat runs each point this many times and keeps the
@@ -183,7 +193,8 @@ type FigureConfig struct {
 func (c FigureConfig) sweep(f WorkloadFactory) SweepConfig {
 	return SweepConfig{
 		Factory: f, Algos: c.Algos, Threads: c.Threads, Duration: c.Duration,
-		MemWords: c.MemWords, Stripes: c.Stripes, HTM: c.HTM, Policy: c.Policy,
+		MemWords: c.MemWords, Stripes: c.Stripes, SigBits: c.SigBits,
+		Combine: c.Combine, HTM: c.HTM, Policy: c.Policy,
 		Repeat: c.Repeat, Progress: c.Progress, Obs: c.Obs, ObsRing: c.ObsRing,
 	}
 }
@@ -278,6 +289,52 @@ func ContentionFigure(w io.Writer, cfg FigureConfig) error {
 			Hotspot(HotspotConfig{Lines: 2}),
 			Disjoint(DisjointConfig{Lines: 4}),
 		})
+}
+
+// SignatureFigure runs the signature/combining ablation grid (DESIGN.md
+// §12) over the two regimes the optimizations exist for. The hotspot
+// workload under a one-line HTM write budget: every writer takes the
+// software slow path and serializes on the sequence lock, so group commit
+// has queued commits to drain. The shared-region scan workload under the
+// default (roomy) budget: large fast-path read logs keep being re-proved
+// current as private-line commits move shared stripe clocks, so signature
+// filtering replaces those value sweeps with a few word compares. The
+// stripe count defaults low so disjoint lines share stripes — the
+// false-sharing shape the filter pays off on. Signature filtering is armed
+// device-wide; it engages only for the variants whose memory actually
+// publishes (SignatureVariants flips publication per point). CI's
+// signature gate runs exactly this sweep against the checked-in
+// BENCH_4.json baseline.
+func SignatureFigure(w io.Writer, cfg FigureConfig) error {
+	if len(cfg.Algos) == 0 {
+		cfg.Algos = SignatureVariants(cfg.SigBits)
+	}
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 18
+	}
+	if cfg.Stripes == 0 {
+		cfg.Stripes = 8
+	}
+	cfg.HTM.SignatureFiltering = true
+	// Hot regime: blind publishes to two shared lines, fast path disabled so
+	// every commit serializes on the clock — the convoy flat combining turns
+	// into batched group commit. (A read-modify-write hotspot is semantically
+	// serial: every combine attempt is correctly rejected, so the blind
+	// variant is the one that can batch.)
+	hot := cfg
+	hot.Policy.DisableFast = true
+	hot.Policy.DisablePrefix = true
+	if hot.HTM.YieldPeriod == 0 {
+		// Fine-grained speculation pacing: the convoy the baseline pays (and
+		// combining dissolves) only materializes when windows interleave.
+		hot.HTM.YieldPeriod = 3
+	}
+	if err := runAndPrint(w, "Signature: blind-publish hotspot, fast path off (slow-path group commit)", hot,
+		[]WorkloadFactory{Hotspot(HotspotConfig{Lines: 2, Blind: true})}); err != nil {
+		return err
+	}
+	return runAndPrint(w, "Signature: shared-region scan (signature-filtered revalidation)", cfg,
+		[]WorkloadFactory{Scan(ScanConfig{ReadLines: 64})})
 }
 
 // Extra reproduces the workloads the paper folds into the SSCA2 discussion

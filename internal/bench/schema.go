@@ -122,5 +122,13 @@ func validateSnapshot(s *obs.Snapshot) error {
 			return fmt.Errorf("policy decision %s: zero count (untaken decisions are omitted)", pd.Decision)
 		}
 	}
+	for _, fr := range s.Filter {
+		if _, ok := obs.FilterKindByName(fr.Kind); !ok {
+			return fmt.Errorf("unknown filter kind %q", fr.Kind)
+		}
+		if fr.Count == 0 {
+			return fmt.Errorf("filter kind %s: zero count (unfired counters are omitted)", fr.Kind)
+		}
+	}
 	return nil
 }

@@ -165,11 +165,76 @@ func (w *disjointWorkload) NewOp(th tm.Thread, seed int64) func() error {
 	}
 }
 
+// ScanConfig parameterizes the shared-region scan workload.
+type ScanConfig struct {
+	// ReadLines is the size in cache lines of the shared region every
+	// transaction reads end to end (default 64).
+	ReadLines int
+}
+
+// scanWorkload is the validation-bound workload: every transaction scans a
+// large shared read-only region and increments one private line. The
+// private-line commits keep stripe clocks moving under everyone else's
+// scans, so each scan keeps re-proving a large read log current — but the
+// foreign writes are always line-disjoint from the region, so a write-
+// signature filter can prove every one of those revalidations redundant.
+// This isolates exactly the value-sweep work signature filtering removes.
+type scanWorkload struct {
+	cfg    ScanConfig
+	region mem.Addr
+	priv   mem.Addr
+	slot   atomic.Int64
+}
+
+// Scan returns a factory for the validation-bound scan workload.
+func Scan(cfg ScanConfig) WorkloadFactory {
+	if cfg.ReadLines <= 0 {
+		cfg.ReadLines = 64
+	}
+	return func() Workload { return &scanWorkload{cfg: cfg} }
+}
+
+func (w *scanWorkload) Name() string {
+	return fmt.Sprintf("scan-%d", w.cfg.ReadLines)
+}
+
+func (w *scanWorkload) Setup(th tm.Thread) error {
+	return th.Run(func(tx tm.Tx) error {
+		raw := tx.Alloc((w.cfg.ReadLines + disjointSlots + 1) * mem.LineWords)
+		base := (raw + mem.LineWords - 1) &^ (mem.LineWords - 1)
+		w.region = base
+		w.priv = base + mem.Addr(w.cfg.ReadLines*mem.LineWords)
+		return nil
+	})
+}
+
+func (w *scanWorkload) NewOp(th tm.Thread, seed int64) func() error {
+	slot := int(w.slot.Add(1)-1) % disjointSlots
+	mine := w.priv + mem.Addr(slot*mem.LineWords)
+	region := w.region
+	lines := w.cfg.ReadLines
+	return func() error {
+		return th.Run(func(tx tm.Tx) error {
+			var sum uint64
+			for j := 0; j < lines; j++ {
+				sum += tx.Load(region + mem.Addr(j*mem.LineWords))
+			}
+			tx.Store(mine, tx.Load(mine)+sum+1)
+			return nil
+		})
+	}
+}
+
 // HotspotConfig parameterizes the high-contention workload.
 type HotspotConfig struct {
 	// Lines is the number of shared cache lines every transaction
 	// read-modify-writes (default 2).
 	Lines int
+	// Blind makes the transactions write-only (store without the load):
+	// blind publishes to hot lines commute, which is the shape flat
+	// combining can batch — a read-modify-write hotspot is semantically
+	// serial and every combine attempt is (correctly) rejected.
+	Blind bool
 }
 
 // hotspotWorkload is the adversarial opposite of disjointWorkload: every
@@ -191,6 +256,9 @@ func Hotspot(cfg HotspotConfig) WorkloadFactory {
 }
 
 func (w *hotspotWorkload) Name() string {
+	if w.cfg.Blind {
+		return fmt.Sprintf("hotspot-blind-%d", w.cfg.Lines)
+	}
 	return fmt.Sprintf("hotspot-%d", w.cfg.Lines)
 }
 
@@ -207,6 +275,19 @@ func (w *hotspotWorkload) Setup(th tm.Thread) error {
 func (w *hotspotWorkload) NewOp(th tm.Thread, seed int64) func() error {
 	base := w.base
 	lines := w.cfg.Lines
+	if w.cfg.Blind {
+		var tick uint64
+		return func() error {
+			tick++
+			v := uint64(seed) + tick
+			return th.Run(func(tx tm.Tx) error {
+				for j := 0; j < lines; j++ {
+					tx.Store(base+mem.Addr(j*mem.LineWords), v)
+				}
+				return nil
+			})
+		}
+	}
 	return func() error {
 		return th.Run(func(tx tm.Tx) error {
 			for j := 0; j < lines; j++ {

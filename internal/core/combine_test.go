@@ -1,0 +1,293 @@
+package core_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"rhnorec/internal/core"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// combineWorld builds a system with group commit on and every transaction
+// capacity-bound off the fast path (each reads three lines against a
+// two-line hardware read budget), so the slow-path combining machinery
+// carries the whole load. The write budget stays roomy so the HTM postfix
+// can hold a whole drained group.
+func combineWorld(t *testing.T, pol tm.RetryPolicy) (*core.System, *mem.Memory, []mem.Addr) {
+	t.Helper()
+	m := mem.New(1 << 14)
+	dev := htm.NewDevice(m, htm.Config{ReadCapacityLines: 2, WriteCapacityLines: 8})
+	dev.SetActiveThreads(4)
+	pol.Combine = true
+	sys := core.New(m, dev, pol)
+	setup := sys.NewThread()
+	addrs := make([]mem.Addr, 8)
+	if err := setup.Run(func(tx tm.Tx) error {
+		for i := range addrs {
+			addrs[i] = tx.Alloc(mem.LineWords)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+	return sys, m, addrs
+}
+
+// runGroupCommitScenario drives the one interleaving the combining path
+// exists for, deterministically:
+//
+//  1. B begins a software slow-path attempt (snapshot base txv) and performs
+//     a read, then parks.
+//  2. A begins at the same base, writes (locking the clock at txv|1), and
+//     waits for B's commit to enqueue on the ring.
+//  3. B resumes, writes — finds the clock locked at its own base and enters
+//     combine mode instead of restarting — and its commit enqueues.
+//  4. A commits: the holder drains B's disjoint write set under its single
+//     ticket window. Both transactions commit; B's commit is a CombinedCommit.
+//
+// Each thread's first attempt is the doomed fast attempt (capacity abort at
+// its third read line); the handshake only engages on the second, which the
+// static policy guarantees is the mixed slow path.
+func runGroupCommitScenario(t *testing.T, pol tm.RetryPolicy) (aSt, bSt *tm.Stats) {
+	t.Helper()
+	sys, m, addrs := combineWorld(t, pol)
+	x1, x2, y1, y2 := addrs[0], addrs[1], addrs[2], addrs[3]
+	f1, f2, f3 := addrs[4], addrs[5], addrs[6]
+
+	bStarted := make(chan struct{})
+	aLocked := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() { // B: the enqueuer
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		attempt := 0
+		if err := th.Run(func(tx tm.Tx) error {
+			attempt++
+			_ = tx.Load(y1)
+			_ = tx.Load(f1)
+			_ = tx.Load(f2) // third read line: fast attempt dies here
+			if attempt == 2 {
+				close(bStarted)
+				<-aLocked
+			}
+			tx.Store(y1, 7)
+			tx.Store(y2, 8)
+			return nil
+		}); err != nil {
+			t.Errorf("B: %v", err)
+		}
+		bSt = new(tm.Stats)
+		bSt.Add(th.Stats())
+	}()
+
+	go func() { // A: the holder
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		attempt := 0
+		if err := th.Run(func(tx tm.Tx) error {
+			attempt++
+			if attempt == 2 {
+				<-bStarted
+			}
+			_ = tx.Load(f1)
+			_ = tx.Load(f2)
+			_ = tx.Load(f3) // third read line: fast attempt dies here
+			tx.Store(x1, 5) // slow path: locks the clock at the shared base
+			if attempt == 2 {
+				close(aLocked)
+				// Wait for B's commit to reach the ring, so the drain below
+				// finds it. Bounded: if B somehow never enqueues, the commit
+				// proceeds and B restarts — and the assertions below fail
+				// loudly rather than hang.
+				for i := 0; i < 1<<20 && sys.CombineRing().PendingCount() == 0; i++ {
+					runtime.Gosched()
+				}
+			}
+			tx.Store(x2, 6)
+			return nil
+		}); err != nil {
+			t.Errorf("A: %v", err)
+		}
+		aSt = new(tm.Stats)
+		aSt.Add(th.Stats())
+	}()
+
+	wg.Wait()
+	for a, want := range map[mem.Addr]uint64{x1: 5, x2: 6, y1: 7, y2: 8} {
+		if got := m.LoadPlain(a); got != want {
+			t.Errorf("mem[%d] = %d, want %d", a, got, want)
+		}
+	}
+	return aSt, bSt
+}
+
+// TestGroupCommitPostfixHolder: the holder publishes through the HTM
+// postfix; the drained group commits atomically with the clock release.
+func TestGroupCommitPostfixHolder(t *testing.T) {
+	aSt, bSt := runGroupCommitScenario(t, tm.RetryPolicy{DisablePrefix: true})
+	if aSt.PostfixCommits == 0 {
+		t.Errorf("holder never committed a postfix: %+v", aSt)
+	}
+	if aSt.CombineDrains != 1 {
+		t.Errorf("holder CombineDrains = %d, want 1", aSt.CombineDrains)
+	}
+	if bSt.CombinedCommits != 1 {
+		t.Errorf("enqueuer CombinedCommits = %d, want 1", bSt.CombinedCommits)
+	}
+	if bSt.Commits != 1 {
+		t.Errorf("enqueuer Commits = %d, want 1", bSt.Commits)
+	}
+}
+
+// TestGroupCommitSoftwareHolder: the holder publishes eagerly in software
+// under the global HTM lock; queued writes publish before the clock
+// releases.
+func TestGroupCommitSoftwareHolder(t *testing.T) {
+	aSt, bSt := runGroupCommitScenario(t,
+		tm.RetryPolicy{DisablePrefix: true, DisablePostfix: true})
+	if aSt.CombineDrains != 1 {
+		t.Errorf("holder CombineDrains = %d, want 1", aSt.CombineDrains)
+	}
+	if bSt.CombinedCommits != 1 {
+		t.Errorf("enqueuer CombinedCommits = %d, want 1", bSt.CombinedCommits)
+	}
+}
+
+// TestGroupCommitRejectsIntersecting: an enqueued commit whose read set
+// overlaps the holder's writes must be rejected (its enqueue-time validation
+// is stale once the group publishes) and must then restart and commit on its
+// own — never publish stale state.
+func TestGroupCommitRejectsIntersecting(t *testing.T) {
+	sys, m, addrs := combineWorld(t, tm.RetryPolicy{DisablePrefix: true, DisablePostfix: true})
+	x1, x2, y2 := addrs[0], addrs[1], addrs[3]
+	f1, f2, f3 := addrs[4], addrs[5], addrs[6]
+
+	bStarted := make(chan struct{})
+	aLocked := make(chan struct{})
+	var bSt tm.Stats
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() { // B reads x1 — which A writes — so B's group admission must fail.
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		attempt := 0
+		if err := th.Run(func(tx tm.Tx) error {
+			attempt++
+			v := tx.Load(x1)
+			_ = tx.Load(f1)
+			_ = tx.Load(f2) // third read line: fast attempt dies here
+			if attempt == 2 {
+				close(bStarted)
+				<-aLocked
+			}
+			tx.Store(y2, v+100)
+			return nil
+		}); err != nil {
+			t.Errorf("B: %v", err)
+		}
+		bSt.Add(th.Stats())
+	}()
+
+	go func() {
+		defer wg.Done()
+		th := sys.NewThread()
+		defer th.Close()
+		attempt := 0
+		if err := th.Run(func(tx tm.Tx) error {
+			attempt++
+			if attempt == 2 {
+				<-bStarted
+			}
+			_ = tx.Load(f1)
+			_ = tx.Load(f2)
+			_ = tx.Load(f3) // third read line: fast attempt dies here
+			tx.Store(x1, 500)
+			if attempt == 2 {
+				close(aLocked)
+				for i := 0; i < 1<<20 && sys.CombineRing().PendingCount() == 0; i++ {
+					runtime.Gosched()
+				}
+			}
+			tx.Store(x2, 6)
+			return nil
+		}); err != nil {
+			t.Errorf("A: %v", err)
+		}
+	}()
+
+	wg.Wait()
+	if bSt.CombinedCommits != 0 {
+		t.Errorf("intersecting enqueuer group-committed: %+v", bSt)
+	}
+	if bSt.Commits != 1 {
+		t.Errorf("enqueuer Commits = %d, want 1", bSt.Commits)
+	}
+	// B re-ran after A's publish, so it must have observed A's x1.
+	if got := m.LoadPlain(y2); got != 600 {
+		t.Errorf("mem[y2] = %d, want 600 (B must observe the holder's write on retry)", got)
+	}
+}
+
+// TestCombineHotspotStress hammers a shared counter from many goroutines
+// with combining on: whatever mixture of holder, combined, rejected and
+// restarted commits the scheduler produces, the counter must be exact.
+func TestCombineHotspotStress(t *testing.T) {
+	m := mem.New(1 << 14)
+	dev := htm.NewDevice(m, htm.Config{ReadCapacityLines: 64, WriteCapacityLines: 1})
+	dev.SetActiveThreads(8)
+	sys := core.New(m, dev, tm.RetryPolicy{Combine: true})
+	setup := sys.NewThread()
+	var ctr mem.Addr
+	var side [8]mem.Addr
+	if err := setup.Run(func(tx tm.Tx) error {
+		ctr = tx.Alloc(mem.LineWords)
+		for i := range side {
+			side[i] = tx.Alloc(mem.LineWords)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	const threads = 8
+	const txns = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := sys.NewThread()
+			defer th.Close()
+			for j := 0; j < txns; j++ {
+				if err := th.Run(func(tx tm.Tx) error {
+					tx.Store(ctr, tx.Load(ctr)+1)
+					tx.Store(side[id], tx.Load(side[id])+1) // second line: off the fast path
+					return nil
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := m.LoadPlain(ctr); got != threads*txns {
+		t.Fatalf("counter = %d, want %d", got, threads*txns)
+	}
+	for i := range side {
+		if got := m.LoadPlain(side[i]); got != txns {
+			t.Fatalf("side[%d] = %d, want %d", i, got, txns)
+		}
+	}
+}

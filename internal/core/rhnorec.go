@@ -58,11 +58,30 @@ type System struct {
 	policy tm.RetryPolicy
 	engine *tm.Engine
 
+	// ring, when non-nil (RetryPolicy.Combine), is the flat-combining ring
+	// of the group-commit slow path: writers that find the clock locked at
+	// their own snapshot buffer their writes and enqueue them here instead
+	// of restarting, and the lock holder drains signature-disjoint entries
+	// under its one ticket window.
+	ring *mem.CombineRing
+
 	gClock     mem.Addr
 	gHTMLock   mem.Addr
 	gFallbacks mem.Addr
 	serialLock mem.Addr
 }
+
+// combineSigBits is the bloom width of the combining ring's read/write
+// signatures. It is independent of the memory's published-signature width
+// (ring signatures are only ever compared with each other) and fixed at the
+// maximum so group-admission false positives stay rare.
+const combineSigBits = mem.MaxSigBits
+
+// combineDrainBudget bounds the write entries a postfix holder drains into
+// its hardware transaction, keeping the group inside write capacity; the
+// software holder publishes in place and passes an effectively unbounded
+// budget.
+const combineDrainBudget = 256
 
 // New creates an RH NOrec system. dev must speculate over m; zero policy
 // fields take the paper's defaults (§3.3–§3.4).
@@ -74,7 +93,7 @@ func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
 	// source, so explore replays stay bit-reproducible (engine.go).
 	engine := tm.NewEngine(policy, dev.Config().SeedFn)
 	tc := m.NewThreadCache()
-	return &System{
+	s := &System{
 		m:          m,
 		dev:        dev,
 		rec:        tm.NewReclaimer(),
@@ -85,6 +104,10 @@ func New(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy) *System {
 		gFallbacks: tc.Alloc(mem.LineWords),
 		serialLock: tc.Alloc(mem.LineWords),
 	}
+	if s.policy.Combine {
+		s.ring = mem.NewCombineRing()
+	}
+	return s
 }
 
 // Name implements tm.System.
@@ -95,6 +118,10 @@ func (s *System) Memory() *mem.Memory { return s.m }
 
 // Policy returns the effective retry policy (after defaulting).
 func (s *System) Policy() tm.RetryPolicy { return s.policy }
+
+// CombineRing returns the group-commit ring, or nil when combining is off —
+// a diagnostic handle for tests and benchmark instrumentation.
+func (s *System) CombineRing() *mem.CombineRing { return s.ring }
 
 // NewThread implements tm.System.
 func (s *System) NewThread() tm.Thread {
@@ -126,6 +153,26 @@ type thread struct {
 	serialHeld         bool
 	undo               []mem.WriteEntry
 
+	// Group-commit state (sys.ring != nil). combineMode: the attempt found
+	// the clock locked at its own base and is buffering writes for an
+	// enqueue instead of holding any lock; txv then stays even. combWrites
+	// is the buffered write set (grow-once, recycled), combRSig the bloom of
+	// every software read since the attempt began, prefixCommitted marks
+	// that htx still holds a committed prefix's read log (folded into the
+	// enqueue's read signature). drainMask, on the holder side, records ring
+	// slots claimed by an in-progress drain so every abort path can resolve
+	// them rejected.
+	combineMode     bool
+	prefixCommitted bool
+	combWrites      []mem.WriteEntry
+	combRSig        mem.Signature
+	drainMask       uint32
+	// groupBuf coalesces a drained group's writes (last write per address
+	// wins, like any combiner) before they are applied, so a batch of
+	// same-line publishes costs one store per line instead of one per
+	// entry. Grow-once, recycled.
+	groupBuf []mem.WriteEntry
+
 	// Prefix-length adaptation (§2.4): expectedLen is the reads budget the
 	// next prefix will attempt; it halves on prefix aborts and grows again
 	// after sustained success.
@@ -141,7 +188,7 @@ type thread struct {
 	postfixStart int64
 }
 
-func (t *thread) Stats() *tm.Stats { return &t.base.St }
+func (t *thread) Stats() *tm.Stats { t.base.FoldFilter(t.htx); return &t.base.St }
 func (t *thread) Close()           { t.base.CloseBase() }
 
 func (t *thread) Run(fn func(tm.Tx) error) error         { return t.run(fn, false) }
@@ -338,6 +385,12 @@ func (t *thread) mixedAttempt(fn func(tm.Tx) error, attemptNo int) (err error, r
 	t.postfixActive = false
 	t.fullSoftware = false
 	t.undo = t.undo[:0]
+	t.prefixCommitted = false
+	if t.sys.ring != nil {
+		t.combineMode = false
+		t.combWrites = t.combWrites[:0]
+		t.combRSig.Reset()
+	}
 	swStart := o.Start()
 	// Algorithm 3 start: try the HTM prefix; on no-go, the original
 	// (Algorithm 2) software start.
@@ -402,6 +455,19 @@ func (t *thread) softwareStart() {
 			t.txv = v
 			return
 		}
+		if t.sys.ring != nil && m.LoadPlain(t.sys.gHTMLock) == 0 {
+			// Join the holder's window instead of waiting it out: begin at
+			// base v&^1 in combine mode. This is sound because the combine
+			// read protocol's proof (see mixedTx.Load) depends only on each
+			// read's val -> clock -> lock -> clock-again load sequence, not
+			// on when the transaction began; writes are buffered and offered
+			// to the holder's group at commit. The gHTMLock check is only a
+			// heuristic — a software holder publishes in place, so every
+			// read inside its window would restart anyway.
+			t.txv = v &^ 1
+			t.combineMode = true
+			return
+		}
 		runtime.Gosched()
 	}
 }
@@ -420,6 +486,7 @@ func (t *thread) commitPrefix() {
 	}
 	t.htx.Commit() // may abort: the whole attempt restarts
 	t.prefixActive = false
+	t.prefixCommitted = true
 	t.fallbackRegistered = true
 	t.txv = v
 	t.base.St.PrefixCommits++
@@ -464,6 +531,14 @@ func (t *thread) handleFirstWrite() {
 	// acquire_clock_lock (lines 47–56). writeDetected is set only once the
 	// lock is ours, since abort cleanup releases the clock when it is set.
 	if !m.CASPlain(t.sys.gClock, t.txv, t.txv|1) {
+		if t.sys.ring != nil && m.LoadPlain(t.sys.gClock) == t.txv|1 {
+			// The clock is locked by a holder at exactly our snapshot base,
+			// so our reads are still provably valid: instead of restarting,
+			// buffer the writes and try to join the holder's group at commit
+			// (or take the lock ourselves if it frees first).
+			t.combineMode = true
+			return
+		}
 		tm.Restart()
 	}
 	t.txv |= 1
@@ -501,21 +576,273 @@ func (t *thread) mixedCommit() {
 		return
 	}
 	if !t.writeDetected {
+		if t.combineMode {
+			if len(t.combWrites) == 0 {
+				// Read-only transaction that began inside a holder's window:
+				// every read already validated against base txv and there is
+				// nothing to publish, so it commits like any NOrec read-only.
+				t.combineMode = false
+				return
+			}
+			t.combineCommit()
+			return
+		}
 		return // read-only software slow path
 	}
 	if t.postfixActive {
+		if t.sys.ring != nil {
+			t.groupCommitPostfix()
+			return
+		}
 		t.htx.Commit() // publish all writes atomically
 		t.postfixActive = false
 		t.base.St.PostfixCommits++
 		t.base.St.Obs.RecordSince(obs.PhasePostfix, t.postfixStart)
 	}
 	if t.fullSoftware {
+		if t.sys.ring != nil {
+			t.groupCommitSoftware()
+			return
+		}
 		m.StorePlain(t.sys.gHTMLock, 0)
 		t.fullSoftware = false
 	}
 	m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
 	t.writeDetected = false
 	t.undo = t.undo[:0]
+}
+
+// groupCommitPostfix commits a postfix holder with the combining ring
+// enabled: it drains compatible queued commits into the hardware write
+// buffer and — the load-bearing difference from the plain postfix — stores
+// the clock release *inside* the hardware transaction, so the group's
+// writes and the clock's move to txv+2 become visible in one atomic step.
+// That atomicity is what licenses combining readers to keep executing at
+// clock==txv|1: until the postfix commits they can observe nothing of the
+// group, and the instant it commits their next clock check restarts them.
+// combineLingerBeats bounds the scheduler beats a holder yields before
+// draining. One beat gives every contender a single slice — enough to reach
+// its first write, not enough to restart off a dead prefix, rejoin the
+// window in software, and enqueue. A handful of beats is; the early exit
+// keeps the cost of an empty window to the beats actually spent.
+const combineLingerBeats = 8
+
+// lingerForGroup yields a bounded number of scheduler beats while holding
+// the clock so the flat-combining batch can form: contending committers run
+// to their first write (or begin inside the window via softwareStart),
+// observe the locked clock, buffer, and enqueue. Real combiners spin a
+// bounded window for the same reason.
+func (t *thread) lingerForGroup() {
+	r := t.sys.ring
+	base := t.txv &^ 1
+	for i := 0; i < combineLingerBeats && r.PendingAt(base) == 0; i++ {
+		runtime.Gosched()
+	}
+}
+
+func (t *thread) groupCommitPostfix() {
+	r := t.sys.ring
+	t.lingerForGroup()
+	var group mem.Signature
+	t.htx.AddWriteSignature(&group, combineSigBits)
+	t.drainMask = 0
+	t.groupBuf = t.groupBuf[:0]
+	n := r.Drain(t.txv&^1, &group, combineDrainBudget, &t.drainMask, t.bufferGroup)
+	for _, w := range t.groupBuf {
+		t.htx.Store(w.Addr, w.Value)
+	}
+	t.htx.Store(t.sys.gClock, (t.txv&^1)+2)
+	t.htx.Commit() // on abort: mixedAbortCleanup resolves drainMask rejected
+	t.postfixActive = false
+	t.base.St.PostfixCommits++
+	t.base.St.Obs.RecordSince(obs.PhasePostfix, t.postfixStart)
+	if n > 0 {
+		t.base.St.CombineDrains++
+		t.base.RecordCombine(obs.FilterCombineDrain)
+	}
+	if t.drainMask != 0 {
+		r.Resolve(t.drainMask, true)
+		t.drainMask = 0
+	}
+	t.writeDetected = false
+	t.undo = t.undo[:0]
+}
+
+// groupCommitSoftware commits a full-software holder with the combining
+// ring enabled: queued commits are published in place under the global HTM
+// lock — combining readers reject any read overlapping the window via the
+// HTM-lock check, exactly as they do for the holder's own eager writes. The
+// clock must release *before* the HTM lock drops: a combining reader that
+// observes the lock clear re-reads the clock, and this ordering guarantees
+// the re-read sees the window closed (see mixedTx.Load). Claims resolve done
+// only after the clock releases, when the whole group is visible.
+func (t *thread) groupCommitSoftware() {
+	m := t.base.M
+	r := t.sys.ring
+	t.lingerForGroup()
+	var group mem.Signature
+	for i := range t.undo {
+		group.AddLine(mem.LineOf(t.undo[i].Addr), combineSigBits)
+	}
+	t.drainMask = 0
+	t.groupBuf = t.groupBuf[:0]
+	n := r.Drain(t.txv&^1, &group, 1<<30, &t.drainMask, t.bufferGroup)
+	for _, w := range t.groupBuf {
+		m.StorePlain(w.Addr, w.Value)
+	}
+	m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
+	m.StorePlain(t.sys.gHTMLock, 0)
+	t.fullSoftware = false
+	if n > 0 {
+		t.base.St.CombineDrains++
+		t.base.RecordCombine(obs.FilterCombineDrain)
+	}
+	if t.drainMask != 0 {
+		r.Resolve(t.drainMask, true)
+		t.drainMask = 0
+	}
+	t.writeDetected = false
+	t.undo = t.undo[:0]
+}
+
+// bufferGroup is the Drain apply callback: it folds one claimed entry's
+// writes into groupBuf, last write per address winning. Claim order is the
+// group's serialization order, so the coalesced buffer is equivalent to
+// applying every entry in sequence — and a batch of same-line publishes
+// costs one store per line instead of one per entry.
+func (t *thread) bufferGroup(ws []mem.WriteEntry) {
+	for _, w := range ws {
+		t.bufferGroupWrite(w)
+	}
+}
+
+func (t *thread) bufferGroupWrite(w mem.WriteEntry) {
+	for i := range t.groupBuf {
+		if t.groupBuf[i].Addr == w.Addr {
+			t.groupBuf[i].Value = w.Value
+			return
+		}
+	}
+	t.groupBuf = append(t.groupBuf, w)
+}
+
+// combineCommit commits a combine-mode transaction: its writes are buffered
+// in combWrites and no lock is held. Either the clock lock frees and we
+// take it ourselves (replaying the buffer through the ordinary postfix or
+// software machinery), or a holder still has it and we enqueue the buffer
+// for group commit and wait for the verdict.
+func (t *thread) combineCommit() {
+	m := t.base.M
+	for {
+		c := m.LoadPlain(t.sys.gClock)
+		if c == t.txv {
+			if !m.CASPlain(t.sys.gClock, t.txv, t.txv|1) {
+				continue
+			}
+			t.txv |= 1
+			t.writeDetected = true
+			t.combineMode = false
+			if !t.sys.policy.DisablePostfix && !t.postfixBanned {
+				t.base.St.PostfixAttempts++
+				t.postfixStart = t.base.St.Obs.Start()
+				t.htx.Begin()
+				t.postfixActive = true
+				for _, w := range t.combWrites {
+					t.htx.Store(w.Addr, w.Value)
+				}
+			} else {
+				t.goFullSoftware()
+				for _, w := range t.combWrites {
+					t.base.InstrumentedAccess()
+					t.undo = append(t.undo, mem.WriteEntry{Addr: w.Addr, Value: m.LoadPlain(w.Addr)})
+					m.StorePlain(w.Addr, w.Value)
+				}
+			}
+			t.mixedCommit() // the ordinary locked commit, drain included
+			return
+		}
+		if c == t.txv|1 {
+			if t.tryEnqueue() {
+				return
+			}
+			continue
+		}
+		// The holder committed a group that excluded us (or a later window
+		// opened): our base is stale.
+		tm.Restart()
+	}
+}
+
+// tryEnqueue offers the buffered write set to the current holder's group
+// and waits for a verdict. It returns true when the group committed us;
+// false when the entry could not be placed or was retracted (the caller
+// re-examines the clock). A rejected claim restarts the attempt.
+func (t *thread) tryEnqueue() bool {
+	m := t.base.M
+	r := t.sys.ring
+	rsig := t.combRSig
+	if t.prefixCommitted {
+		// The committed prefix's reads are part of this attempt's footprint;
+		// htx still holds their log (it is reset only by the next Begin, and
+		// combine mode never starts a postfix).
+		t.htx.AddReadSignature(&rsig, combineSigBits)
+	}
+	var wsig mem.Signature
+	for i := range t.combWrites {
+		wsig.AddLine(mem.LineOf(t.combWrites[i].Addr), combineSigBits)
+	}
+	slot := r.Enqueue(t.txv, t.combWrites, &rsig, &wsig)
+	if slot < 0 {
+		runtime.Gosched()
+		return false
+	}
+	for {
+		switch r.Poll(slot) {
+		case mem.CombineDone:
+			r.Release(slot)
+			t.combineMode = false
+			t.base.St.CombinedCommits++
+			t.base.RecordCombine(obs.FilterCombinedCommit)
+			return true
+		case mem.CombineRejected:
+			r.Release(slot)
+			t.base.St.CombineRejects++
+			t.base.RecordCombine(obs.FilterCombineReject)
+			tm.Restart()
+		}
+		// The clock load both paces the wait (it is a yield point under the
+		// deterministic explorer, letting the holder run) and detects a
+		// holder that finished without claiming us.
+		if m.LoadPlain(t.sys.gClock) != t.txv|1 {
+			if r.TryCancel(slot) {
+				return false
+			}
+			// A holder claimed the entry between the clock moving and the
+			// cancel: its verdict is imminent — keep polling.
+		}
+		runtime.Gosched()
+	}
+}
+
+// combGet answers a combine-mode read from the buffered write set.
+func (t *thread) combGet(a mem.Addr) (uint64, bool) {
+	for i := len(t.combWrites) - 1; i >= 0; i-- {
+		if t.combWrites[i].Addr == a {
+			return t.combWrites[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// combPut buffers a combine-mode write (last write per address wins).
+func (t *thread) combPut(a mem.Addr, v uint64) {
+	for i := range t.combWrites {
+		if t.combWrites[i].Addr == a {
+			t.combWrites[i].Value = v
+			return
+		}
+	}
+	t.combWrites = append(t.combWrites, mem.WriteEntry{Addr: a, Value: v})
 }
 
 // mixedUserAbort cleanly discards an attempt whose callback returned an
@@ -532,6 +859,14 @@ func (t *thread) mixedUserAbort() {
 // already discarded their buffers by this point.
 func (t *thread) mixedAbortCleanup() {
 	m := t.base.M
+	if t.drainMask != 0 {
+		// A drain claimed ring entries but the publish died (postfix abort or
+		// a panic mid-apply): every claim resolves rejected so its owner can
+		// restart instead of waiting forever.
+		t.sys.ring.Resolve(t.drainMask, false)
+		t.drainMask = 0
+	}
+	t.combineMode = false
 	if t.prefixActive {
 		// A failed prefix: ban it for this transaction and shrink the
 		// budget (§3.4 single-try policy + §2.4 adaptation).
@@ -550,6 +885,18 @@ func (t *thread) mixedAbortCleanup() {
 		m.StorePlain(t.undo[i].Addr, t.undo[i].Value)
 	}
 	t.undo = t.undo[:0]
+	if t.sys.ring != nil && t.writeDetected {
+		// With combining on, an aborting holder must *advance* the clock:
+		// combining readers treat clock==txv|1 as naming one unique holder
+		// window, and restoring txv would let a second holder re-lock the
+		// same value — an ABA that could launder a rolled-back transient
+		// value past their recheck. The advance spuriously restarts
+		// same-base software readers, which is safe (NOrec conservatism).
+		// The clock moves before the HTM lock drops for the same
+		// reader-recheck ordering reason as in groupCommitSoftware.
+		m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
+		t.writeDetected = false
+	}
 	if t.fullSoftware {
 		m.StorePlain(t.sys.gHTMLock, 0)
 		t.fullSoftware = false
@@ -599,9 +946,32 @@ func (v mixedTx) Load(a mem.Addr) uint64 {
 	}
 	t.base.InstrumentedAccess()
 	m := t.base.M
+	if t.combineMode {
+		if val, ok := t.combGet(a); ok {
+			return val
+		}
+	}
 	val := m.LoadPlain(a)
-	if m.LoadPlain(t.sys.gClock) != t.txv {
-		tm.Restart()
+	if c := m.LoadPlain(t.sys.gClock); c != t.txv {
+		// In combine mode the clock being locked at our own base is not a
+		// conflict, because nothing of the holder's can have reached val:
+		// clock==txv|1 names a unique holder window (an aborting holder
+		// advances the clock on release, so a base is never re-locked), a
+		// postfix holder publishes atomically with the clock leaving txv|1,
+		// and a software holder writes only under the global HTM lock and
+		// releases the clock before that lock. Under those rules the
+		// val -> clock -> lock -> clock-again load sequence accepting
+		// (txv|1, 0, txv|1) proves the lock load preceded the holder's
+		// lock acquisition — hence val preceded its first write — or else
+		// followed a release whose prior clock move the reload would see.
+		if !(t.combineMode && c == t.txv|1 &&
+			m.LoadPlain(t.sys.gHTMLock) == 0 &&
+			m.LoadPlain(t.sys.gClock) == t.txv|1) {
+			tm.Restart()
+		}
+	}
+	if t.sys.ring != nil {
+		t.combRSig.AddLine(mem.LineOf(a), combineSigBits)
 	}
 	return val
 }
@@ -614,11 +984,20 @@ func (v mixedTx) Store(a mem.Addr, val uint64) {
 	if t.prefixActive {
 		t.commitPrefix() // Algorithm 3 lines 40–45: first write ends the prefix
 	}
-	if !t.writeDetected {
+	if !t.writeDetected && !t.combineMode {
 		t.handleFirstWrite()
 	}
 	if t.postfixActive {
 		t.htx.Store(a, val)
+		return
+	}
+	if t.combineMode {
+		// No InstrumentedAccess: a combine-mode store is a thread-private
+		// write-buffer append touching no shared STM metadata — the same
+		// cost class as an HTM write-buffer store, which the cost model
+		// does not charge either. (Combine-mode loads stay instrumented:
+		// they run the full clock-validation protocol.)
+		t.combPut(a, val)
 		return
 	}
 	t.base.InstrumentedAccess()

@@ -1,0 +1,179 @@
+package core_test
+
+import (
+	"testing"
+
+	"rhnorec/internal/core"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/tm"
+)
+
+// This file is the allocation budget for the RH NOrec driver: zero heap
+// allocations per steady-state transaction, on the all-hardware fast path
+// and on the capacity-bound mixed slow path alike. The first transaction a
+// thread runs may allocate (read/write sets, the recycled write buffer, the
+// spill maps); after that warm-up, every structure is recycled in place.
+// testing.AllocsPerRun itself performs one warm-up call before measuring,
+// and each helper below runs a few extra transactions first so lazily-grown
+// structures reach their steady size.
+//
+// The CI allocs gate enforces the same property a second way: every
+// BenchmarkTxn* benchmark in this package and in internal/htm must report
+// 0 allocs/op under -benchmem.
+
+// allocWorld builds a single-threaded system and a warmed thread with eight
+// line-aligned addresses.
+func allocWorld(tb testing.TB, cfg htm.Config, pol tm.RetryPolicy) (tm.Thread, []mem.Addr) {
+	tb.Helper()
+	m := mem.New(1 << 14)
+	dev := htm.NewDevice(m, cfg)
+	dev.SetActiveThreads(1)
+	sys := core.New(m, dev, pol)
+	setup := sys.NewThread()
+	addrs := make([]mem.Addr, 8)
+	if err := setup.Run(func(tx tm.Tx) error {
+		for i := range addrs {
+			addrs[i] = tx.Alloc(mem.LineWords)
+		}
+		return nil
+	}); err != nil {
+		tb.Fatal(err)
+	}
+	setup.Close()
+	th := sys.NewThread()
+	tb.Cleanup(func() { th.Close() })
+	return th, addrs
+}
+
+// fastPathFn reads and writes two lines — comfortably inside any hardware
+// capacity, so every commit is an HTM fast-path commit.
+func fastPathFn(addrs []mem.Addr) func(tm.Tx) error {
+	return func(tx tm.Tx) error {
+		v := tx.Load(addrs[0]) + tx.Load(addrs[1])
+		tx.Store(addrs[0], v+1)
+		return nil
+	}
+}
+
+// slowPathFn touches four lines, which against a {2 read, 1 write}-line
+// hardware budget forces the mixed slow path (prefix + software + postfix)
+// on every attempt.
+func slowPathFn(addrs []mem.Addr) func(tm.Tx) error {
+	return func(tx tm.Tx) error {
+		for i := 0; i < 4; i++ {
+			tx.Store(addrs[i], tx.Load(addrs[i])+1)
+		}
+		return nil
+	}
+}
+
+func requireZeroAllocs(t *testing.T, th tm.Thread, fn func(tm.Tx) error) {
+	t.Helper()
+	for i := 0; i < 16; i++ { // reach steady state before measuring
+		if err := th.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := th.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state transaction allocates: %v allocs/run, want 0", avg)
+	}
+}
+
+func TestZeroAllocFastPath(t *testing.T) {
+	th, addrs := allocWorld(t, htm.Config{}, tm.RetryPolicy{})
+	requireZeroAllocs(t, th, fastPathFn(addrs))
+}
+
+func TestZeroAllocMixedSlowPath(t *testing.T) {
+	th, addrs := allocWorld(t,
+		htm.Config{ReadCapacityLines: 2, WriteCapacityLines: 1}, tm.RetryPolicy{})
+	requireZeroAllocs(t, th, slowPathFn(addrs))
+}
+
+// TestZeroAllocCombine proves turning the combining ring on does not buy
+// back allocations: the combine-mode read checks, the recycled combined
+// write buffer, and the (empty) holder drain are all allocation-free.
+func TestZeroAllocCombine(t *testing.T) {
+	th, addrs := allocWorld(t,
+		htm.Config{ReadCapacityLines: 2, WriteCapacityLines: 1},
+		tm.RetryPolicy{Combine: true})
+	requireZeroAllocs(t, th, slowPathFn(addrs))
+}
+
+// TestZeroAllocReadOnly covers the read-only hint path (no writer commit
+// work at all).
+func TestZeroAllocReadOnly(t *testing.T) {
+	th, addrs := allocWorld(t, htm.Config{}, tm.RetryPolicy{})
+	fn := func(tx tm.Tx) error {
+		_ = tx.Load(addrs[0])
+		_ = tx.Load(addrs[1])
+		return nil
+	}
+	for i := 0; i < 16; i++ {
+		if err := th.RunReadOnly(fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := th.RunReadOnly(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("read-only transaction allocates: %v allocs/run, want 0", avg)
+	}
+}
+
+// BenchmarkTxnFastPath: one HTM fast-path read-modify-write commit per
+// iteration. The CI allocs gate requires 0 allocs/op.
+func BenchmarkTxnFastPath(b *testing.B) {
+	th, addrs := allocWorld(b, htm.Config{YieldPeriod: -1}, tm.RetryPolicy{})
+	fn := fastPathFn(addrs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxnMixedSlowPath: one capacity-bound mixed slow-path commit
+// (prefix + software reads + postfix publish) per iteration. 0 allocs/op.
+func BenchmarkTxnMixedSlowPath(b *testing.B) {
+	th, addrs := allocWorld(b,
+		htm.Config{ReadCapacityLines: 2, WriteCapacityLines: 1, YieldPeriod: -1},
+		tm.RetryPolicy{})
+	fn := slowPathFn(addrs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxnCombineSlowPath: the mixed slow path with the combining ring
+// compiled in (uncontended, so the committer is always the holder). The
+// delta against BenchmarkTxnMixedSlowPath is the combining overhead a
+// solitary committer pays. 0 allocs/op.
+func BenchmarkTxnCombineSlowPath(b *testing.B) {
+	th, addrs := allocWorld(b,
+		htm.Config{ReadCapacityLines: 2, WriteCapacityLines: 1, YieldPeriod: -1},
+		tm.RetryPolicy{Combine: true})
+	fn := slowPathFn(addrs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := th.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,19 +11,40 @@ import (
 // spill.
 const smallSetCap = 16
 
+// spillIdleResets is the spill-decay hysteresis: after this many
+// consecutive resets in which a previously-spilled set never outgrew its
+// inline storage, the spill structure is dropped. One oversized transaction
+// then stops taxing every later small one with map traffic (each insert
+// paying a hash probe instead of a short linear scan), while a workload
+// that alternates sizes keeps its map warm instead of reallocating it every
+// flip. Dropping the map is the lone steady-state allocation release — it
+// re-allocates only if the footprint outgrows smallSetCap again.
+const spillIdleResets = 8
+
 // lineSet tracks distinct cache lines. Small sets live in an inline array
 // (linear scan beats hashing at this size and reset is free); big sets
-// spill to a map.
+// spill to a map, which decays back to inline-only after spillIdleResets
+// transactions that fit.
 type lineSet struct {
-	arr [smallSetCap]mem.Line
-	n   int
-	m   map[mem.Line]struct{} // nil until first spill
+	arr  [smallSetCap]mem.Line
+	n    int
+	m    map[mem.Line]struct{} // nil until first spill
+	idle uint8                 // consecutive resets with the map unused
 }
 
 func (s *lineSet) reset() {
 	s.n = 0
+	if s.m == nil {
+		return
+	}
 	if len(s.m) > 0 {
 		clear(s.m)
+		s.idle = 0
+		return
+	}
+	if s.idle++; s.idle >= spillIdleResets {
+		s.m = nil
+		s.idle = 0
 	}
 }
 
@@ -71,12 +92,22 @@ func (s *lineSet) count() int {
 type writeSet struct {
 	entries []mem.WriteEntry
 	idx     map[mem.Addr]int // nil until first spill
+	idle    uint8            // consecutive resets with the index unused
 }
 
 func (s *writeSet) reset() {
 	s.entries = s.entries[:0]
+	if s.idx == nil {
+		return
+	}
 	if len(s.idx) > 0 {
 		clear(s.idx)
+		s.idle = 0
+		return
+	}
+	if s.idle++; s.idle >= spillIdleResets {
+		s.idx = nil
+		s.idle = 0
 	}
 }
 
@@ -211,12 +242,22 @@ type readEntry struct {
 type readSet struct {
 	entries []readEntry
 	idx     map[mem.Addr]int // nil until first spill
+	idle    uint8            // consecutive resets with the index unused
 }
 
 func (s *readSet) reset() {
 	s.entries = s.entries[:0]
+	if s.idx == nil {
+		return
+	}
 	if len(s.idx) > 0 {
 		clear(s.idx)
+		s.idle = 0
+		return
+	}
+	if s.idle++; s.idle >= spillIdleResets {
+		s.idx = nil
+		s.idle = 0
 	}
 }
 

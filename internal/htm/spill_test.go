@@ -1,0 +1,125 @@
+package htm
+
+import (
+	"testing"
+
+	"rhnorec/internal/mem"
+)
+
+// fillLines inserts n distinct lines starting at base.
+func fillLines(s *lineSet, base, n int) {
+	for i := 0; i < n; i++ {
+		s.add(mem.Line(base + i))
+	}
+}
+
+// TestLineSetSpillDecay: one oversized transaction spills the set; after
+// spillIdleResets consecutive transactions that fit inline, the map is
+// dropped — and correctness holds across the decay and a re-spill.
+func TestLineSetSpillDecay(t *testing.T) {
+	var s lineSet
+	fillLines(&s, 0, 3*smallSetCap)
+	if s.m == nil {
+		t.Fatal("set never spilled")
+	}
+	if s.count() != 3*smallSetCap {
+		t.Fatalf("count = %d, want %d", s.count(), 3*smallSetCap)
+	}
+	for i := 0; i < spillIdleResets; i++ {
+		if s.m == nil {
+			t.Fatalf("map dropped after only %d idle resets, want %d", i, spillIdleResets)
+		}
+		s.reset()
+		fillLines(&s, 100*i, smallSetCap/2) // fits inline: map stays idle
+		if s.count() != smallSetCap/2 {
+			t.Fatalf("reset %d: count = %d, want %d", i, s.count(), smallSetCap/2)
+		}
+	}
+	s.reset()
+	if s.m != nil {
+		t.Fatalf("map survived %d idle resets", spillIdleResets)
+	}
+	// Life after decay: inline behavior, then a clean re-spill.
+	fillLines(&s, 0, 2*smallSetCap)
+	if s.m == nil || s.count() != 2*smallSetCap {
+		t.Fatalf("re-spill broken: m=%v count=%d", s.m != nil, s.count())
+	}
+}
+
+// TestLineSetSpillDecayResetsOnUse: a workload that keeps outgrowing the
+// inline capacity must keep its map warm — every spilled transaction resets
+// the idle counter, so alternating sizes never reallocates.
+func TestLineSetSpillDecayResetsOnUse(t *testing.T) {
+	var s lineSet
+	for round := 0; round < 4*spillIdleResets; round++ {
+		fillLines(&s, 0, smallSetCap+1) // outgrows inline every round
+		if s.m == nil {
+			t.Fatalf("round %d: map dropped while in active use", round)
+		}
+		s.reset()
+	}
+	if s.m == nil {
+		t.Fatal("map dropped despite steady spilling")
+	}
+}
+
+// TestWriteReadSetSpillDecay: the writeSet and readSet indexes follow the
+// same hysteresis.
+func TestWriteReadSetSpillDecay(t *testing.T) {
+	var w writeSet
+	var r readSet
+	for i := 0; i < 2*smallSetCap; i++ {
+		w.put(mem.Addr(i), uint64(i))
+		r.add(mem.Addr(i), uint64(i))
+	}
+	if w.idx == nil || r.idx == nil {
+		t.Fatal("sets never spilled")
+	}
+	for i := 0; i <= spillIdleResets; i++ {
+		w.reset()
+		r.reset()
+		w.put(mem.Addr(i), 1)
+		if _, ok := r.get(mem.Addr(i)); !ok {
+			r.add(mem.Addr(i), 1)
+		}
+	}
+	if w.idx != nil {
+		t.Fatal("writeSet index survived the idle resets")
+	}
+	if r.idx != nil {
+		t.Fatal("readSet index survived the idle resets")
+	}
+}
+
+// BenchmarkLineSetSmallTxn quantifies what the decay buys: the per-
+// transaction cost of a small (8-line) footprint through a set that is
+// inline versus one still carrying live spilled state. The inline case is
+// what a decayed set returns to; the spilled case is what every small
+// transaction would keep paying if one oversized transaction pinned the map
+// forever.
+func BenchmarkLineSetSmallTxn(b *testing.B) {
+	const small = smallSetCap / 2
+	b.Run("inline", func(b *testing.B) {
+		var s lineSet
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.reset()
+			for j := 0; j < small; j++ {
+				s.add(mem.Line(j))
+				s.add(mem.Line(j)) // duplicate hit: the common re-read
+			}
+		}
+	})
+	b.Run("spilled", func(b *testing.B) {
+		var s lineSet
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.reset()
+			fillLines(&s, 1000, smallSetCap+1) // keep the map live each round
+			for j := 0; j < small; j++ {
+				s.add(mem.Line(j))
+				s.add(mem.Line(j))
+			}
+		}
+	})
+}

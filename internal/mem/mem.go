@@ -135,6 +135,13 @@ type Memory struct {
 	// Costs one nil check per operation when unset.
 	hook Hook
 
+	// sigs, when non-nil, holds one publish-signature ring per stripe and
+	// every mutation publishes its write signature into it (see sig.go).
+	// sigBits is the bloom width; both are set by SetSignatureBits and are
+	// nil/0 by default, so the plain paths pay one nil check when disabled.
+	sigs    []sigRing
+	sigBits uint32
+
 	alloc allocState
 }
 
@@ -210,9 +217,6 @@ func (m *Memory) Clock() uint64 { return 2 * m.ticket.Load() }
 // under striping, so it returns it directly.
 func (m *Memory) ClockStable() uint64 { return m.Clock() }
 
-// stripeFor returns the stripe owning addr.
-func (m *Memory) stripeFor(a Addr) *stripe { return &m.stripes[(uint64(a)>>lineShift)&m.mask] }
-
 // beginMutate takes addr's stripe writeback lock and opens its seqlock
 // write window; endMutate closes the window, retires a ticket, and releases
 // the lock. Every unconditional single-word mutation is bracketed by this
@@ -253,9 +257,13 @@ func (m *Memory) StorePlain(a Addr, v uint64) {
 	if h := m.hook; h != nil {
 		h.Yield(HookStore, a)
 	}
-	s := m.stripeFor(a)
+	si := m.StripeOf(a)
+	s := &m.stripes[si]
 	m.beginMutate(s)
 	atomic.StoreUint64(&m.words[a], v)
+	if m.sigs != nil {
+		m.publishSig1(si, a)
+	}
 	m.endMutate(s)
 }
 
@@ -268,7 +276,8 @@ func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 	if h := m.hook; h != nil {
 		h.Yield(HookCAS, a)
 	}
-	s := m.stripeFor(a)
+	si := m.StripeOf(a)
+	s := &m.stripes[si]
 	s.wb.Lock()
 	if atomic.LoadUint64(&m.words[a]) != old {
 		s.wb.Unlock()
@@ -276,6 +285,9 @@ func (m *Memory) CASPlain(a Addr, old, new uint64) bool {
 	}
 	s.clock.Add(1)
 	atomic.StoreUint64(&m.words[a], new)
+	if m.sigs != nil {
+		m.publishSig1(si, a)
+	}
 	m.endMutate(s)
 	return true
 }
@@ -287,10 +299,14 @@ func (m *Memory) AddPlain(a Addr, delta uint64) uint64 {
 	if h := m.hook; h != nil {
 		h.Yield(HookAdd, a)
 	}
-	s := m.stripeFor(a)
+	si := m.StripeOf(a)
+	s := &m.stripes[si]
 	m.beginMutate(s)
 	v := atomic.LoadUint64(&m.words[a]) + delta
 	atomic.StoreUint64(&m.words[a], v)
+	if m.sigs != nil {
+		m.publishSig1(si, a)
+	}
 	m.endMutate(s)
 	return v
 }
@@ -375,6 +391,16 @@ func (m *Memory) CommitWrites(writes []WriteEntry, validate func() bool) bool {
 	if ok {
 		for _, w := range writes {
 			atomic.StoreUint64(&m.words[w.Addr], w.Value)
+		}
+		if m.sigs != nil {
+			// Publish the commit's whole write signature into every touched
+			// stripe's ring (a per-stripe split would buy little: a validator
+			// only consults stripes in its own footprint anyway).
+			var g Signature
+			for i := range writes {
+				g.AddLine(LineOf(writes[i].Addr), m.sigBits)
+			}
+			touched.forEach(func(s int) { m.publishSig(s, &g) })
 		}
 		touched.forEach(func(s int) { m.stripes[s].clock.Add(1) })
 		m.ticket.Add(1)

@@ -46,7 +46,18 @@ type System struct {
 	engine  *tm.Engine
 	variant Variant
 	clock   mem.Addr
+
+	// ring, when non-nil (RetryPolicy.Combine with the Lazy variant), is the
+	// flat-combining ring of the group-commit commit path: a lazy committer
+	// that finds the clock locked at exactly its own snapshot base enqueues
+	// its buffered write set here instead of spinning, and the lock holder
+	// drains signature-disjoint entries under its one ticket window.
+	ring *mem.CombineRing
 }
+
+// combineSigBits is the bloom width of the combining ring's signatures
+// (compared only with each other, so the width is fixed at the maximum).
+const combineSigBits = mem.MaxSigBits
 
 // New creates a NOrec system of the given variant with the default
 // contention policy.
@@ -61,14 +72,22 @@ func New(m *mem.Memory, variant Variant) *System {
 // deterministic counter.
 func NewWithPolicy(m *mem.Memory, variant Variant, policy tm.RetryPolicy) *System {
 	tc := m.NewThreadCache()
-	return &System{
+	s := &System{
 		m:       m,
 		rec:     tm.NewReclaimer(),
 		engine:  tm.NewEngine(policy, nil),
 		variant: variant,
 		clock:   tc.Alloc(mem.LineWords),
 	}
+	if s.engine.Policy().Combine && variant == Lazy {
+		s.ring = mem.NewCombineRing()
+	}
+	return s
 }
+
+// CombineRing returns the group-commit ring, or nil when combining is off —
+// a diagnostic handle for tests and benchmark instrumentation.
+func (s *System) CombineRing() *mem.CombineRing { return s.ring }
 
 // Name implements tm.System.
 func (s *System) Name() string { return s.variant.String() }
@@ -109,6 +128,13 @@ type thread struct {
 	readSet  []readEntry
 	writeMap map[mem.Addr]uint64
 	wOrder   []mem.Addr
+
+	// Group-commit state (sys.ring != nil). combWrites is the flattened
+	// write set offered to a holder (grow-once, recycled); drainMask records
+	// ring slots claimed by this thread's own in-progress drain so every
+	// abort path can resolve them rejected.
+	combWrites []mem.WriteEntry
+	drainMask  uint32
 }
 
 func (t *thread) Stats() *tm.Stats { return &t.base.St }
@@ -199,6 +225,12 @@ func (t *thread) beginAttempt() {
 // eager variant aborted mid-write-phase (only possible via user error or an
 // application panic; clock validation cannot fail while the lock is held).
 func (t *thread) cleanupAfterAbort() {
+	if t.drainMask != 0 {
+		// A drain claimed ring entries but the publish never became visible:
+		// resolve them rejected so their owners can restart.
+		t.sys.ring.Resolve(t.drainMask, false)
+		t.drainMask = 0
+	}
 	if t.writeDetected {
 		for i := len(t.undo) - 1; i >= 0; i-- {
 			t.base.M.StorePlain(t.undo[i].Addr, t.undo[i].Value)
@@ -226,12 +258,107 @@ func (t *thread) commit() {
 			return // read-only: nothing to publish, nothing to lock
 		}
 		for !m.CASPlain(t.sys.clock, t.txv, t.txv|1) {
+			if t.sys.ring != nil && m.LoadPlain(t.sys.clock) == t.txv|1 {
+				// A holder locked the clock at our snapshot base: our value-
+				// validated read set is still exactly as valid as it was, so
+				// offer the write set to the holder's group instead of
+				// waiting.
+				if t.tryEnqueue() {
+					return
+				}
+				continue
+			}
 			t.txv = t.validate()
 		}
 		for _, a := range t.wOrder {
 			m.StorePlain(a, t.writeMap[a])
 		}
+		if t.sys.ring != nil {
+			t.drainGroup()
+		}
 		m.StorePlain(t.sys.clock, t.txv+2) // txv is even here
+		if t.drainMask != 0 {
+			// The group is visible (the clock released): resolve the claims
+			// done.
+			t.sys.ring.Resolve(t.drainMask, true)
+			t.drainMask = 0
+		}
+	}
+}
+
+// drainGroup drains compatible queued commits into the holder's window: the
+// group signature starts as the holder's own write footprint, and every
+// admitted entry must be read-disjoint from it (see mem.CombineRing.Drain
+// for the serial-order argument). Runs with the clock locked, so the
+// published writes are invisible until the clock releases — readers
+// value-validate only at even clocks.
+func (t *thread) drainGroup() {
+	m := t.base.M
+	// Linger one scheduler beat so contending committers can reach their
+	// commit, observe the locked clock, and enqueue — the combining batch
+	// exists only if the holder gives it a moment to form.
+	runtime.Gosched()
+	var group mem.Signature
+	for _, a := range t.wOrder {
+		group.AddLine(mem.LineOf(a), combineSigBits)
+	}
+	t.drainMask = 0
+	n := t.sys.ring.Drain(t.txv, &group, 1<<30, &t.drainMask, func(ws []mem.WriteEntry) {
+		for _, w := range ws {
+			m.StorePlain(w.Addr, w.Value)
+		}
+	})
+	if n > 0 {
+		t.base.St.CombineDrains++
+		t.base.RecordCombine(obs.FilterCombineDrain)
+	}
+}
+
+// tryEnqueue offers the buffered write set to the current holder's group and
+// waits for a verdict. It returns true when the group committed us; false
+// when the entry could not be placed or was retracted (the caller re-examines
+// the clock). A rejected claim restarts the attempt.
+func (t *thread) tryEnqueue() bool {
+	m := t.base.M
+	r := t.sys.ring
+	var rsig, wsig mem.Signature
+	for i := range t.readSet {
+		rsig.AddLine(mem.LineOf(t.readSet[i].addr), combineSigBits)
+	}
+	t.combWrites = t.combWrites[:0]
+	for _, a := range t.wOrder {
+		t.combWrites = append(t.combWrites, mem.WriteEntry{Addr: a, Value: t.writeMap[a]})
+		wsig.AddLine(mem.LineOf(a), combineSigBits)
+	}
+	slot := r.Enqueue(t.txv, t.combWrites, &rsig, &wsig)
+	if slot < 0 {
+		runtime.Gosched()
+		return false
+	}
+	for {
+		switch r.Poll(slot) {
+		case mem.CombineDone:
+			r.Release(slot)
+			t.base.St.CombinedCommits++
+			t.base.RecordCombine(obs.FilterCombinedCommit)
+			return true
+		case mem.CombineRejected:
+			r.Release(slot)
+			t.base.St.CombineRejects++
+			t.base.RecordCombine(obs.FilterCombineReject)
+			tm.Restart()
+		}
+		// The clock load paces the wait (a yield point under the
+		// deterministic explorer) and detects a holder that finished
+		// without claiming us.
+		if m.LoadPlain(t.sys.clock) != t.txv|1 {
+			if r.TryCancel(slot) {
+				return false
+			}
+			// A holder claimed the entry between the clock moving and the
+			// cancel: its verdict is imminent — keep polling.
+		}
+		runtime.Gosched()
 	}
 }
 

@@ -1,0 +1,91 @@
+package obs
+
+// FilterKind labels one signature-filter or group-commit outcome (the
+// validation-filter and flat-combining layers of internal/htm and
+// internal/mem). Like PolicyDecision these are counter-only ledger cells:
+// filter events fire on the per-validation hot path, far too often to ring.
+type FilterKind uint8
+
+const (
+	// FilterSigHit: a validation's read signature intersected a published
+	// write signature, so the per-entry value sweep ran.
+	FilterSigHit FilterKind = iota
+	// FilterSigMiss: the signatures were provably disjoint and the value
+	// sweep was skipped — the filter's payoff case.
+	FilterSigMiss
+	// FilterSigFalsePositive: the subset of hits whose value sweep then
+	// passed — the signatures collided on hashed bits, not on data.
+	FilterSigFalsePositive
+	// FilterSigUncovered: the publish window could not be answered from the
+	// signature ring (wrapped, or publication disabled at the time); the
+	// value sweep ran unfiltered.
+	FilterSigUncovered
+	// FilterCombinedCommit: a transaction committed by having its write set
+	// drained from the combining ring by a group-commit holder.
+	FilterCombinedCommit
+	// FilterCombineDrain: a group-commit holder drained at least one queued
+	// commit under its ticket window.
+	FilterCombineDrain
+	// FilterCombineReject: a queued commit was claimed but not published
+	// (signature overlap with the group, or the group aborted) and had to
+	// restart.
+	FilterCombineReject
+
+	// NumFilterKinds bounds the enum; every valid kind is < NumFilterKinds.
+	NumFilterKinds
+)
+
+var filterKindNames = [NumFilterKinds]string{
+	FilterSigHit:           "sig-hit",
+	FilterSigMiss:          "sig-miss",
+	FilterSigFalsePositive: "sig-false-positive",
+	FilterSigUncovered:     "sig-uncovered",
+	FilterCombinedCommit:   "combined-commit",
+	FilterCombineDrain:     "combine-drain",
+	FilterCombineReject:    "combine-reject",
+}
+
+// String returns the stable schema name of the kind (docs/METRICS.md
+// documents the enum; downstream tooling keys on these strings).
+func (k FilterKind) String() string {
+	if k < NumFilterKinds {
+		return filterKindNames[k]
+	}
+	return "invalid"
+}
+
+// FilterKindByName returns the FilterKind with the given schema name.
+func FilterKindByName(name string) (FilterKind, bool) {
+	for k, n := range filterKindNames {
+		if n == name {
+			return FilterKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// RecordFilter accounts n occurrences of one filter/combining outcome.
+// Batched (unlike RecordPolicy) because drivers fold whole per-transaction
+// tallies at once.
+func (r *Recorder) RecordFilter(k FilterKind, n uint64) {
+	if r == nil || k >= NumFilterKinds || n == 0 {
+		return
+	}
+	r.filterCount[k] += n
+}
+
+// FilterCount reports the recorded occurrences of one kind.
+func (r *Recorder) FilterCount(k FilterKind) uint64 {
+	if r == nil || k >= NumFilterKinds {
+		return 0
+	}
+	return r.filterCount[k]
+}
+
+// FilterSnapshot is one signature-filter/group-commit counter.
+type FilterSnapshot struct {
+	// Kind is the schema name of the counter (FilterKind.String).
+	Kind string `json:"kind"`
+	// Count is the number of times the outcome fired.
+	Count uint64 `json:"count"`
+}

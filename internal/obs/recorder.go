@@ -33,6 +33,7 @@ type Recorder struct {
 	abortCount  [NumCauses]uint64
 	abortRetry  [NumCauses]Histogram
 	policyCount [NumPolicyDecisions]uint64
+	filterCount [NumFilterKinds]uint64
 	ring        *Ring
 }
 
@@ -178,5 +179,8 @@ func (r *Recorder) Merge(o *Recorder) {
 	}
 	for i := range r.policyCount {
 		r.policyCount[i] += o.policyCount[i]
+	}
+	for i := range r.filterCount {
+		r.filterCount[i] += o.filterCount[i]
 	}
 }

@@ -16,6 +16,11 @@ type Snapshot struct {
 	// decisions fired, so pre-policy dumps stay byte-identical (additive
 	// optional field — no schema_version bump, per the METRICS.md contract).
 	Policy []PolicySnapshot `json:"policy,omitempty"`
+	// Filter holds one entry per signature-filter/group-commit counter that
+	// fired at least once, in FilterKind enum order. Additive optional field
+	// like Policy: omitted when the filtering and combining layers are off,
+	// so earlier dumps stay byte-identical.
+	Filter []FilterSnapshot `json:"filter,omitempty"`
 }
 
 // PhaseSnapshot is one phase's latency distribution. All durations are
@@ -100,6 +105,15 @@ func (r *Recorder) Snapshot() *Snapshot {
 		s.Policy = append(s.Policy, PolicySnapshot{
 			Decision: d.String(),
 			Count:    r.policyCount[d],
+		})
+	}
+	for k := FilterKind(0); k < NumFilterKinds; k++ {
+		if r.filterCount[k] == 0 {
+			continue
+		}
+		s.Filter = append(s.Filter, FilterSnapshot{
+			Kind:  k.String(),
+			Count: r.filterCount[k],
 		})
 	}
 	return s

@@ -224,7 +224,7 @@ func (c *cmBase) OnSTMRestart(restarts int) {}
 type staticPolicy struct{ cmBase }
 
 func (p *staticPolicy) Kind() PolicyKind { return PolicyStatic }
-func (p *staticPolicy) AdmitFast() bool  { return true }
+func (p *staticPolicy) AdmitFast() bool  { return !p.e.policy.DisableFast }
 
 func (p *staticPolicy) OnAbort(ab *htm.Abort, retries int) Decision {
 	if p.giveUp(ab, retries) {
@@ -242,7 +242,7 @@ func (p *staticPolicy) OnAbort(ab *htm.Abort, retries int) Decision {
 type backoffPolicy struct{ cmBase }
 
 func (p *backoffPolicy) Kind() PolicyKind { return PolicyBackoff }
-func (p *backoffPolicy) AdmitFast() bool  { return true }
+func (p *backoffPolicy) AdmitFast() bool  { return !p.e.policy.DisableFast }
 
 func (p *backoffPolicy) OnAbort(ab *htm.Abort, retries int) Decision {
 	if p.giveUp(ab, retries) {
@@ -290,6 +290,10 @@ type adaptivePolicy struct {
 func (p *adaptivePolicy) Kind() PolicyKind { return PolicyAdaptive }
 
 func (p *adaptivePolicy) AdmitFast() bool {
+	if p.e.policy.DisableFast {
+		p.admitted = false
+		return false
+	}
 	if p.demoted {
 		p.sinceDemotion++
 		if p.sinceDemotion < p.e.policy.PromotionProbePeriod {

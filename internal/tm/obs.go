@@ -59,6 +59,37 @@ func (b *ThreadBase) RecordPolicy(d obs.PolicyDecision) {
 	}
 }
 
+// FoldFilter drains tx's signature-filter tallies into the thread's Stats
+// counters and (when attached) the obs ledger. Drivers whose hardware
+// context may have filtered call it from Stats(), so the fold costs nothing
+// per transaction and the tallies are never double-counted (TakeFilterStats
+// resets them).
+func (b *ThreadBase) FoldFilter(tx *htm.Txn) {
+	f := tx.TakeFilterStats()
+	if f == (htm.FilterStats{}) {
+		return
+	}
+	b.St.SigHits += f.Hits
+	b.St.SigMisses += f.Misses
+	b.St.SigFalsePositives += f.FalsePositives
+	b.St.SigUncovered += f.Uncovered
+	if o := b.St.Obs; o != nil {
+		o.RecordFilter(obs.FilterSigHit, f.Hits)
+		o.RecordFilter(obs.FilterSigMiss, f.Misses)
+		o.RecordFilter(obs.FilterSigFalsePositive, f.FalsePositives)
+		o.RecordFilter(obs.FilterSigUncovered, f.Uncovered)
+	}
+}
+
+// RecordCombine accounts one group-commit outcome on the obs ledger; the
+// Stats counters stay with the driver's commit path, which knows which
+// outcome it just took.
+func (b *ThreadBase) RecordCombine(k obs.FilterKind) {
+	if o := b.St.Obs; o != nil {
+		o.RecordFilter(k, 1)
+	}
+}
+
 // ObsEvent appends a begin/fallback/commit event to the thread's event
 // ring (if one is attached), stamped with the memory's commit ticket — a
 // global publish counter that keeps cross-thread event orderings

@@ -68,6 +68,11 @@ func PolicyKindByName(name string) (PolicyKind, bool) {
 // through every test harness.
 const PolicyEnvVar = "RHNOREC_POLICY"
 
+// CombineEnvVar is the environment variable WithDefaults consults for
+// RetryPolicy.Combine ("1" or "true" enables group commit), so CI can run
+// the conformance suite with flat combining on without new harness knobs.
+const CombineEnvVar = "RHNOREC_COMBINE"
+
 // RetryPolicy captures the static retry policy of paper §3.3–§3.4, shared
 // by Hybrid NOrec and RH NOrec (Lock Elision uses only the fast-path part).
 type RetryPolicy struct {
@@ -97,6 +102,11 @@ type RetryPolicy struct {
 	// DisablePostfix turns the HTM postfix off entirely (ablation knob;
 	// first writes then go straight to the full-software path).
 	DisablePostfix bool
+	// DisableFast skips the pure-hardware fast path entirely, forcing every
+	// transaction onto the slow path (ablation knob; isolates slow-path
+	// behavior — the combining sweep uses it to create a commit-lock convoy
+	// at will).
+	DisableFast bool
 	// DisablePrefixAdaptation freezes the prefix length at
 	// InitialPrefixLength (ablation knob).
 	DisablePrefixAdaptation bool
@@ -133,6 +143,16 @@ type RetryPolicy struct {
 	// speculation from convoying on the slow-path commit lock. Negative
 	// disables throttling; 0 takes the default.
 	ContentionWindow int
+	// Combine enables flat-combining group commit on the software slow
+	// path: a committer that finds the sequence lock held at its own
+	// snapshot base enqueues its pre-validated write set into the memory's
+	// combining ring instead of restarting, and the lock holder drains
+	// signature-disjoint queued commits under its one ticket window. Off by
+	// default — it changes slow-path yield sequences, so recorded explore
+	// schedules assume it off unless re-recorded. WithDefaults also reads
+	// the RHNOREC_COMBINE environment variable ("1"/"true" enables) so CI
+	// can sweep the conformance suite with combining on.
+	Combine bool
 }
 
 // Backoff yields the processor according to the policy for the given retry
@@ -213,6 +233,11 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 	}
 	if p.ContentionWindow == 0 {
 		p.ContentionWindow = d.ContentionWindow
+	}
+	if !p.Combine {
+		if v := os.Getenv(CombineEnvVar); v == "1" || v == "true" {
+			p.Combine = true
+		}
 	}
 	return p
 }
