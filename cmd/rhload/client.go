@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"rhnorec/internal/serve"
+	"rhnorec/internal/tmtest"
+)
+
+func jsonBody(v any) io.Reader {
+	b, _ := json.Marshal(v)
+	return bytes.NewReader(b)
+}
+
+func jsonDecode(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) }
+
+// kvClient is one connection's view of the service: one call per endpoint
+// kind, so the server's per-endpoint metrics rows label the traffic the way
+// the generator meant it.
+type kvClient interface {
+	do(kind tmtest.ReqKind, ops []serve.Op) ([]serve.OpResult, error)
+	close()
+}
+
+// shedError is the client-side form of an admission shed (HTTP 429 or
+// binary StatusShed): back off RetryAfter, then resume.
+type shedError struct{ RetryAfter time.Duration }
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("shed (retry after %s)", e.RetryAfter)
+}
+
+// reqKindPath maps a request kind to its HTTP endpoint path.
+var reqKindPath = [tmtest.NumReqKinds]string{"/get", "/put", "/cas", "/scan", "/txn"}
+
+// httpClient drives the HTTP/JSON transport. Each generator connection owns
+// one, with a distinct sticky identity in X-RH-Client.
+type httpClient struct {
+	base     string
+	identity string
+	hc       *http.Client
+}
+
+func newHTTPClient(addr, identity string) *httpClient {
+	return &httpClient{
+		base:     "http://" + addr,
+		identity: identity,
+		// One TCP connection per generator connection: MaxConnsPerHost 1
+		// keeps the "conns" flag honest at the transport level too.
+		hc: &http.Client{Transport: &http.Transport{MaxConnsPerHost: 1, MaxIdleConnsPerHost: 1}},
+	}
+}
+
+func (c *httpClient) close() { c.hc.CloseIdleConnections() }
+
+func (c *httpClient) do(kind tmtest.ReqKind, ops []serve.Op) ([]serve.OpResult, error) {
+	var (
+		req *http.Request
+		err error
+	)
+	switch kind {
+	case tmtest.ReqTxn:
+		body := serve.TxnRequest{Ops: make([]serve.TxnOp, len(ops))}
+		for i, op := range ops {
+			body.Ops[i] = jsonOp(op)
+		}
+		req, err = http.NewRequest(http.MethodPost, c.base+"/txn", jsonBody(&body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	default:
+		q := url.Values{}
+		op := ops[0]
+		switch kind {
+		case tmtest.ReqGet:
+			for _, o := range ops {
+				q.Add("key", strconv.FormatUint(o.Key, 10))
+			}
+		case tmtest.ReqPut:
+			q.Set("key", strconv.FormatUint(op.Key, 10))
+			q.Set("val", strconv.FormatUint(op.Val, 10))
+		case tmtest.ReqCas:
+			q.Set("key", strconv.FormatUint(op.Key, 10))
+			q.Set("old", strconv.FormatUint(op.Old, 10))
+			q.Set("new", strconv.FormatUint(op.Val, 10))
+		case tmtest.ReqScan:
+			q.Set("start", strconv.FormatUint(op.Key, 10))
+			q.Set("count", strconv.FormatUint(uint64(op.Count), 10))
+		}
+		method := http.MethodGet
+		if kind == tmtest.ReqPut || kind == tmtest.ReqCas {
+			method = http.MethodPost
+		}
+		req, err = http.NewRequest(method, c.base+reqKindPath[kind]+"?"+q.Encode(), nil)
+	}
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-RH-Client", c.identity)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out serve.TxnResponse
+		if err := jsonDecode(resp.Body, &out); err != nil {
+			return nil, err
+		}
+		res := make([]serve.OpResult, len(out.Results))
+		for i, r := range out.Results {
+			res[i] = serve.OpResult{Val: r.Val, Vals: r.Vals, Swapped: r.Swapped}
+		}
+		return res, nil
+	case http.StatusTooManyRequests:
+		ra := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ra = time.Duration(secs) * time.Second
+		}
+		return nil, &shedError{RetryAfter: ra}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("http %d: %s", resp.StatusCode, msg)
+	}
+}
+
+// jsonOp converts a normalized op back to its JSON wire form.
+func jsonOp(op serve.Op) serve.TxnOp {
+	switch op.Kind {
+	case serve.OpGet:
+		return serve.TxnOp{Op: "get", Key: op.Key}
+	case serve.OpPut:
+		return serve.TxnOp{Op: "put", Key: op.Key, Val: op.Val}
+	case serve.OpCas:
+		return serve.TxnOp{Op: "cas", Key: op.Key, Old: op.Old, New: op.Val}
+	default:
+		return serve.TxnOp{Op: "scan", Key: op.Key, Count: op.Count}
+	}
+}
+
+// reqKindOpcode maps a request kind to its binary opcode.
+var reqKindOpcode = [tmtest.NumReqKinds]uint8{
+	serve.OpcodeGet, serve.OpcodePut, serve.OpcodeCas, serve.OpcodeScan, serve.OpcodeTxn,
+}
+
+// binClient drives the binary protocol over one TCP connection.
+type binClient struct {
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	reqID uint64
+	buf   []byte
+	inBuf []byte
+}
+
+func newBinClient(addr, identity string) (*binClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &binClient{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if _, err := c.bw.WriteString(serve.ProtoMagic); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := c.roundTrip(&serve.ProtoRequest{Opcode: serve.OpcodeHello, Hello: identity}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("hello: %w", err)
+	}
+	return c, nil
+}
+
+func (c *binClient) close() { c.conn.Close() }
+
+func (c *binClient) roundTrip(req *serve.ProtoRequest) (*serve.ProtoResponse, error) {
+	c.reqID++
+	req.ReqID = c.reqID
+	payload, err := serve.AppendRequest(c.buf[:0], req)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = payload[:0]
+	if err := serve.WriteFrame(c.bw, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	frame, err := serve.ReadFrame(c.br, c.inBuf)
+	if err != nil {
+		return nil, err
+	}
+	c.inBuf = frame[:0]
+	resp, err := serve.ParseResponse(frame)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ReqID != req.ReqID {
+		return nil, fmt.Errorf("response for req %d, want %d", resp.ReqID, req.ReqID)
+	}
+	return resp, nil
+}
+
+func (c *binClient) do(kind tmtest.ReqKind, ops []serve.Op) ([]serve.OpResult, error) {
+	resp, err := c.roundTrip(&serve.ProtoRequest{Opcode: reqKindOpcode[kind], Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case serve.StatusOK:
+		return resp.Results, nil
+	case serve.StatusShed:
+		return nil, &shedError{RetryAfter: time.Duration(resp.RetryAfterMS) * time.Millisecond}
+	default:
+		return nil, fmt.Errorf("status %d: %s", resp.Status, resp.Msg)
+	}
+}

@@ -1,0 +1,391 @@
+// Command rhload is the closed/open-loop load generator for the rhserve KV
+// service (docs/SERVE.md). It drives a sweep grid — target QPS × zipfian
+// key skew × read mix — over either transport, reports achieved throughput
+// and client-side latency per cell, and can emit the cells as an
+// rhbench.v2 dump (the BENCH_5 service trajectory) plus the server's own
+// rhserve.v1 metrics dump.
+//
+// Usage:
+//
+//	rhload -addr 127.0.0.1:7421 -conns 8 -duration 5s
+//	rhload -proto binary -qps 1000,5000,0 -zipf 0,0.99,1.2 -readmix 0.9
+//	rhload -json bench5.json -dump serve-dump.json \
+//	       -compare BENCH_5.json -compare-normalize
+//
+// Knobs: -addr server, -proto http|binary, -conns concurrent connections,
+// -qps CSV of target rates (0 = closed loop: issue as fast as replies
+// return), -duration per cell, -zipf CSV of skew exponents, -readmix CSV of
+// GET fractions, -casfrac/-scanfrac/-txnfrac the other endpoint fractions
+// (remainder PUT), -txnops/-scancount batch shapes, -keys key-space size,
+// -seed deterministic generator seed.
+//
+// Shed handling: a 429/StatusShed reply is not an error — the connection
+// backs off the server's Retry-After hint and resumes; sheds are reported
+// per cell.
+//
+// Output: -json FILE writes the cells as an rhbench.v2 dump (workload
+// "serve/<proto>/z<skew>/r<readmix>/q<qps>", threads = conns, ops_per_sec =
+// achieved goodput); -dump FILE fetches /metrics?format=json from the
+// server, validates it against the rhserve.v1 schema, and writes it;
+// -compare BASELINE gates the run against a baseline dump like rhbench
+// (-compare-normalize, -compare-tolerance); -fail-on-errors exits non-zero
+// if any request failed transactionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rhnorec/internal/bench"
+	"rhnorec/internal/obs"
+	"rhnorec/internal/serve"
+	"rhnorec/internal/tmtest"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7421", "rhserve address")
+		proto     = flag.String("proto", "http", "transport: http or binary")
+		conns     = flag.Int("conns", 4, "concurrent connections")
+		qpsCSV    = flag.String("qps", "0", "CSV of target QPS per cell (0 = closed loop)")
+		duration  = flag.Duration("duration", 3*time.Second, "duration per sweep cell")
+		zipfCSV   = flag.String("zipf", "0.99", "CSV of zipfian skew exponents")
+		mixCSV    = flag.String("readmix", "0.9", "CSV of GET fractions")
+		casFrac   = flag.Float64("casfrac", 0.02, "CAS fraction")
+		scanFrac  = flag.Float64("scanfrac", 0.02, "SCAN fraction")
+		txnFrac   = flag.Float64("txnfrac", 0.05, "TXN fraction")
+		txnOps    = flag.Int("txnops", 4, "ops per generated TXN")
+		scanCount = flag.Int("scancount", 16, "keys per generated SCAN")
+		keys      = flag.Int("keys", 1<<16, "key-space size (must be <= the server's -keys)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		jsonPath  = flag.String("json", "", "write cells as an rhbench.v2 dump to FILE")
+		dumpPath  = flag.String("dump", "", "fetch, validate, and write the server's rhserve.v1 dump to FILE")
+		cmpPath   = flag.String("compare", "", "gate against a baseline rhbench.v2 dump")
+		cmpNorm   = flag.Bool("compare-normalize", false, "normalize both dumps by their median throughput before comparing")
+		cmpTol    = flag.Float64("compare-tolerance", 0.2, "allowed relative throughput drop before the gate fails")
+		failOnErr = flag.Bool("fail-on-errors", false, "exit non-zero if any request failed transactionally")
+	)
+	flag.Parse()
+	if *proto != "http" && *proto != "binary" {
+		fatalf("unknown -proto %q (want http or binary)", *proto)
+	}
+
+	qpsList := parseFloats(*qpsCSV, "-qps")
+	zipfList := parseFloats(*zipfCSV, "-zipf")
+	mixList := parseFloats(*mixCSV, "-readmix")
+
+	rec := &bench.JSONRecorder{}
+	var totalErrs uint64
+	algo := fetchAlgo(*addr)
+	fmt.Printf("rhload: %s via %s, algo=%s, %d conns, %s per cell\n",
+		*addr, *proto, algo, *conns, *duration)
+	fmt.Printf("%-30s %10s %10s %8s %8s %10s %10s %10s\n",
+		"cell", "target", "achieved", "sheds", "errors", "p50", "p99", "p999")
+	for _, skew := range zipfList {
+		zipf := tmtest.NewZipfKeys(*keys, skew)
+		for _, readMix := range mixList {
+			mix := tmtest.RequestMix{
+				GetFrac: readMix, CasFrac: *casFrac, ScanFrac: *scanFrac, TxnFrac: *txnFrac,
+				TxnOps: *txnOps, ScanCount: *scanCount,
+			}.WithDefaults()
+			for _, qps := range qpsList {
+				cell := cellConfig{
+					addr: *addr, proto: *proto, conns: *conns, qps: qps,
+					duration: *duration, zipf: zipf, mix: mix, seed: *seed,
+				}
+				res := runCell(cell)
+				totalErrs += res.errors
+				name := fmt.Sprintf("serve/%s/z%.2f/r%.2f/q%g", *proto, skew, readMix, qps)
+				fmt.Printf("%-30s %10s %10.0f %8d %8d %10s %10s %10s\n",
+					name, targetStr(qps), res.achieved, res.sheds, res.errors,
+					durStr(res.lat.Quantile(0.50)), durStr(res.lat.Quantile(0.99)), durStr(res.lat.Quantile(0.999)))
+				rec.Record(bench.Result{
+					Workload:   name,
+					Algo:       algo,
+					Threads:    *conns,
+					Ops:        res.ops,
+					Elapsed:    res.elapsed,
+					Throughput: res.achieved,
+				})
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		writeJSONFile(*jsonPath, rec)
+	}
+	if *dumpPath != "" {
+		fetchServeDump(*addr, *dumpPath)
+	}
+	exit := 0
+	if *cmpPath != "" && !gate(*cmpPath, rec, *cmpNorm, *cmpTol) {
+		exit = 1
+	}
+	if *failOnErr && totalErrs > 0 {
+		fmt.Fprintf(os.Stderr, "rhload: %d transactional errors\n", totalErrs)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+type cellConfig struct {
+	addr     string
+	proto    string
+	conns    int
+	qps      float64
+	duration time.Duration
+	zipf     *tmtest.ZipfKeys
+	mix      tmtest.RequestMix
+	seed     int64
+}
+
+type cellResult struct {
+	ops      uint64
+	sheds    uint64
+	errors   uint64
+	elapsed  time.Duration
+	achieved float64
+	lat      obs.Histogram
+}
+
+// connStats is one connection goroutine's private tally, merged after join.
+type connStats struct {
+	ops    uint64
+	sheds  uint64
+	errors uint64
+	lat    obs.Histogram
+}
+
+// runCell drives one sweep cell: conns goroutines against one server, each
+// pacing itself at qps/conns (or flat-out when qps is 0).
+func runCell(c cellConfig) cellResult {
+	var wg sync.WaitGroup
+	stats := make([]connStats, c.conns)
+	start := time.Now()
+	deadline := start.Add(c.duration)
+	for i := 0; i < c.conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runConn(c, i, &stats[i], deadline)
+		}(i)
+	}
+	wg.Wait()
+	var res cellResult
+	res.elapsed = time.Since(start)
+	for i := range stats {
+		res.ops += stats[i].ops
+		res.sheds += stats[i].sheds
+		res.errors += stats[i].errors
+		res.lat.Merge(&stats[i].lat)
+	}
+	res.achieved = float64(res.ops) / res.elapsed.Seconds()
+	return res
+}
+
+// runConn is one connection's generator loop. Open loop: fire at the
+// per-conn interval, skipping ticks that fall behind (no coordinated
+// omission backlog — a late reply costs throughput, not a burst). Closed
+// loop: next request as soon as the reply lands.
+func runConn(c cellConfig, id int, st *connStats, deadline time.Time) {
+	identity := fmt.Sprintf("rhload-%d", id)
+	var cl kvClient
+	var err error
+	if c.proto == "binary" {
+		cl, err = newBinClient(c.addr, identity)
+		if err != nil {
+			st.errors++
+			return
+		}
+	} else {
+		cl = newHTTPClient(c.addr, identity)
+	}
+	defer cl.close()
+	rng := rand.New(rand.NewSource(c.seed + int64(id)*7919))
+	var interval time.Duration
+	if c.qps > 0 {
+		interval = time.Duration(float64(c.conns) / c.qps * float64(time.Second))
+	}
+	next := time.Now()
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if interval > 0 {
+			if now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			next = next.Add(interval)
+			if behind := time.Now(); next.Before(behind) {
+				next = behind
+			}
+		}
+		kind, ops := genRequest(c, rng)
+		t0 := time.Now()
+		_, err := cl.do(kind, ops)
+		st.lat.Record(uint64(time.Since(t0)))
+		switch e := err.(type) {
+		case nil:
+			st.ops++
+		case *shedError:
+			st.sheds++
+			backoff := e.RetryAfter
+			if rem := time.Until(deadline); backoff > rem {
+				backoff = rem
+			}
+			if backoff > 0 {
+				time.Sleep(backoff)
+			}
+		default:
+			st.errors++
+		}
+	}
+}
+
+// genRequest draws one request from the mix.
+func genRequest(c cellConfig, rng *rand.Rand) (tmtest.ReqKind, []serve.Op) {
+	kind := c.mix.Pick(rng)
+	key := func() uint64 { return c.zipf.ScrambledNext(rng) }
+	switch kind {
+	case tmtest.ReqGet:
+		return kind, []serve.Op{{Kind: serve.OpGet, Key: key()}}
+	case tmtest.ReqCas:
+		return kind, []serve.Op{{Kind: serve.OpCas, Key: key(), Old: uint64(rng.Intn(4)), Val: rng.Uint64() >> 1}}
+	case tmtest.ReqScan:
+		n := uint64(c.mix.ScanCount)
+		start := key()
+		if max := uint64(c.zipf.N()); n >= max {
+			start, n = 0, max
+		} else if start+n > max {
+			start = max - n
+		}
+		return kind, []serve.Op{{Kind: serve.OpScan, Key: start, Count: uint32(n)}}
+	case tmtest.ReqTxn:
+		ops := make([]serve.Op, c.mix.TxnOps)
+		for i := range ops {
+			if rng.Intn(2) == 0 {
+				ops[i] = serve.Op{Kind: serve.OpGet, Key: key()}
+			} else {
+				ops[i] = serve.Op{Kind: serve.OpPut, Key: key(), Val: rng.Uint64() >> 1}
+			}
+		}
+		return kind, ops
+	default:
+		return tmtest.ReqPut, []serve.Op{{Kind: serve.OpPut, Key: key(), Val: rng.Uint64() >> 1}}
+	}
+}
+
+// fetchAlgo asks the server which TM system backs it ("unknown" when the
+// metrics endpoint is unreachable — the sweep proceeds, the dump label
+// degrades).
+func fetchAlgo(addr string) string {
+	d, err := fetchMetrics(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhload: warning: metrics fetch failed: %v\n", err)
+		return "unknown"
+	}
+	return d.Algo
+}
+
+func fetchMetrics(addr string) (*bench.ServeDump, error) {
+	resp, err := http.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return bench.ParseServeDump(data)
+}
+
+// fetchServeDump fetches the server's rhserve.v1 dump, schema-validates it,
+// and writes it to path.
+func fetchServeDump(addr, path string) {
+	resp, err := http.Get("http://" + addr + "/metrics?format=json")
+	if err != nil {
+		fatalf("dump fetch: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("dump fetch: %v", err)
+	}
+	if err := bench.ValidateDump(data); err != nil {
+		fatalf("server dump invalid: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("dump write: %v", err)
+	}
+	fmt.Printf("rhload: wrote validated %s dump to %s\n", bench.ServeSchemaVersion, path)
+}
+
+func writeJSONFile(path string, rec *bench.JSONRecorder) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("json write: %v", err)
+	}
+	defer f.Close()
+	if err := rec.WriteJSON(f); err != nil {
+		fatalf("json write: %v", err)
+	}
+	fmt.Printf("rhload: wrote %d points to %s\n", rec.Len(), path)
+}
+
+// gate compares this run against a baseline dump; reports true when the
+// gate passes.
+func gate(path string, rec *bench.JSONRecorder, normalize bool, tol float64) bool {
+	baseline, err := bench.LoadDump(path)
+	if err != nil {
+		fatalf("compare: %v", err)
+	}
+	deltas := bench.Compare(baseline, rec.Dump(), normalize)
+	bad := bench.Regressions(deltas, tol)
+	if len(bad) == 0 {
+		fmt.Printf("rhload: perf gate passed (%d baseline points, tolerance %.0f%%)\n",
+			len(deltas), tol*100)
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "rhload: perf gate FAILED (%d of %d points):\n", len(bad), len(deltas))
+	for _, d := range bad {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	return false
+}
+
+func parseFloats(csv, flagName string) []float64 {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			fatalf("bad %s value %q", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func targetStr(qps float64) string {
+	if qps <= 0 {
+		return "closed"
+	}
+	return fmt.Sprintf("%g", qps)
+}
+
+func durStr(ns uint64) string { return time.Duration(ns).Truncate(time.Microsecond).String() }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rhload: "+format+"\n", args...)
+	os.Exit(1)
+}

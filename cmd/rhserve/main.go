@@ -1,0 +1,99 @@
+// Command rhserve runs the network-facing transactional KV service: the
+// striped word arena behind a GET/PUT/CAS/SCAN/TXN surface, served over
+// HTTP/JSON and the length-prefixed binary protocol on one listener
+// (docs/SERVE.md is the operator manual).
+//
+// Usage:
+//
+//	rhserve                              # rh-norec, :7421, 64Ki keys
+//	rhserve -addr 127.0.0.1:0 -algo hybrid-norec -workers 8
+//	rhserve -policy adaptive -queue 128 -batch 32 -timeout 250ms
+//
+// Knobs: -addr listen address, -algo TM system (rhbench -experiment list
+// vocabulary), -keys KV slots, -workers sticky worker pool size (default:
+// simulated core count), -queue per-worker queue depth, -batch max requests
+// fused into one transaction, -timeout queued-request deadline, -retryafter
+// shed backoff hint, -policy static|backoff|adaptive contention management,
+// -stripes memory seqlock stripes, -sigbits write-signature bloom width,
+// -ringsize per-worker event-ring entries.
+//
+// Observability: GET /metrics is the human-readable counter page;
+// GET /metrics?format=json is the rhserve.v1 dump (docs/METRICS.md),
+// validated in CI by bench.ValidateDump and consumed by cmd/rhload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rhnorec/internal/htm"
+	"rhnorec/internal/serve"
+	"rhnorec/internal/tm"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7421", "listen address (host:port; port 0 picks one)")
+		algo       = flag.String("algo", "rh-norec", "TM algorithm backing the store")
+		keys       = flag.Int("keys", 1<<16, "number of KV slots")
+		workers    = flag.Int("workers", 0, "sticky worker pool size (0 = simulated core count)")
+		queue      = flag.Int("queue", 256, "per-worker queue depth")
+		batch      = flag.Int("batch", 16, "max requests fused into one transaction")
+		timeout    = flag.Duration("timeout", time.Second, "queued-request deadline")
+		retryAfter = flag.Duration("retryafter", time.Second, "shed backoff hint")
+		policy     = flag.String("policy", "", "contention policy: static|backoff|adaptive (default: tm default / RHNOREC_POLICY)")
+		stripes    = flag.Int("stripes", 0, "memory seqlock stripes (0 = default)")
+		sigbits    = flag.Int("sigbits", 0, "write-signature bloom width (0 = off)")
+		ringSize   = flag.Int("ringsize", 0, "per-worker event-ring entries (0 = off)")
+		cores      = flag.Int("cores", 0, "simulated HTM cores (0 = default)")
+	)
+	flag.Parse()
+
+	pol := tm.DefaultPolicy()
+	if *policy != "" {
+		kind, ok := tm.PolicyKindByName(*policy)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rhserve: unknown policy %q (want static|backoff|adaptive)\n", *policy)
+			os.Exit(2)
+		}
+		pol.Kind = kind
+	}
+	hcfg := htm.Config{}
+	if *cores > 0 {
+		hcfg.Cores = *cores
+	}
+	s, err := serve.New(serve.Config{
+		Algo:           *algo,
+		Keys:           *keys,
+		Stripes:        *stripes,
+		HTM:            hcfg,
+		Policy:         pol,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		BatchMax:       *batch,
+		RequestTimeout: *timeout,
+		RetryAfter:     *retryAfter,
+		RingSize:       *ringSize,
+		SigBits:        *sigbits,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhserve: %v\n", err)
+		os.Exit(1)
+	}
+	bound, err := s.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rhserve: %s on %s (%d keys, %d workers)\n", s.Algo(), bound, s.Keys(), s.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("rhserve: shutting down")
+	s.Close()
+}

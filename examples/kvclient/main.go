@@ -1,0 +1,84 @@
+// kvclient: a minimal TXN client for the rhserve KV service.
+//
+// It boots an in-process server (so the example is self-contained — point
+// -addr at a running rhserve to use it as a real client), then executes a
+// textbook atomic multi-key transfer over POST /txn: debit key 1, credit
+// key 2, read both back, all in one transaction. A concurrent reader using
+// GET /get with both keys can never observe the debit without the credit —
+// the TXN endpoint maps onto exactly one memory transaction.
+//
+//	go run ./examples/kvclient
+//	go run ./examples/kvclient -addr 127.0.0.1:7421
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"rhnorec/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "rhserve address (empty: boot an in-process server)")
+	flag.Parse()
+
+	if *addr == "" {
+		srv, err := serve.New(serve.Config{Algo: "rh-norec", Keys: 1 << 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		*addr = bound.String()
+		fmt.Printf("booted in-process %s server on %s\n", srv.Algo(), *addr)
+	}
+	base := "http://" + *addr
+
+	// Seed both accounts with 100 via /put.
+	for key := 1; key <= 2; key++ {
+		post(fmt.Sprintf("%s/put?key=%d&val=100", base, key))
+	}
+
+	// One atomic transfer: debit 1, credit 2, and read both back. The reads
+	// see the same transaction's writes, so the reply proves atomicity.
+	txn := map[string]any{"ops": []map[string]any{
+		{"op": "put", "key": 1, "val": 70},
+		{"op": "put", "key": 2, "val": 130},
+		{"op": "get", "key": 1},
+		{"op": "get", "key": 2},
+	}}
+	body, _ := json.Marshal(txn)
+	resp, err := http.Post(base+"/txn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Results []struct {
+			Val uint64 `json:"val"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transfer committed: balances now %d and %d (total %d)\n",
+		out.Results[2].Val, out.Results[3].Val, out.Results[2].Val+out.Results[3].Val)
+}
+
+func post(url string) {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: %s", url, resp.Status)
+	}
+}

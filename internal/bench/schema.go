@@ -8,16 +8,27 @@ import (
 	"rhnorec/internal/obs"
 )
 
-// ValidateDump checks an rhbench -json dump against the rhbench.v2 schema
-// documented in docs/METRICS.md: the versioned envelope, the required
-// per-point fields and their ranges, and — when a point carries an obs
-// snapshot — the phase/cause enum names and the internal consistency of
-// each histogram (bucket counts summing to the sample count, ordered
-// quantiles). Field-name drift is caught by decoding with unknown fields
-// disallowed, so the Go structs in this package stay the single source of
-// truth for the schema. CI runs this over a real dump (see the obs-smoke
-// job) so the documented schema and the emitted one cannot diverge.
+// ValidateDump checks a versioned JSON dump against its schema, dispatching
+// on the envelope's schema_version: rhbench.v2 dumps (rhbench -json) get the
+// benchmark-point rules below, rhserve.v1 dumps (the KV service's /metrics
+// snapshot, serve.go) get the service rules. For rhbench.v2 that means the
+// versioned envelope, the required per-point fields and their ranges, and —
+// when a point carries an obs snapshot — the phase/cause enum names and the
+// internal consistency of each histogram (bucket counts summing to the
+// sample count, ordered quantiles). Field-name drift is caught by decoding
+// with unknown fields disallowed, so the Go structs in this package stay
+// the single source of truth for both schemas. CI runs this over real dumps
+// (the obs-smoke and serve-smoke jobs) so the documented schemas and the
+// emitted ones cannot diverge.
 func ValidateDump(data []byte) error {
+	var probe struct {
+		SchemaVersion string `json:"schema_version"`
+	}
+	// A probe that does not parse falls through to the rhbench.v2 decoder,
+	// whose error names the expected format.
+	if err := json.Unmarshal(data, &probe); err == nil && probe.SchemaVersion == ServeSchemaVersion {
+		return validateServeDump(data)
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var dump JSONDump

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"rhnorec/internal/obs"
+)
+
+// The rhserve.v1 dump schema: the machine-readable form of the KV service's
+// /metrics surface (internal/serve, cmd/rhserve), consumed by cmd/rhload to
+// build the BENCH_5 service-level perf trajectory. It lives in this package
+// — next to the rhbench.v2 schema — so ValidateDump can check both formats
+// and the Go structs stay the single source of truth for docs/METRICS.md.
+// The versioning contract is the same as rhbench.v2's: additive optional
+// fields do not bump the version; renames and meaning changes do.
+
+// ServeSchemaVersion identifies the rhserve JSON dump format.
+const ServeSchemaVersion = "rhserve.v1"
+
+// ServeEndpointNames is the fixed endpoint vocabulary of the service: the
+// only labels a ServeEndpoint row may carry, in dump order.
+var ServeEndpointNames = []string{"get", "put", "cas", "scan", "txn"}
+
+// ServeDump is the versioned envelope of one rhserve metrics snapshot.
+type ServeDump struct {
+	// SchemaVersion is always ServeSchemaVersion ("rhserve.v1").
+	SchemaVersion string `json:"schema_version"`
+	// Algo is the TM algorithm backing the store (tm.System.Name).
+	Algo string `json:"algo"`
+	// Workers is the size of the sticky worker pool.
+	Workers int `json:"workers"`
+	// Keys is the number of KV slots mapped onto the word arena.
+	Keys int `json:"keys"`
+	// UptimeSec is the seconds since the server started.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Endpoints holds one row per endpoint that served at least one
+	// request, in ServeEndpointNames order.
+	Endpoints []ServeEndpoint `json:"endpoints"`
+	// Admission is the admission controller's shed ledger.
+	Admission ServeAdmission `json:"admission"`
+	// TM summarizes the merged per-worker transaction counters.
+	TM ServeTM `json:"tm"`
+	// Obs is the merged engine-level observability snapshot (phase latency
+	// histograms, abort taxonomy, policy and filter ledgers) of the worker
+	// threads — the same block an rhbench.v2 point embeds.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// ServeEndpoint is one endpoint's request ledger and latency distribution.
+type ServeEndpoint struct {
+	// Endpoint is the endpoint name (one of ServeEndpointNames).
+	Endpoint string `json:"endpoint"`
+	// Requests counts requests dequeued by a worker for this endpoint
+	// (admission sheds never reach a worker and are ledgered separately).
+	Requests uint64 `json:"requests"`
+	// Errors counts requests answered with an application error.
+	Errors uint64 `json:"errors"`
+	// Shed counts requests shed at dequeue time (deadline expired while
+	// queued) — the Retry-After path, not a failure.
+	Shed uint64 `json:"shed"`
+	// Fused counts requests executed inside a fused batch of two or more.
+	Fused uint64 `json:"fused"`
+	// Latency is the request service-latency distribution, measured from
+	// admission (enqueue) to reply, so it includes queueing delay.
+	Latency obs.LatencySummary `json:"latency"`
+}
+
+// ServeAdmission is the admission controller's ledger.
+type ServeAdmission struct {
+	// QueueShed counts requests shed because the sticky worker's queue was
+	// full at enqueue time.
+	QueueShed uint64 `json:"queue_shed"`
+	// SaturationShed counts requests shed because the contention window was
+	// saturated (slow-path writer load at or above the policy's
+	// ContentionWindow) while the worker queue was backlogged.
+	SaturationShed uint64 `json:"saturation_shed"`
+	// DeadlineShed counts requests shed at dequeue because their deadline
+	// expired while queued (also counted per endpoint in Endpoints.Shed).
+	DeadlineShed uint64 `json:"deadline_shed"`
+}
+
+// ServeTM summarizes the merged worker-thread TM counters: the service-level
+// view of the engine's tm.Stats.
+type ServeTM struct {
+	// Commits counts committed transactions across all workers.
+	Commits uint64 `json:"commits"`
+	// FastPathCommits/SlowPathCommits/SerialCommits split Commits by path.
+	FastPathCommits uint64 `json:"fast_path_commits"`
+	SlowPathCommits uint64 `json:"slow_path_commits"`
+	SerialCommits   uint64 `json:"serial_commits"`
+	// Fallbacks counts fast-path surrenders to the slow path.
+	Fallbacks uint64 `json:"fallbacks"`
+	// HTMAborts is the total hardware aborts of any kind.
+	HTMAborts uint64 `json:"htm_aborts"`
+	// STMRestarts counts software-path restarts.
+	STMRestarts uint64 `json:"stm_restarts"`
+	// AbortRate is HTMAborts/(HTMAborts+Commits): the fraction of hardware
+	// attempts that aborted (0 when idle).
+	AbortRate float64 `json:"abort_rate"`
+}
+
+// ParseServeDump decodes and schema-validates an rhserve.v1 dump.
+func ParseServeDump(data []byte) (*ServeDump, error) {
+	if err := validateServeDump(data); err != nil {
+		return nil, err
+	}
+	var d ServeDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// validateServeDump checks an rhserve.v1 dump: the versioned envelope, the
+// endpoint vocabulary and row consistency, ordered latency quantiles, and
+// the embedded obs snapshot (validated by the rhbench.v2 rules). Unknown
+// fields are rejected so the Go structs and the emitted schema cannot
+// diverge.
+func validateServeDump(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d ServeDump
+	if err := dec.Decode(&d); err != nil {
+		return fmt.Errorf("dump does not parse as %s: %w", ServeSchemaVersion, err)
+	}
+	if d.SchemaVersion != ServeSchemaVersion {
+		return fmt.Errorf("schema_version = %q, want %q", d.SchemaVersion, ServeSchemaVersion)
+	}
+	if d.Algo == "" {
+		return fmt.Errorf("empty algo")
+	}
+	if d.Workers < 1 {
+		return fmt.Errorf("workers = %d, want >= 1", d.Workers)
+	}
+	if d.Keys < 1 {
+		return fmt.Errorf("keys = %d, want >= 1", d.Keys)
+	}
+	if d.UptimeSec <= 0 {
+		return fmt.Errorf("uptime_sec = %g, want > 0", d.UptimeSec)
+	}
+	if d.Endpoints == nil {
+		return fmt.Errorf("endpoints is null, want an array")
+	}
+	known := make(map[string]bool, len(ServeEndpointNames))
+	for _, n := range ServeEndpointNames {
+		known[n] = true
+	}
+	seen := map[string]bool{}
+	for _, ep := range d.Endpoints {
+		if !known[ep.Endpoint] {
+			return fmt.Errorf("unknown endpoint %q", ep.Endpoint)
+		}
+		if seen[ep.Endpoint] {
+			return fmt.Errorf("duplicate endpoint %q", ep.Endpoint)
+		}
+		seen[ep.Endpoint] = true
+		if err := validateServeEndpoint(&ep); err != nil {
+			return fmt.Errorf("endpoint %s: %w", ep.Endpoint, err)
+		}
+	}
+	if d.Obs != nil {
+		if err := validateSnapshot(d.Obs); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	return nil
+}
+
+func validateServeEndpoint(ep *ServeEndpoint) error {
+	if ep.Requests == 0 {
+		return fmt.Errorf("zero requests (idle endpoints are omitted)")
+	}
+	if ep.Errors+ep.Shed > ep.Requests {
+		return fmt.Errorf("errors %d + shed %d exceed requests %d", ep.Errors, ep.Shed, ep.Requests)
+	}
+	if ep.Fused > ep.Requests {
+		return fmt.Errorf("fused %d exceeds requests %d", ep.Fused, ep.Requests)
+	}
+	l := &ep.Latency
+	if l.Count > ep.Requests {
+		return fmt.Errorf("latency count %d exceeds requests %d", l.Count, ep.Requests)
+	}
+	if l.MaxNS > l.SumNS {
+		return fmt.Errorf("max_ns %d > sum_ns %d", l.MaxNS, l.SumNS)
+	}
+	if l.P50NS > l.P90NS || l.P90NS > l.P99NS || l.P99NS > l.P999NS || l.P999NS > l.MaxNS {
+		return fmt.Errorf("quantiles not ordered (p50=%d p90=%d p99=%d p999=%d max=%d)",
+			l.P50NS, l.P90NS, l.P99NS, l.P999NS, l.MaxNS)
+	}
+	return nil
+}

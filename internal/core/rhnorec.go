@@ -119,6 +119,12 @@ func (s *System) Memory() *mem.Memory { return s.m }
 // Policy returns the effective retry policy (after defaulting).
 func (s *System) Policy() tm.RetryPolicy { return s.policy }
 
+// Engine returns the system's contention-management engine. The service
+// layer (internal/serve) reads its live slow-path occupancy as the
+// admission controller's saturation signal — the same contention-window
+// state the adaptive policy throttles fast-path entry on.
+func (s *System) Engine() *tm.Engine { return s.engine }
+
 // CombineRing returns the group-commit ring, or nil when combining is off —
 // a diagnostic handle for tests and benchmark instrumentation.
 func (s *System) CombineRing() *mem.CombineRing { return s.ring }

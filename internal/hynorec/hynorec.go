@@ -108,6 +108,10 @@ func NewVariant(m *mem.Memory, dev *htm.Device, policy tm.RetryPolicy, v Variant
 // a diagnostic handle for tests and benchmark instrumentation.
 func (s *System) CombineRing() *mem.CombineRing { return s.ring }
 
+// Engine returns the system's contention-management engine (the service
+// layer's admission-controller saturation signal; see core.System.Engine).
+func (s *System) Engine() *tm.Engine { return s.engine }
+
 // Name implements tm.System.
 func (s *System) Name() string {
 	if s.variant == Lazy {

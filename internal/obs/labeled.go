@@ -1,0 +1,126 @@
+package obs
+
+// Labeled recorders: a fixed label vocabulary (service endpoints, queue
+// classes, ...) with one latency Histogram and an outcome-counter block per
+// label. The service layer (internal/serve) records one row per endpoint —
+// GET/PUT/CAS/SCAN/TXN — so the `/metrics` surface and the rhserve.v1 dump
+// can report per-endpoint p50/p99/p999 next to the engine-level phase
+// histograms this package already keeps. Like Recorder, a LabeledHist
+// belongs to one goroutine; owners hand out Clones for merging (the same
+// drain-then-merge discipline tm.Stats.Add uses).
+
+// LatencySummary is the JSON rendering of one Histogram: the schema block
+// shared by the rhserve.v1 endpoint rows (docs/METRICS.md). All durations
+// are nanoseconds; quantiles resolve to power-of-two bucket midpoints
+// (≤ 50% relative error, capped by the exact MaxNS).
+type LatencySummary struct {
+	// Count is the number of samples.
+	Count uint64 `json:"count"`
+	// SumNS is the exact sum of all samples.
+	SumNS uint64 `json:"sum_ns"`
+	// MaxNS is the exact largest sample.
+	MaxNS uint64 `json:"max_ns"`
+	// P50NS/P90NS/P99NS/P999NS are quantile estimates.
+	P50NS  uint64 `json:"p50_ns"`
+	P90NS  uint64 `json:"p90_ns"`
+	P99NS  uint64 `json:"p99_ns"`
+	P999NS uint64 `json:"p999_ns"`
+}
+
+// Summary renders the histogram's latency block. An empty histogram yields
+// the zero summary.
+func (h *Histogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		SumNS:  h.Sum(),
+		MaxNS:  h.Max(),
+		P50NS:  h.Quantile(0.50),
+		P90NS:  h.Quantile(0.90),
+		P99NS:  h.Quantile(0.99),
+		P999NS: h.Quantile(0.999),
+	}
+}
+
+// LabeledRow is one label's snapshot: the label name plus its latency
+// summary. Field names are stable — the rhserve.v1 schema embeds them.
+type LabeledRow struct {
+	// Label is the row's label (e.g. an endpoint name).
+	Label string `json:"label"`
+	// Latency is the label's latency distribution.
+	Latency LatencySummary `json:"latency"`
+}
+
+// LabeledHist is a fixed set of labelled Histograms. The label vocabulary
+// is fixed at construction; Record indexes it by position, so the recording
+// path stays allocation-free and branch-light like the rest of the package.
+type LabeledHist struct {
+	labels []string
+	hists  []Histogram
+}
+
+// NewLabeledHist creates a labelled histogram set over the given label
+// vocabulary (order defines the Record indices).
+func NewLabeledHist(labels ...string) *LabeledHist {
+	return &LabeledHist{labels: labels, hists: make([]Histogram, len(labels))}
+}
+
+// Labels returns the label vocabulary (do not mutate).
+func (l *LabeledHist) Labels() []string { return l.labels }
+
+// Record adds one sample to label index i. Out-of-range indices are
+// dropped (mis-wired call sites must not corrupt neighbouring rows).
+func (l *LabeledHist) Record(i int, v uint64) {
+	if l == nil || i < 0 || i >= len(l.hists) {
+		return
+	}
+	l.hists[i].Record(v)
+}
+
+// Hist exposes label index i's histogram (nil when out of range).
+func (l *LabeledHist) Hist(i int) *Histogram {
+	if l == nil || i < 0 || i >= len(l.hists) {
+		return nil
+	}
+	return &l.hists[i]
+}
+
+// Merge accumulates o into l. The label vocabularies must match index for
+// index; rows beyond the shorter set are ignored.
+func (l *LabeledHist) Merge(o *LabeledHist) {
+	if l == nil || o == nil {
+		return
+	}
+	n := len(l.hists)
+	if len(o.hists) < n {
+		n = len(o.hists)
+	}
+	for i := 0; i < n; i++ {
+		l.hists[i].Merge(&o.hists[i])
+	}
+}
+
+// Clone returns an independent copy for cross-goroutine merging (the owner
+// keeps recording into the original).
+func (l *LabeledHist) Clone() *LabeledHist {
+	if l == nil {
+		return nil
+	}
+	c := &LabeledHist{labels: l.labels, hists: make([]Histogram, len(l.hists))}
+	copy(c.hists, l.hists)
+	return c
+}
+
+// Rows renders the non-empty labels in vocabulary order.
+func (l *LabeledHist) Rows() []LabeledRow {
+	out := []LabeledRow{}
+	if l == nil {
+		return out
+	}
+	for i := range l.hists {
+		if l.hists[i].Count() == 0 {
+			continue
+		}
+		out = append(out, LabeledRow{Label: l.labels[i], Latency: l.hists[i].Summary()})
+	}
+	return out
+}

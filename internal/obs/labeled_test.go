@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestLabeledHistRecordAndRows(t *testing.T) {
+	l := NewLabeledHist("get", "put", "cas")
+	for i := 0; i < 100; i++ {
+		l.Record(0, uint64(1000+i))
+	}
+	l.Record(2, 5)
+	l.Record(-1, 9) // out of range: dropped
+	l.Record(3, 9)  // out of range: dropped
+
+	rows := l.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (idle labels omitted)", len(rows))
+	}
+	if rows[0].Label != "get" || rows[1].Label != "cas" {
+		t.Fatalf("row labels = %q, %q", rows[0].Label, rows[1].Label)
+	}
+	g := rows[0].Latency
+	if g.Count != 100 || g.MaxNS != 1099 {
+		t.Fatalf("get summary = %+v", g)
+	}
+	if g.P50NS > g.P90NS || g.P90NS > g.P99NS || g.P99NS > g.P999NS || g.P999NS > g.MaxNS {
+		t.Fatalf("quantiles not ordered: %+v", g)
+	}
+}
+
+func TestLabeledHistMergeClone(t *testing.T) {
+	a := NewLabeledHist("x", "y")
+	b := NewLabeledHist("x", "y")
+	a.Record(0, 10)
+	b.Record(0, 20)
+	b.Record(1, 30)
+
+	c := b.Clone()
+	b.Record(0, 40) // the owner keeps recording; the clone must not move
+	if got := c.Hist(0).Count(); got != 1 {
+		t.Fatalf("clone count = %d, want 1 (isolated from later records)", got)
+	}
+
+	a.Merge(c)
+	if got := a.Hist(0).Count(); got != 2 {
+		t.Fatalf("merged x count = %d, want 2", got)
+	}
+	if got := a.Hist(1).Max(); got != 30 {
+		t.Fatalf("merged y max = %d, want 30", got)
+	}
+
+	// Nil-safety like the rest of the package.
+	var nilL *LabeledHist
+	nilL.Record(0, 1)
+	nilL.Merge(a)
+	if nilL.Clone() != nil || nilL.Hist(0) != nil || len(nilL.Rows()) != 0 {
+		t.Fatal("nil LabeledHist must be inert")
+	}
+}
+
+func TestRecorderCloneIsolation(t *testing.T) {
+	r := NewRecorder(Config{RingSize: 8})
+	r.RecordPhase(PhaseFast, 100)
+	r.RecordAbort(CauseConflict, 1, 5)
+
+	c := r.Clone()
+	if c.Ring() != nil {
+		t.Fatal("clone must drop the ring (rings are drained, not merged)")
+	}
+	r.RecordPhase(PhaseFast, 200)
+	if got := c.PhaseHist(PhaseFast).Count(); got != 1 {
+		t.Fatalf("clone phase count = %d, want 1 (isolated from later records)", got)
+	}
+	if got := c.AbortCount(CauseConflict); got != 1 {
+		t.Fatalf("clone abort count = %d, want 1", got)
+	}
+	if (*Recorder)(nil).Clone() != nil {
+		t.Fatal("nil Clone must stay nil")
+	}
+
+	// Clones feed merges: the snapshot path of a live service.
+	agg := NewRecorder(Config{})
+	agg.Merge(c)
+	if got := agg.AbortCount(CauseConflict); got != 1 {
+		t.Fatalf("merged abort count = %d, want 1", got)
+	}
+}

@@ -162,6 +162,25 @@ func (r *Recorder) Ring() *Ring {
 	return r.ring
 }
 
+// Clone returns an independent copy of the recorder's histograms and
+// counter ledgers for cross-goroutine merging, deliberately without the
+// event ring: rings are per-thread and are drained, not merged, and sharing
+// the ring pointer would race the owner's recording. A long-running service
+// (internal/serve) snapshots live workers this way — the owner keeps
+// recording into the original while the clone is merged elsewhere.
+func (r *Recorder) Clone() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{
+		phases:      r.phases,
+		abortCount:  r.abortCount,
+		abortRetry:  r.abortRetry,
+		policyCount: r.policyCount,
+		filterCount: r.filterCount,
+	}
+}
+
 // Merge accumulates o's histograms and taxonomy cells into r. Rings are
 // per-thread and are not merged — drain them individually. Merging a nil
 // o is a no-op; merging into a nil r panics (aggregate into a fresh

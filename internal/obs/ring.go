@@ -27,6 +27,14 @@ const (
 	// EventThrottle marks a fast-path entry delayed by the global
 	// contention window (Decision carries obs.DecisionThrottle).
 	EventThrottle
+	// EventFuse marks a service-layer batch fuse: two or more queued
+	// requests executed inside one fused transaction (internal/serve; Retry
+	// carries the batch size).
+	EventFuse
+	// EventShed marks a service-layer deadline shed: a queued request whose
+	// deadline expired before a worker dequeued it was answered with a
+	// retry-later instead of executing (internal/serve).
+	EventShed
 
 	numEventKinds
 )
@@ -39,6 +47,8 @@ var eventKindNames = [numEventKinds]string{
 	EventDemote:       "demote",
 	EventPromoteProbe: "promote-probe",
 	EventThrottle:     "throttle",
+	EventFuse:         "fuse",
+	EventShed:         "shed",
 }
 
 // String returns the stable schema name of the kind.

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// One listener, two protocols: the accept loop reads a connection's first
+// four bytes and demuxes on them — ProtoMagic selects the binary protocol,
+// anything else (an HTTP method's first bytes) is replayed in front of the
+// connection and handed to net/http. The split costs one extra read per
+// connection, not per request.
+
+// listener owns the TCP listener, the demux loop, the embedded HTTP server,
+// and the live binary sessions (so Close can cut blocked readers).
+type listener struct {
+	ln   net.Listener
+	srv  *http.Server
+	s    *Server
+	http chan net.Conn
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	down  bool
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0"), serving both protocols.
+// It returns the bound address; Close (on the Server) tears it down.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &listener{
+		ln:    nl,
+		s:     s,
+		http:  make(chan net.Conn),
+		conns: map[net.Conn]struct{}{},
+	}
+	l.srv = &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		nl.Close()
+		return nil, fmt.Errorf("serve: Start called twice")
+	}
+	s.ln = l
+	s.mu.Unlock()
+	go l.acceptLoop()
+	go l.srv.Serve((*httpListener)(l))
+	return nl.Addr(), nil
+}
+
+// Addr returns the listener's bound address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.ln.Addr()
+}
+
+func (l *listener) close() {
+	l.mu.Lock()
+	l.down = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	l.ln.Close()
+	l.srv.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// track registers a live connection; the returned func unregisters it.
+// Returns false when the listener is already down.
+func (l *listener) track(c net.Conn) (func(), bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return nil, false
+	}
+	l.conns[c] = struct{}{}
+	return func() {
+		l.mu.Lock()
+		delete(l.conns, c)
+		l.mu.Unlock()
+	}, true
+}
+
+func (l *listener) acceptLoop() {
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			close(l.http)
+			return
+		}
+		go l.demux(c)
+	}
+}
+
+// demux routes one fresh connection by its first four bytes.
+func (l *listener) demux(c net.Conn) {
+	untrack, ok := l.track(c)
+	if !ok {
+		c.Close()
+		return
+	}
+	var magic [4]byte
+	c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	if _, err := io.ReadFull(c, magic[:]); err != nil {
+		untrack()
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if string(magic[:]) == ProtoMagic {
+		defer untrack()
+		defer c.Close()
+		l.s.serveBinary(c)
+		return
+	}
+	// Not ours: replay the peeked bytes and hand the connection to net/http,
+	// which takes over its lifetime (the http.Server is Closed with us).
+	untrack()
+	select {
+	case l.http <- &prefixConn{Conn: c, prefix: magic[:]}:
+	case <-l.s.stop:
+		c.Close()
+	}
+}
+
+// httpListener adapts the demuxed HTTP connection stream to net.Listener.
+type httpListener listener
+
+func (hl *httpListener) Accept() (net.Conn, error) {
+	c, ok := <-hl.http
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return c, nil
+}
+
+func (hl *httpListener) Close() error   { return nil } // lifetime owned by listener.close
+func (hl *httpListener) Addr() net.Addr { return hl.ln.Addr() }
+
+// prefixConn replays already-read bytes before the live connection.
+type prefixConn struct {
+	net.Conn
+	prefix []byte
+}
+
+func (p *prefixConn) Read(b []byte) (int, error) {
+	if len(p.prefix) > 0 {
+		n := copy(b, p.prefix)
+		p.prefix = p.prefix[n:]
+		return n, nil
+	}
+	return p.Conn.Read(b)
+}
+
+// opcodeEndpoint maps a data opcode to its metrics endpoint.
+func opcodeEndpoint(opcode uint8) (Endpoint, bool) {
+	switch opcode {
+	case OpcodeGet:
+		return EpGet, true
+	case OpcodePut:
+		return EpPut, true
+	case OpcodeCas:
+		return EpCas, true
+	case OpcodeScan:
+		return EpScan, true
+	case OpcodeTxn:
+		return EpTxn, true
+	}
+	return 0, false
+}
+
+// serveBinary runs one binary-protocol session: frames are handled in
+// order, one at a time (a pipelining client gets its replies in request
+// order). The sticky identity starts as the remote address and is replaced
+// by the first Hello.
+func (s *Server) serveBinary(c net.Conn) {
+	var (
+		br       = bufio.NewReader(c)
+		bw       = bufio.NewWriter(c)
+		identity = c.RemoteAddr().String()
+		inBuf    []byte
+		outBuf   []byte
+	)
+	if host, _, err := net.SplitHostPort(identity); err == nil {
+		identity = host
+	}
+	for {
+		frame, err := ReadFrame(br, inBuf)
+		if err != nil {
+			return // EOF, cut connection, or framing violation: drop the session
+		}
+		inBuf = frame[:0]
+		resp := ProtoResponse{Status: StatusError}
+		req, err := ParseRequest(frame)
+		switch {
+		case err != nil:
+			resp.Status = StatusBadRequest
+			resp.Msg = err.Error()
+		case req.Opcode == OpcodeHello:
+			if req.Hello != "" {
+				identity = req.Hello
+			}
+			resp = ProtoResponse{Status: StatusOK, ReqID: req.ReqID, Results: []OpResult{}}
+		case req.Opcode == OpcodePing:
+			resp = ProtoResponse{Status: StatusPong, ReqID: req.ReqID}
+		default:
+			ep, ok := opcodeEndpoint(req.Opcode)
+			if !ok {
+				resp = ProtoResponse{Status: StatusBadRequest, ReqID: req.ReqID, Msg: "unknown opcode"}
+				break
+			}
+			res, err := s.Do(identity, ep, req.Ops)
+			resp = s.protoReply(req.ReqID, res, err)
+		}
+		if req != nil {
+			resp.ReqID = req.ReqID
+		}
+		outBuf = AppendResponse(outBuf[:0], &resp)
+		if err := WriteFrame(bw, outBuf); err != nil {
+			return
+		}
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// protoReply maps a Do outcome onto the response status vocabulary.
+func (s *Server) protoReply(reqID uint64, res []OpResult, err error) ProtoResponse {
+	switch {
+	case err == nil:
+		return ProtoResponse{Status: StatusOK, ReqID: reqID, Results: res}
+	case errors.Is(err, ErrShed):
+		ms := s.cfg.RetryAfter.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		return ProtoResponse{Status: StatusShed, ReqID: reqID, RetryAfterMS: uint32(ms)}
+	default:
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			return ProtoResponse{Status: StatusBadRequest, ReqID: reqID, Msg: reqErr.Error()}
+		}
+		return ProtoResponse{Status: StatusError, ReqID: reqID, Msg: err.Error()}
+	}
+}

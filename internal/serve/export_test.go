@@ -1,0 +1,13 @@
+package serve
+
+// SetTestBatchDelay installs a hook run by a worker between dequeuing a
+// request and batching it, so tests can hold a worker still while they
+// overfill its queue. Restore the returned previous hook when done.
+func SetTestBatchDelay(fn func()) (prev func()) {
+	prev = testBatchDelay
+	if fn == nil {
+		fn = func() {}
+	}
+	testBatchDelay = fn
+	return prev
+}

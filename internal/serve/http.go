@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The HTTP/JSON transport. Endpoints (docs/SERVE.md has the full operator
+// reference):
+//
+//	GET  /get?key=K[&key=K...]      multi-key transactional read
+//	POST /put?key=K&val=V           single-key write
+//	POST /cas?key=K&old=O&new=V     compare-and-swap
+//	GET  /scan?start=K&count=N      contiguous-range read
+//	POST /txn         {"ops":[...]} multi-op transaction
+//	GET  /metrics[?format=json]     text page or rhserve.v1 dump
+//	GET  /healthz                   liveness probe
+//
+// Clients pin their sticky worker with the X-RH-Client header; without it
+// the client IP (sans port) is the routing identity. Sheds answer 429 with
+// a Retry-After header (whole seconds, rounded up).
+
+// TxnRequest is the POST /txn body.
+type TxnRequest struct {
+	// Ops is the transaction's op list, executed atomically in order.
+	Ops []TxnOp `json:"ops"`
+}
+
+// TxnOp is one JSON op. Op selects the kind and which fields apply:
+// "get" (key), "put" (key, val), "cas" (key, old, new), "scan" (key, count).
+type TxnOp struct {
+	Op    string `json:"op"`
+	Key   uint64 `json:"key"`
+	Val   uint64 `json:"val,omitempty"`
+	Old   uint64 `json:"old,omitempty"`
+	New   uint64 `json:"new,omitempty"`
+	Count uint32 `json:"count,omitempty"`
+}
+
+// TxnResponse is the /txn (and /get, /put, /cas, /scan) reply body.
+type TxnResponse struct {
+	// Results holds one entry per request op, in op order.
+	Results []TxnResult `json:"results"`
+}
+
+// TxnResult is one op's outcome.
+type TxnResult struct {
+	// Val is the read/written/observed value (unset for scans).
+	Val uint64 `json:"val"`
+	// Vals holds a scan's values.
+	Vals []uint64 `json:"vals,omitempty"`
+	// Swapped reports whether a cas published its new value.
+	Swapped bool `json:"swapped,omitempty"`
+}
+
+// Handler returns the service's HTTP handler (also usable under httptest;
+// Start serves it together with the binary protocol on one listener).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", s.handleGet)
+	mux.HandleFunc("/put", s.handlePut)
+	mux.HandleFunc("/cas", s.handleCas)
+	mux.HandleFunc("/scan", s.handleScan)
+	mux.HandleFunc("/txn", s.handleTxn)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// clientID derives the sticky-routing identity of a request.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-RH-Client"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// respond runs ops through Do and writes the JSON reply (or the mapped
+// error status).
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, ep Endpoint, ops []Op) {
+	res, err := s.Do(clientID(r), ep, ops)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	out := TxnResponse{Results: make([]TxnResult, len(res))}
+	for i, or := range res {
+		out.Results[i] = TxnResult{Val: or.Val, Vals: or.Vals, Swapped: or.Swapped}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&out)
+}
+
+// writeErr maps a Do error onto the HTTP status vocabulary: shed → 429 +
+// Retry-After, client error → 400, shutdown → 503, anything else → 500.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	var reqErr *RequestError
+	switch {
+	case errors.Is(err, ErrShed):
+		secs := int(s.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "overloaded, retry later", http.StatusTooManyRequests)
+	case errors.As(err, &reqErr):
+		http.Error(w, reqErr.Error(), http.StatusBadRequest)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// queryU64 parses one named query parameter as a uint64.
+func queryU64(r *http.Request, name string) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing %q parameter", name)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q parameter: %v", name, err)
+	}
+	return n, nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	keys := r.URL.Query()["key"]
+	if len(keys) == 0 {
+		http.Error(w, "missing \"key\" parameter", http.StatusBadRequest)
+		return
+	}
+	ops := make([]Op, len(keys))
+	for i, ks := range keys {
+		k, err := strconv.ParseUint(ks, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad \"key\" parameter: %v", err), http.StatusBadRequest)
+			return
+		}
+		ops[i] = Op{Kind: OpGet, Key: k}
+	}
+	s.respond(w, r, EpGet, ops)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	key, err := queryU64(r, "key")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	val, err := queryU64(r, "val")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.respond(w, r, EpPut, []Op{{Kind: OpPut, Key: key, Val: val}})
+}
+
+func (s *Server) handleCas(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	key, err := queryU64(r, "key")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	old, err := queryU64(r, "old")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	nv, err := queryU64(r, "new")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.respond(w, r, EpCas, []Op{{Kind: OpCas, Key: key, Old: old, Val: nv}})
+}
+
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	start, err := queryU64(r, "start")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	count, err := queryU64(r, "count")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if count > maxScanCount {
+		http.Error(w, fmt.Sprintf("scan count %d exceeds limit %d", count, maxScanCount), http.StatusBadRequest)
+		return
+	}
+	s.respond(w, r, EpScan, []Op{{Kind: OpScan, Key: start, Count: uint32(count)}})
+}
+
+func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req TxnRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad txn body: %v", err), http.StatusBadRequest)
+		return
+	}
+	ops := make([]Op, len(req.Ops))
+	for i, jo := range req.Ops {
+		op, err := jo.toOp()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("op %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		ops[i] = op
+	}
+	s.respond(w, r, EpTxn, ops)
+}
+
+// toOp normalizes one JSON op.
+func (jo *TxnOp) toOp() (Op, error) {
+	switch strings.ToLower(jo.Op) {
+	case "get":
+		return Op{Kind: OpGet, Key: jo.Key}, nil
+	case "put":
+		return Op{Kind: OpPut, Key: jo.Key, Val: jo.Val}, nil
+	case "cas":
+		return Op{Kind: OpCas, Key: jo.Key, Old: jo.Old, Val: jo.New}, nil
+	case "scan":
+		return Op{Kind: OpScan, Key: jo.Key, Count: jo.Count}, nil
+	default:
+		return Op{}, fmt.Errorf("unknown op %q", jo.Op)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	d := s.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeMetricsText(w, d)
+}

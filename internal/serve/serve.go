@@ -1,0 +1,481 @@
+// Package serve is the network-facing transactional KV service layer: the
+// first layer of this repository that serves traffic instead of running
+// benchmarks (ROADMAP PR 7). It maps a
+// fixed key space onto the striped word arena (key k lives at one cache
+// line, so distinct keys conflict only through real stripe sharing), runs a
+// sticky pool of worker threads sized to htm.Config.Cores, fuses queued
+// requests into batched transactions, and admission-controls the request
+// stream off the contention-management engine's live slow-path occupancy —
+// the service-level analogue of the adaptive policy's contention window
+// (DESIGN.md §13, docs/SERVE.md).
+//
+// Request flow: a transport handler (HTTP JSON or the length-prefixed
+// binary protocol, both on one listener — see http.go and binary.go)
+// normalizes a request into ops, routes it to a worker by client-identity
+// hash (sticky, so one client's hot keys stay on one thread's stripe and
+// cache footprint), and waits. The worker dequeues, drains up to
+// Config.BatchMax-1 more queued requests, and executes the whole batch in
+// ONE transaction — single-key traffic coalesces into fused transactions
+// the way the flat-combining ring fuses slow-path commits, and a fused
+// batch is trivially atomic (it is one transaction). Read-only batches run
+// via RunReadOnly, keeping the fast paths' clock-free commit.
+//
+// Admission control (paper-level motivation: Brown & Ravi's
+// cost-of-concurrency analysis says the fast/slow path mix, not raw
+// throughput, is what saturates a HyTM): a request is shed with a
+// retry-later verdict when (1) its sticky worker's queue is full, (2) the
+// engine's contention window is saturated — at least ContentionWindow
+// threads on the slow path — while the worker is backlogged, or (3) its
+// deadline expired while queued. Sheds are ledgered per cause in the
+// rhserve.v1 dump (internal/bench) and surface as HTTP 429 + Retry-After.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"rhnorec/internal/bench"
+	"rhnorec/internal/htm"
+	"rhnorec/internal/mem"
+	"rhnorec/internal/obs"
+	"rhnorec/internal/tm"
+)
+
+// Endpoint identifies one service endpoint; the vocabulary matches
+// bench.ServeEndpointNames (the rhserve.v1 schema).
+type Endpoint uint8
+
+const (
+	// EpGet is multi-key transactional GET.
+	EpGet Endpoint = iota
+	// EpPut is single-key transactional PUT.
+	EpPut
+	// EpCas is compare-and-swap.
+	EpCas
+	// EpScan is a contiguous-range read.
+	EpScan
+	// EpTxn is the multi-op transactional batch endpoint.
+	EpTxn
+
+	numEndpoints
+)
+
+// String returns the endpoint's schema name.
+func (e Endpoint) String() string {
+	if int(e) < len(bench.ServeEndpointNames) {
+		return bench.ServeEndpointNames[e]
+	}
+	return "invalid"
+}
+
+// OpKind is one transactional sub-operation's kind.
+type OpKind uint8
+
+const (
+	// OpGet reads one key.
+	OpGet OpKind = iota + 1
+	// OpPut writes one key.
+	OpPut
+	// OpCas compares-and-swaps one key.
+	OpCas
+	// OpScan reads Count contiguous keys starting at Key.
+	OpScan
+)
+
+// Op is one normalized sub-operation of a request.
+type Op struct {
+	Kind OpKind
+	// Key is the target key (scan: the range start).
+	Key uint64
+	// Val is the value to write (put) or swap in (cas).
+	Val uint64
+	// Old is the expected value (cas only).
+	Old uint64
+	// Count is the range length (scan only).
+	Count uint32
+}
+
+// OpResult is one sub-operation's result.
+type OpResult struct {
+	// Val is the read value (get) or the value observed by a cas.
+	Val uint64
+	// Vals holds a scan's values.
+	Vals []uint64
+	// Swapped reports whether a cas published its new value.
+	Swapped bool
+}
+
+// Config parameterizes a Server. Zero fields take defaults.
+type Config struct {
+	// Algo names the backing TM system (bench.AlgoByName vocabulary;
+	// default "rh-norec").
+	Algo string
+	// Keys is the number of KV slots (default 1 << 16). Key k occupies its
+	// own cache line at arena offset k*mem.LineWords.
+	Keys int
+	// Stripes is the memory stripe count (0 = mem.DefaultStripes).
+	Stripes int
+	// HTM configures the simulated hardware (zero fields take Haswell-like
+	// defaults).
+	HTM htm.Config
+	// Policy tunes retries and contention management; zero fields take the
+	// paper's defaults. Its ContentionWindow doubles as the saturation-shed
+	// threshold (negative disables that shed).
+	Policy tm.RetryPolicy
+	// Workers sizes the sticky worker pool (default: the HTM core count —
+	// one transaction-running thread per simulated core).
+	Workers int
+	// QueueDepth bounds each worker's request queue (default 256); a full
+	// queue sheds at enqueue.
+	QueueDepth int
+	// BatchMax bounds how many queued requests one transaction fuses
+	// (default 16, minimum 1).
+	BatchMax int
+	// RequestTimeout sheds requests whose deadline expires while queued
+	// (default 1s).
+	RequestTimeout time.Duration
+	// RetryAfter is the client backpressure hint returned with a shed
+	// (default 1s; HTTP rounds up to whole seconds for the Retry-After
+	// header, the binary protocol carries milliseconds).
+	RetryAfter time.Duration
+	// RingSize, when > 0, attaches per-worker event rings (fuse/shed events
+	// next to the engine's begin/abort/commit stream).
+	RingSize int
+	// SigBits, when > 0, publishes write signatures of that bloom width on
+	// the memory and arms signature-filtered validation.
+	SigBits int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Algo == "" {
+		c.Algo = "rh-norec"
+	}
+	if c.Keys <= 0 {
+		c.Keys = 1 << 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.HTM.Cores
+		if c.Workers <= 0 {
+			c.Workers = htm.DefaultConfig().Cores
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// maxScanCount bounds one scan's range length.
+const maxScanCount = 4096
+
+// maxTxnOps bounds one TXN request's op count.
+const maxTxnOps = 128
+
+// engineHolder is the optional accessor hybrid systems implement; the
+// admission controller reads the engine's live slow-path occupancy.
+type engineHolder interface{ Engine() *tm.Engine }
+
+// RequestError is a client-side error (bad key, malformed op): HTTP 400.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+// reqErrf builds a RequestError.
+func reqErrf(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrShed is the admission controller's retry-later verdict: HTTP 429 with
+// a Retry-After hint.
+var ErrShed = fmt.Errorf("serve: overloaded, retry later")
+
+// ErrClosed reports a request caught in server shutdown.
+var ErrClosed = fmt.Errorf("serve: server closed")
+
+// request is one in-flight request envelope.
+type request struct {
+	ep       Endpoint
+	ops      []Op
+	readOnly bool
+	res      []OpResult
+	err      error
+	shed     bool
+	enq      int64 // obs.Now at admission
+	deadline int64 // obs.Now after which a queued request is shed
+	done     chan struct{}
+}
+
+// Server is one KV service instance: the memory, the TM system, and the
+// sticky worker pool. Construct with New, expose transports via Handler
+// (HTTP only, e.g. under httptest) or Start (the demuxed HTTP+binary
+// listener), and always Close.
+type Server struct {
+	cfg    Config
+	m      *mem.Memory
+	sys    tm.System
+	dev    *htm.Device
+	engine *tm.Engine
+	base   mem.Addr
+	start  time.Time
+
+	workers []*worker
+	stop    chan struct{}
+	once    sync.Once
+
+	admission admissionCounters
+
+	mu         sync.Mutex
+	finalSnaps []*workerSnap
+	ln         *listener
+}
+
+// New builds a Server: allocates the arena, constructs the TM system, and
+// starts the worker pool. The caller must Close it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	algo, ok := bench.AlgoByName(cfg.Algo)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown algo %q", cfg.Algo)
+	}
+	// Arena: one line per key, doubled so the allocator's size-class
+	// rounding (tcmalloc midpoint classes can round a small request up by
+	// 50%) can never exhaust it, plus fixed slack for the reserved nil line
+	// and the allocator's refill batching (a small-class refill carves up
+	// to 64 blocks at once — the TM system's global words must not starve
+	// the key arena).
+	words := 2*(cfg.Keys+1)*mem.LineWords + 8192
+	stripes := cfg.Stripes
+	if stripes <= 0 {
+		stripes = mem.DefaultStripes
+	}
+	m := mem.NewStriped(words, stripes)
+	if cfg.SigBits > 0 {
+		m.SetSignatureBits(cfg.SigBits)
+		cfg.HTM.SignatureFiltering = true
+	}
+	dev := htm.NewDevice(m, cfg.HTM)
+	dev.SetActiveThreads(cfg.Workers)
+	sys := algo.New(m, dev, cfg.Policy)
+
+	s := &Server{
+		cfg:        cfg,
+		m:          m,
+		sys:        sys,
+		dev:        dev,
+		base:       m.NewThreadCache().Alloc(cfg.Keys * mem.LineWords),
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+		finalSnaps: make([]*workerSnap, cfg.Workers),
+	}
+	if eh, ok := sys.(engineHolder); ok {
+		s.engine = eh.Engine()
+	}
+	s.workers = make([]*worker, cfg.Workers)
+	for i := range s.workers {
+		s.workers[i] = newWorker(s, i)
+	}
+	for _, w := range s.workers {
+		go w.loop()
+	}
+	return s, nil
+}
+
+// Algo reports the backing TM system's name.
+func (s *Server) Algo() string { return s.sys.Name() }
+
+// Keys reports the key-space size.
+func (s *Server) Keys() int { return s.cfg.Keys }
+
+// Workers reports the sticky worker pool size.
+func (s *Server) Workers() int { return len(s.workers) }
+
+// Close stops the workers and the listener (idempotent). In-flight and
+// queued requests are answered with ErrClosed.
+func (s *Server) Close() {
+	s.once.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.close()
+	}
+	for _, w := range s.workers {
+		<-w.done
+	}
+}
+
+// Events returns each worker's drained event ring, indexed by worker ID —
+// the last Config.RingSize events per worker, including the service-layer
+// fuse and shed kinds (docs/METRICS.md). Rings are drained, not merged, so
+// they surface only here, after Close; before Close (or with RingSize 0)
+// every slice is nil.
+func (s *Server) Events() [][]obs.Event {
+	out := make([][]obs.Event, len(s.workers))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, snap := range s.finalSnaps {
+		if snap != nil {
+			out[i] = snap.ring
+		}
+	}
+	return out
+}
+
+// addrOf maps a key onto its arena slot.
+func (s *Server) addrOf(key uint64) mem.Addr {
+	return s.base + mem.Addr(key*mem.LineWords)
+}
+
+// workerFor routes a client identity to its sticky worker (FNV-1a hash).
+func (s *Server) workerFor(client string) *worker {
+	h := fnv.New64a()
+	h.Write([]byte(client))
+	return s.workers[h.Sum64()%uint64(len(s.workers))]
+}
+
+// checkOps validates a request's ops against the key space and clamps.
+func (s *Server) checkOps(ops []Op) error {
+	if len(ops) == 0 {
+		return reqErrf("empty op list")
+	}
+	if len(ops) > maxTxnOps {
+		return reqErrf("%d ops exceed the per-request limit %d", len(ops), maxTxnOps)
+	}
+	n := uint64(s.cfg.Keys)
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpGet, OpPut, OpCas:
+			if op.Key >= n {
+				return reqErrf("key %d out of range [0,%d)", op.Key, n)
+			}
+		case OpScan:
+			if op.Count == 0 {
+				return reqErrf("scan count must be positive")
+			}
+			if op.Count > maxScanCount {
+				return reqErrf("scan count %d exceeds limit %d", op.Count, maxScanCount)
+			}
+			if op.Key >= n || uint64(op.Count) > n-op.Key {
+				return reqErrf("scan [%d,%d) out of range [0,%d)", op.Key, op.Key+uint64(op.Count), n)
+			}
+		default:
+			return reqErrf("invalid op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// readOnlyOps reports whether every op is a read.
+func readOnlyOps(ops []Op) bool {
+	for i := range ops {
+		if ops[i].Kind == OpPut || ops[i].Kind == OpCas {
+			return false
+		}
+	}
+	return true
+}
+
+// Do validates, admits, and executes one request on the client's sticky
+// worker, blocking until the reply. It returns the per-op results, ErrShed
+// (retry later), a *RequestError (client error), or ErrClosed.
+func (s *Server) Do(client string, ep Endpoint, ops []Op) ([]OpResult, error) {
+	if err := s.checkOps(ops); err != nil {
+		return nil, err
+	}
+	select {
+	case <-s.stop:
+		return nil, ErrClosed
+	default:
+	}
+	w := s.workerFor(client)
+	// Saturation shed: the engine's contention window is the adaptive
+	// policy's fast-path admission signal; at the service boundary the same
+	// signal sheds new work while this worker is already backlogged, so the
+	// convoy drains instead of growing.
+	if s.engine != nil {
+		if win := s.engine.Policy().ContentionWindow; win > 0 &&
+			s.engine.SlowPathLoad() >= win && w.backlog() >= s.cfg.QueueDepth/2 {
+			s.admission.saturationShed.Add(1)
+			return nil, ErrShed
+		}
+	}
+	now := obs.Now()
+	r := &request{
+		ep:       ep,
+		ops:      ops,
+		readOnly: readOnlyOps(ops),
+		res:      make([]OpResult, len(ops)),
+		enq:      now,
+		deadline: now + s.cfg.RequestTimeout.Nanoseconds(),
+		done:     make(chan struct{}),
+	}
+	select {
+	case w.q <- r:
+	default:
+		s.admission.queueShed.Add(1)
+		return nil, ErrShed
+	}
+	select {
+	case <-r.done:
+	case <-w.done:
+		// The worker exited (shutdown) without draining this request.
+		select {
+		case <-r.done:
+		default:
+			return nil, ErrClosed
+		}
+	}
+	if r.shed {
+		return nil, ErrShed
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.res, nil
+}
+
+// applyOps executes one request's ops against the transactional view,
+// overwriting res. It is re-executed from the top on every restart, so it
+// writes results idempotently and allocates nothing (the Vals slices are
+// pre-sized by Do).
+func (s *Server) applyOps(tx tm.Tx, ops []Op, res []OpResult) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpGet:
+			res[i] = OpResult{Val: tx.Load(s.addrOf(op.Key))}
+		case OpPut:
+			tx.Store(s.addrOf(op.Key), op.Val)
+			res[i] = OpResult{Val: op.Val}
+		case OpCas:
+			cur := tx.Load(s.addrOf(op.Key))
+			if cur == op.Old {
+				tx.Store(s.addrOf(op.Key), op.Val)
+				res[i] = OpResult{Val: op.Old, Swapped: true}
+			} else {
+				res[i] = OpResult{Val: cur}
+			}
+		case OpScan:
+			vals := res[i].Vals
+			if vals == nil {
+				vals = make([]uint64, op.Count)
+			}
+			for j := uint64(0); j < uint64(op.Count); j++ {
+				vals[j] = tx.Load(s.addrOf(op.Key + j))
+			}
+			res[i] = OpResult{Vals: vals}
+		}
+	}
+}

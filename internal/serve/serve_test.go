@@ -1,0 +1,445 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rhnorec/internal/bench"
+	"rhnorec/internal/obs"
+	"rhnorec/internal/serve"
+)
+
+// newTestServer boots a Server plus an httptest front end over its Handler.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(out)
+}
+
+// bgPost fires a request from a helper goroutine (no testing.T calls off
+// the test goroutine).
+func bgPost(url string) {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func decodeResults(t *testing.T, body string) []serve.TxnResult {
+	t.Helper()
+	var out serve.TxnResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad response body %q: %v", body, err)
+	}
+	return out.Results
+}
+
+func TestPutGetScan(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Keys: 128, Workers: 2})
+	if code, body := post(t, ts.URL+"/put?key=7&val=42", ""); code != 200 {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	code, body := get(t, ts.URL+"/get?key=7&key=8")
+	if code != 200 {
+		t.Fatalf("get: %d %s", code, body)
+	}
+	res := decodeResults(t, body)
+	if len(res) != 2 || res[0].Val != 42 || res[1].Val != 0 {
+		t.Fatalf("get results = %+v, want [42 0]", res)
+	}
+	code, body = get(t, ts.URL+"/scan?start=6&count=3")
+	if code != 200 {
+		t.Fatalf("scan: %d %s", code, body)
+	}
+	res = decodeResults(t, body)
+	if len(res) != 1 || len(res[0].Vals) != 3 || res[0].Vals[1] != 42 {
+		t.Fatalf("scan results = %+v, want middle value 42", res)
+	}
+}
+
+func TestCasSemantics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Keys: 128, Workers: 2})
+	post(t, ts.URL+"/put?key=3&val=10", "")
+
+	// Matching old value: swaps, reports the observed (old) value.
+	code, body := post(t, ts.URL+"/cas?key=3&old=10&new=11", "")
+	if code != 200 {
+		t.Fatalf("cas: %d %s", code, body)
+	}
+	res := decodeResults(t, body)
+	if !res[0].Swapped || res[0].Val != 10 {
+		t.Fatalf("successful cas = %+v, want swapped with val 10", res[0])
+	}
+
+	// Stale old value: no swap, reports the current value.
+	code, body = post(t, ts.URL+"/cas?key=3&old=10&new=99", "")
+	if code != 200 {
+		t.Fatalf("cas: %d %s", code, body)
+	}
+	res = decodeResults(t, body)
+	if res[0].Swapped || res[0].Val != 11 {
+		t.Fatalf("failed cas = %+v, want unswapped with val 11", res[0])
+	}
+	code, body = get(t, ts.URL+"/get?key=3")
+	if res = decodeResults(t, body); code != 200 || res[0].Val != 11 {
+		t.Fatalf("after failed cas key=3 is %+v, want 11", res)
+	}
+}
+
+// TestTxnAtomicityUnderConcurrentReaders is the endpoint-level opacity
+// check: writers move value between two keys inside /txn transactions while
+// readers watch both keys through multi-key /get; every read must see the
+// moved total conserved.
+func TestTxnAtomicityUnderConcurrentReaders(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Keys: 16, Workers: 4, BatchMax: 4})
+	post(t, ts.URL+"/put?key=0&val=1000", "")
+	post(t, ts.URL+"/put?key=1&val=1000", "")
+
+	var (
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		badReads atomic.Int64
+	)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := ts.Client()
+			for i := 1; !stop.Load(); i++ {
+				d := i % 97
+				body := fmt.Sprintf(
+					`{"ops":[{"op":"get","key":0},{"op":"get","key":1},{"op":"put","key":0,"val":%d},{"op":"put","key":1,"val":%d}]}`,
+					1000-d, 1000+d)
+				req, _ := http.NewRequest(http.MethodPost, ts.URL+"/txn", strings.NewReader(body))
+				req.Header.Set("X-RH-Client", fmt.Sprintf("writer-%d", w))
+				resp, err := cl.Do(req)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cl := ts.Client()
+			for !stop.Load() {
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+"/get?key=0&key=1", nil)
+				req.Header.Set("X-RH-Client", fmt.Sprintf("reader-%d", r))
+				resp, err := cl.Do(req)
+				if err != nil {
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					continue
+				}
+				var out serve.TxnResponse
+				if json.Unmarshal(body, &out) != nil || len(out.Results) != 2 {
+					badReads.Add(1)
+					continue
+				}
+				if sum := out.Results[0].Val + out.Results[1].Val; sum != 2000 {
+					badReads.Add(1)
+				}
+			}
+		}(r)
+	}
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if n := badReads.Load(); n != 0 {
+		t.Fatalf("%d reads observed a torn transfer (atomicity violation)", n)
+	}
+}
+
+// TestAdmissionShed429 overfills a single stalled worker's depth-1 queue
+// and expects the overflow request to bounce with 429 + Retry-After.
+func TestAdmissionShed429(t *testing.T) {
+	release := make(chan struct{})
+	var stalled sync.Once
+	entered := make(chan struct{})
+	prev := serve.SetTestBatchDelay(func() {
+		stalled.Do(func() { close(entered) })
+		<-release
+	})
+	defer serve.SetTestBatchDelay(prev)
+
+	_, ts := newTestServer(t, serve.Config{
+		Keys: 16, Workers: 1, QueueDepth: 1,
+		RequestTimeout: time.Minute, RetryAfter: 3 * time.Second,
+	})
+	defer close(release)
+
+	// First request occupies the worker (stalled in the batch hook). Then
+	// probe with a short client timeout: the first probe occupies the
+	// depth-1 queue and times out client-side (the request stays queued
+	// server-side), so a following probe must bounce with 429. Every
+	// request shares one source IP → one sticky worker.
+	go bgPost(ts.URL + "/put?key=1&val=1")
+	<-entered
+	probe := &http.Client{Timeout: 100 * time.Millisecond}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no shed observed before deadline")
+		}
+		resp, err := probe.Post(ts.URL+"/put?key=3&val=3", "", nil)
+		if err != nil {
+			continue // client timeout: this probe is now parked in the queue
+		}
+		code := resp.StatusCode
+		ra := resp.Header.Get("Retry-After")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusTooManyRequests {
+			if ra != "3" {
+				t.Fatalf("Retry-After = %q, want \"3\"", ra)
+			}
+			return
+		}
+	}
+}
+
+// TestDeadlineShed queues a request behind a stalled worker with a tiny
+// RequestTimeout: by dequeue time its deadline has passed, so it is shed
+// (the dequeue-time tier of the admission controller).
+func TestDeadlineShed(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	prev := serve.SetTestBatchDelay(func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	})
+	defer serve.SetTestBatchDelay(prev)
+
+	s, ts := newTestServer(t, serve.Config{
+		Keys: 16, Workers: 1, QueueDepth: 4,
+		RequestTimeout: 20 * time.Millisecond,
+	})
+
+	go bgPost(ts.URL + "/put?key=1&val=1")
+	<-entered
+
+	resCh := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/put?key=2&val=2", "", nil)
+		if err != nil {
+			resCh <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resCh <- resp.StatusCode
+	}()
+	time.Sleep(60 * time.Millisecond) // let the queued request's deadline lapse
+	close(release)
+	if code := <-resCh; code != http.StatusTooManyRequests {
+		t.Fatalf("deadline-expired request got %d, want 429", code)
+	}
+	d := s.Snapshot()
+	if d.Admission.DeadlineShed == 0 {
+		t.Fatalf("admission.deadline_shed = 0, want > 0 (dump: %+v)", d.Admission)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Keys: 64, Workers: 1})
+	cases := []struct {
+		method, path string
+	}{
+		{"POST", "/put?key=64&val=1"},        // key out of range
+		{"POST", "/put?key=1"},               // missing val
+		{"GET", "/get"},                      // missing key
+		{"GET", "/scan?start=60&count=10"},   // range past end
+		{"GET", "/scan?start=0&count=0"},     // zero count
+		{"GET", "/scan?start=0&count=99999"}, // over scan limit
+		{"POST", "/txn"},                     // empty body
+	}
+	for _, c := range cases {
+		var code int
+		if c.method == "GET" {
+			code, _ = get(t, ts.URL+c.path)
+		} else {
+			code, _ = post(t, ts.URL+c.path, "")
+		}
+		if code != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400", c.method, c.path, code)
+		}
+	}
+	if code, _ := post(t, ts.URL+"/txn", `{"ops":[{"op":"frob","key":1}]}`); code != 400 {
+		t.Errorf("unknown op: status %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/put?key=1&val=1"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /put: status %d, want 405", code)
+	}
+}
+
+// TestMetricsDump drives traffic over several endpoints, then checks that
+// the JSON form of /metrics passes the rhserve.v1 schema validator, labels
+// every driven endpoint, and counts the traffic.
+func TestMetricsDump(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Keys: 128, Workers: 2, RingSize: 64})
+	post(t, ts.URL+"/put?key=1&val=5", "")
+	get(t, ts.URL+"/get?key=1")
+	post(t, ts.URL+"/cas?key=1&old=5&new=6", "")
+	get(t, ts.URL+"/scan?start=0&count=8")
+	post(t, ts.URL+"/txn", `{"ops":[{"op":"get","key":1},{"op":"put","key":2,"val":9}]}`)
+
+	code, body := get(t, ts.URL+"/metrics?format=json")
+	if code != 200 {
+		t.Fatalf("metrics: %d %s", code, body)
+	}
+	if err := bench.ValidateDump([]byte(body)); err != nil {
+		t.Fatalf("rhserve.v1 dump invalid: %v\n%s", err, body)
+	}
+	d, err := bench.ParseServeDump([]byte(body))
+	if err != nil {
+		t.Fatalf("ParseServeDump: %v", err)
+	}
+	want := map[string]bool{"get": true, "put": true, "cas": true, "scan": true, "txn": true}
+	for _, ep := range d.Endpoints {
+		delete(want, ep.Endpoint)
+		if ep.Requests == 0 || ep.Latency.Count == 0 {
+			t.Errorf("endpoint %s: empty ledger %+v", ep.Endpoint, ep)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("endpoints missing from dump: %v", want)
+	}
+	if d.TM.Commits == 0 {
+		t.Errorf("tm.commits = 0, want > 0")
+	}
+
+	// The text form renders the same data.
+	code, text := get(t, ts.URL+"/metrics")
+	if code != 200 || !strings.Contains(text, "endpoint") || !strings.Contains(text, "admission:") {
+		t.Errorf("text metrics missing expected sections:\n%s", text)
+	}
+}
+
+// TestSnapshotAfterClose verifies Close stores final worker snapshots so
+// late metrics reads still see the full ledger.
+func TestSnapshotAfterClose(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{Keys: 16, Workers: 2})
+	post(t, ts.URL+"/put?key=1&val=1", "")
+	s.Close()
+	d := s.Snapshot()
+	var total uint64
+	for _, ep := range d.Endpoints {
+		total += ep.Requests
+	}
+	if total == 0 {
+		t.Fatalf("post-Close snapshot lost the request ledger: %+v", d.Endpoints)
+	}
+	b, _ := json.Marshal(d)
+	if err := bench.ValidateDump(bytes.TrimSpace(b)); err != nil {
+		t.Fatalf("post-Close dump invalid: %v", err)
+	}
+}
+
+// TestFusedBatchRingEvents forces two requests to fuse into one
+// transaction (the worker is stalled while both enqueue) and checks the
+// drained post-Close rings carry a fuse event whose retry field is the
+// batch size.
+func TestFusedBatchRingEvents(t *testing.T) {
+	s, err := serve.New(serve.Config{Keys: 16, Workers: 1, RingSize: 64})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	restore := serve.SetTestBatchDelay(func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	})
+	defer restore()
+
+	var wg sync.WaitGroup
+	do := func(key uint64) {
+		defer wg.Done()
+		if _, err := s.Do("one-client", serve.EpPut, []serve.Op{{Kind: serve.OpPut, Key: key, Val: key}}); err != nil {
+			t.Errorf("Do(%d): %v", key, err)
+		}
+	}
+	// The first request enters the worker and stalls in the hook; the next
+	// two land in the queue meanwhile, so the drain fuses all three.
+	wg.Add(1)
+	go do(1)
+	<-entered
+	wg.Add(2)
+	go do(2)
+	go do(3)
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if events := s.Events(); events[0] != nil {
+		t.Fatal("Events must be nil before Close (rings drain only once)")
+	}
+	s.Close()
+	var fuse *obs.Event
+	for _, ring := range s.Events() {
+		for i, ev := range ring {
+			if ev.Kind == obs.EventFuse {
+				fuse = &ring[i]
+			}
+		}
+	}
+	if fuse == nil {
+		t.Fatal("no fuse event in the drained rings")
+	}
+	if fuse.Retry < 2 {
+		t.Fatalf("fuse event batch size = %d, want >= 2", fuse.Retry)
+	}
+}

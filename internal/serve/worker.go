@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"rhnorec/internal/obs"
+	"rhnorec/internal/tm"
+)
+
+// admissionCounters ledgers the three shed causes (rhserve.v1 "admission").
+type admissionCounters struct {
+	queueShed      atomic.Uint64 // sticky worker's queue was full at enqueue
+	saturationShed atomic.Uint64 // engine contention window saturated + backlog
+	deadlineShed   atomic.Uint64 // deadline expired while queued
+}
+
+// endpointCounters is one worker's per-endpoint request ledger. Worker-
+// goroutine-owned; published only inside workerSnap copies.
+type endpointCounters struct {
+	requests uint64
+	errors   uint64
+	shed     uint64 // deadline sheds (enqueue-time sheds never reach a worker)
+	fused    uint64 // requests that shared a fused transaction with others
+}
+
+// workerSnap is one worker's state copied out over the ctl channel (or
+// stored at exit): a value copy of the tm counters, clones of the
+// observability state, and the endpoint ledger. Everything in it is owned
+// by the receiver.
+type workerSnap struct {
+	stats tm.Stats
+	rec   *obs.Recorder
+	lat   *obs.LabeledHist
+	eps   [numEndpoints]endpointCounters
+	ring  []obs.Event // drained only in the final (exit-time) snapshot
+}
+
+// worker is one sticky service thread: a queue, a TM thread, and the
+// thread-owned metrics. All fields below q/ctl/done are owned by the worker
+// goroutine; other goroutines reach them only via ctl-channel snapshots, so
+// the hot path takes no locks and the single-goroutine Thread/Stats/Recorder
+// contract holds.
+type worker struct {
+	s    *Server
+	id   int
+	q    chan *request
+	ctl  chan chan *workerSnap
+	done chan struct{}
+
+	th    tm.Thread
+	rec   *obs.Recorder
+	lat   *obs.LabeledHist
+	eps   [numEndpoints]endpointCounters
+	batch []*request
+}
+
+func newWorker(s *Server, id int) *worker {
+	return &worker{
+		s:     s,
+		id:    id,
+		q:     make(chan *request, s.cfg.QueueDepth),
+		ctl:   make(chan chan *workerSnap),
+		done:  make(chan struct{}),
+		batch: make([]*request, 0, s.cfg.BatchMax),
+	}
+}
+
+// backlog reports the worker's current queue length (admission signal).
+func (w *worker) backlog() int { return len(w.q) }
+
+// snapshot requests a live state copy from the worker goroutine. It returns
+// the stored final snapshot if the worker has exited.
+func (w *worker) snapshot() *workerSnap {
+	reply := make(chan *workerSnap, 1)
+	select {
+	case w.ctl <- reply:
+		select {
+		case snap := <-reply:
+			return snap
+		case <-w.done:
+		}
+	case <-w.done:
+	}
+	w.s.mu.Lock()
+	defer w.s.mu.Unlock()
+	return w.s.finalSnaps[w.id]
+}
+
+// makeSnap copies the worker-owned state (worker goroutine only).
+func (w *worker) makeSnap(final bool) *workerSnap {
+	snap := &workerSnap{
+		stats: *w.th.Stats(),
+		rec:   w.rec.Clone(),
+		lat:   w.lat.Clone(),
+		eps:   w.eps,
+	}
+	snap.stats.Obs = nil // cloned above; the live pointer stays worker-owned
+	if final {
+		if ring := w.rec.Ring(); ring != nil {
+			snap.ring = ring.Events()
+		}
+	}
+	return snap
+}
+
+// loop is the worker goroutine: dequeue, fuse, execute, reply. The TM
+// thread is created here so its whole lifetime stays on one goroutine.
+func (w *worker) loop() {
+	w.th = w.s.sys.NewThread()
+	w.rec = obs.NewRecorder(obs.Config{RingSize: w.s.cfg.RingSize})
+	w.th.Stats().Obs = w.rec
+	w.lat = obs.NewLabeledHist(endpointLabels()...)
+	defer func() {
+		snap := w.makeSnap(true)
+		w.th.Close()
+		w.s.mu.Lock()
+		w.s.finalSnaps[w.id] = snap
+		w.s.mu.Unlock()
+		close(w.done)
+	}()
+	for {
+		select {
+		case <-w.s.stop:
+			w.drainClosed()
+			return
+		case reply := <-w.ctl:
+			reply <- w.makeSnap(false)
+		case r := <-w.q:
+			w.serve(r)
+		}
+	}
+}
+
+// drainClosed answers everything still queued with ErrClosed (shutdown).
+func (w *worker) drainClosed() {
+	for {
+		select {
+		case r := <-w.q:
+			r.err = ErrClosed
+			close(r.done)
+		default:
+			return
+		}
+	}
+}
+
+// serve executes r plus everything else already queued, fused into one
+// transaction (up to BatchMax requests). A fused batch is trivially atomic —
+// it IS one transaction — and a batch of pure reads keeps the read-only
+// fast path. Deadline-expired requests are shed at dequeue: by the time a
+// backlogged worker reaches them the client has typically given up, and
+// executing them anyway is work the admission controller exists to avoid.
+func (w *worker) serve(first *request) {
+	testBatchDelay()
+	now := obs.Now()
+	batch := w.admit(w.batch[:0], first, now)
+	for len(batch) < w.s.cfg.BatchMax {
+		select {
+		case r := <-w.q:
+			batch = w.admit(batch, r, now)
+		default:
+			goto drained
+		}
+	}
+drained:
+	if len(batch) == 0 {
+		return
+	}
+	readOnly := true
+	for _, r := range batch {
+		if !r.readOnly {
+			readOnly = false
+			break
+		}
+	}
+	run := w.th.Run
+	if readOnly {
+		run = w.th.RunReadOnly
+	}
+	err := run(func(tx tm.Tx) error {
+		// Re-executed from the top on every restart; applyOps overwrites
+		// results idempotently.
+		for _, r := range batch {
+			w.s.applyOps(tx, r.ops, r.res)
+		}
+		return nil
+	})
+	fused := len(batch) > 1
+	if fused {
+		if ring := w.rec.Ring(); ring != nil {
+			ring.Record(obs.Event{T: w.s.m.Clock(), Kind: obs.EventFuse, Retry: uint16(min(len(batch), 1<<16-1))})
+		}
+	}
+	done := obs.Now()
+	for _, r := range batch {
+		w.eps[r.ep].requests++
+		if fused {
+			w.eps[r.ep].fused++
+		}
+		if err != nil {
+			w.eps[r.ep].errors++
+			r.err = err
+		}
+		w.lat.Record(int(r.ep), uint64(done-r.enq))
+		close(r.done)
+	}
+	w.batch = batch[:0]
+}
+
+// admit appends r to the batch, or sheds it if its deadline expired while
+// queued.
+func (w *worker) admit(batch []*request, r *request, now int64) []*request {
+	if now > r.deadline {
+		w.s.admission.deadlineShed.Add(1)
+		w.eps[r.ep].requests++
+		w.eps[r.ep].shed++
+		r.shed = true
+		if ring := w.rec.Ring(); ring != nil {
+			ring.Record(obs.Event{T: w.s.m.Clock(), Kind: obs.EventShed})
+		}
+		close(r.done)
+		return batch
+	}
+	return append(batch, r)
+}
+
+// endpointLabels returns the rhserve.v1 endpoint vocabulary for the
+// latency LabeledHist.
+func endpointLabels() []string {
+	labels := make([]string, numEndpoints)
+	for e := Endpoint(0); e < numEndpoints; e++ {
+		labels[e] = e.String()
+	}
+	return labels
+}
+
+// testBatchDelay is a test seam: the shed tests stall the worker between
+// dequeue and batching so queued requests verifiably expire. No-op in
+// production.
+var testBatchDelay = func() {}
