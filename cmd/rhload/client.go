@@ -164,6 +164,7 @@ type binClient struct {
 	reqID uint64
 	buf   []byte
 	inBuf []byte
+	resp  serve.ProtoResponse // recycled pipelined-reply decode target
 }
 
 func newBinClient(addr, identity string) (*binClient, error) {
@@ -227,4 +228,58 @@ func (c *binClient) do(kind tmtest.ReqKind, ops []serve.Op) ([]serve.OpResult, e
 	default:
 		return nil, fmt.Errorf("status %d: %s", resp.Status, resp.Msg)
 	}
+}
+
+// binOutcome is one pipelined request's verdict.
+type binOutcome struct {
+	shed       bool
+	retryAfter time.Duration
+	err        error
+}
+
+// doBatch pipelines len(kinds) requests on the wire: all frames written
+// through one flush, then all replies read in order (the server guarantees
+// frame-order replies). out[i] is request i's verdict; a non-nil return is
+// a transport failure and the connection is dead. The reply decode reuses
+// one recycled ProtoResponse (ParseResponseInto), so a steady-state batch
+// allocates only in AppendRequest's op marshaling.
+func (c *binClient) doBatch(kinds []tmtest.ReqKind, opss [][]serve.Op, out []binOutcome) error {
+	firstID := c.reqID + 1
+	for i := range kinds {
+		c.reqID++
+		req := serve.ProtoRequest{Opcode: reqKindOpcode[kinds[i]], ReqID: c.reqID, Ops: opss[i]}
+		payload, err := serve.AppendRequest(c.buf[:0], &req)
+		if err != nil {
+			return err
+		}
+		c.buf = payload[:0]
+		if err := serve.WriteFrame(c.bw, payload); err != nil {
+			return err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	for i := range kinds {
+		frame, err := serve.ReadFrame(c.br, c.inBuf)
+		if err != nil {
+			return err
+		}
+		c.inBuf = frame[:0]
+		if err := serve.ParseResponseInto(frame, &c.resp); err != nil {
+			return err
+		}
+		if want := firstID + uint64(i); c.resp.ReqID != want {
+			return fmt.Errorf("response for req %d, want %d", c.resp.ReqID, want)
+		}
+		switch c.resp.Status {
+		case serve.StatusOK:
+			out[i] = binOutcome{}
+		case serve.StatusShed:
+			out[i] = binOutcome{shed: true, retryAfter: time.Duration(c.resp.RetryAfterMS) * time.Millisecond}
+		default:
+			out[i] = binOutcome{err: fmt.Errorf("status %d: %s", c.resp.Status, c.resp.Msg)}
+		}
+	}
+	return nil
 }

@@ -17,7 +17,11 @@
 // return), -duration per cell, -zipf CSV of skew exponents, -readmix CSV of
 // GET fractions, -casfrac/-scanfrac/-txnfrac the other endpoint fractions
 // (remainder PUT), -txnops/-scancount batch shapes, -keys key-space size,
-// -seed deterministic generator seed.
+// -seed deterministic generator seed, -pipeline CSV of in-flight depths per
+// connection (binary only: N frames written through one flush, N replies
+// read back — the wire shape the server coalesces into fused batches;
+// depth-1 cells keep their BENCH_5-era names, deeper cells append /pN).
+// Profiling: -cpuprofile/-memprofile write generator-side pprof profiles.
 //
 // Shed handling: a 429/StatusShed reply is not an error — the connection
 // backs off the server's Retry-After hint and resumes; sheds are reported
@@ -39,6 +43,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -66,6 +72,9 @@ func main() {
 		scanCount = flag.Int("scancount", 16, "keys per generated SCAN")
 		keys      = flag.Int("keys", 1<<16, "key-space size (must be <= the server's -keys)")
 		seed      = flag.Int64("seed", 1, "generator seed")
+		pipeCSV   = flag.String("pipeline", "1", "CSV of pipeline depths per cell (binary only; N>1 keeps N requests in flight per connection)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the generator to FILE")
+		memProf   = flag.String("memprofile", "", "write a post-run heap profile of the generator to FILE")
 		jsonPath  = flag.String("json", "", "write cells as an rhbench.v2 dump to FILE")
 		dumpPath  = flag.String("dump", "", "fetch, validate, and write the server's rhserve.v1 dump to FILE")
 		cmpPath   = flag.String("compare", "", "gate against a baseline rhbench.v2 dump")
@@ -81,6 +90,22 @@ func main() {
 	qpsList := parseFloats(*qpsCSV, "-qps")
 	zipfList := parseFloats(*zipfCSV, "-zipf")
 	mixList := parseFloats(*mixCSV, "-readmix")
+	pipeList := parseInts(*pipeCSV, "-pipeline")
+	for _, p := range pipeList {
+		if p > 1 && *proto != "binary" {
+			fatalf("-pipeline %d requires -proto binary (HTTP has no frame pipelining)", p)
+		}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+	}
 
 	rec := &bench.JSONRecorder{}
 	var totalErrs uint64
@@ -97,24 +122,32 @@ func main() {
 				TxnOps: *txnOps, ScanCount: *scanCount,
 			}.WithDefaults()
 			for _, qps := range qpsList {
-				cell := cellConfig{
-					addr: *addr, proto: *proto, conns: *conns, qps: qps,
-					duration: *duration, zipf: zipf, mix: mix, seed: *seed,
+				for _, depth := range pipeList {
+					cell := cellConfig{
+						addr: *addr, proto: *proto, conns: *conns, qps: qps,
+						duration: *duration, zipf: zipf, mix: mix, seed: *seed,
+						pipeline: depth,
+					}
+					res := runCell(cell)
+					totalErrs += res.errors
+					// Depth 1 keeps the BENCH_5-era cell name, so old baselines
+					// still match; deeper cells get a /pN segment.
+					name := fmt.Sprintf("serve/%s/z%.2f/r%.2f/q%g", *proto, skew, readMix, qps)
+					if depth > 1 {
+						name += fmt.Sprintf("/p%d", depth)
+					}
+					fmt.Printf("%-30s %10s %10.0f %8d %8d %10s %10s %10s\n",
+						name, targetStr(qps), res.achieved, res.sheds, res.errors,
+						durStr(res.lat.Quantile(0.50)), durStr(res.lat.Quantile(0.99)), durStr(res.lat.Quantile(0.999)))
+					rec.Record(bench.Result{
+						Workload:   name,
+						Algo:       algo,
+						Threads:    *conns,
+						Ops:        res.ops,
+						Elapsed:    res.elapsed,
+						Throughput: res.achieved,
+					})
 				}
-				res := runCell(cell)
-				totalErrs += res.errors
-				name := fmt.Sprintf("serve/%s/z%.2f/r%.2f/q%g", *proto, skew, readMix, qps)
-				fmt.Printf("%-30s %10s %10.0f %8d %8d %10s %10s %10s\n",
-					name, targetStr(qps), res.achieved, res.sheds, res.errors,
-					durStr(res.lat.Quantile(0.50)), durStr(res.lat.Quantile(0.99)), durStr(res.lat.Quantile(0.999)))
-				rec.Record(bench.Result{
-					Workload:   name,
-					Algo:       algo,
-					Threads:    *conns,
-					Ops:        res.ops,
-					Elapsed:    res.elapsed,
-					Throughput: res.achieved,
-				})
 			}
 		}
 	}
@@ -133,6 +166,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rhload: %d transactional errors\n", totalErrs)
 		exit = 1
 	}
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
+	}
 	os.Exit(exit)
 }
 
@@ -145,6 +192,7 @@ type cellConfig struct {
 	zipf     *tmtest.ZipfKeys
 	mix      tmtest.RequestMix
 	seed     int64
+	pipeline int // frames in flight per connection (binary; <=1 = round trips)
 }
 
 type cellResult struct {
@@ -198,13 +246,18 @@ func runCell(c cellConfig) cellResult {
 func runConn(c cellConfig, id int, st *connStats, deadline time.Time) {
 	identity := fmt.Sprintf("rhload-%d", id)
 	var cl kvClient
-	var err error
 	if c.proto == "binary" {
-		cl, err = newBinClient(c.addr, identity)
+		bc, err := newBinClient(c.addr, identity)
 		if err != nil {
 			st.errors++
 			return
 		}
+		if c.pipeline > 1 {
+			defer bc.close()
+			runConnPipelined(c, bc, id, st, deadline)
+			return
+		}
+		cl = bc
 	} else {
 		cl = newHTTPClient(c.addr, identity)
 	}
@@ -247,6 +300,72 @@ func runConn(c cellConfig, id int, st *connStats, deadline time.Time) {
 			}
 		default:
 			st.errors++
+		}
+	}
+}
+
+// runConnPipelined is runConn's binary deep-pipeline variant: each round
+// generates pipeline requests, writes them all through one flush, and reads
+// the replies in order — the wire pattern the server's drain loop coalesces
+// into fused batches. Every request's recorded latency is its batch's round
+// trip (that IS how long each reply took end to end). Open-loop pacing
+// fires batches at the batch-scaled interval.
+func runConnPipelined(c cellConfig, bc *binClient, id int, st *connStats, deadline time.Time) {
+	rng := rand.New(rand.NewSource(c.seed + int64(id)*7919))
+	depth := c.pipeline
+	kinds := make([]tmtest.ReqKind, depth)
+	opss := make([][]serve.Op, depth)
+	out := make([]binOutcome, depth)
+	var interval time.Duration
+	if c.qps > 0 {
+		interval = time.Duration(float64(c.conns*depth) / c.qps * float64(time.Second))
+	}
+	next := time.Now()
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if interval > 0 {
+			if now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			next = next.Add(interval)
+			if behind := time.Now(); next.Before(behind) {
+				next = behind
+			}
+		}
+		for i := 0; i < depth; i++ {
+			kinds[i], opss[i] = genRequest(c, rng)
+		}
+		t0 := time.Now()
+		if err := bc.doBatch(kinds, opss, out); err != nil {
+			st.errors++
+			return // transport failure: connection is dead
+		}
+		rtt := uint64(time.Since(t0))
+		var backoff time.Duration
+		for i := 0; i < depth; i++ {
+			st.lat.Record(rtt)
+			switch {
+			case out[i].err != nil:
+				st.errors++
+			case out[i].shed:
+				st.sheds++
+				if out[i].retryAfter > backoff {
+					backoff = out[i].retryAfter
+				}
+			default:
+				st.ops++
+			}
+		}
+		if backoff > 0 {
+			if rem := time.Until(deadline); backoff > rem {
+				backoff = rem
+			}
+			if backoff > 0 {
+				time.Sleep(backoff)
+			}
 		}
 	}
 }
@@ -370,6 +489,19 @@ func parseFloats(csv, flagName string) []float64 {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil || v < 0 {
 			fatalf("bad %s value %q", flagName, p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(csv, flagName string) []int {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			fatalf("bad %s value %q (want a positive integer)", flagName, p)
 		}
 		out = append(out, v)
 	}

@@ -15,7 +15,8 @@
 // fused into one transaction, -timeout queued-request deadline, -retryafter
 // shed backoff hint, -policy static|backoff|adaptive contention management,
 // -stripes memory seqlock stripes, -sigbits write-signature bloom width,
-// -ringsize per-worker event-ring entries.
+// -ringsize per-worker event-ring entries, -pprof mounts net/http/pprof
+// under /debug/pprof/ (opt-in profiling).
 //
 // Observability: GET /metrics is the human-readable counter page;
 // GET /metrics?format=json is the rhserve.v1 dump (docs/METRICS.md),
@@ -50,6 +51,7 @@ func main() {
 		sigbits    = flag.Int("sigbits", 0, "write-signature bloom width (0 = off)")
 		ringSize   = flag.Int("ringsize", 0, "per-worker event-ring entries (0 = off)")
 		cores      = flag.Int("cores", 0, "simulated HTM cores (0 = default)")
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service mux")
 	)
 	flag.Parse()
 
@@ -79,6 +81,7 @@ func main() {
 		RetryAfter:     *retryAfter,
 		RingSize:       *ringSize,
 		SigBits:        *sigbits,
+		Pprof:          *pprofFlag,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhserve: %v\n", err)

@@ -42,10 +42,39 @@ type ServeDump struct {
 	Admission ServeAdmission `json:"admission"`
 	// TM summarizes the merged per-worker transaction counters.
 	TM ServeTM `json:"tm"`
+	// Pipeline holds one row per non-empty binary-session drain-depth
+	// bucket (power-of-two depths, ascending). Optional and additive: dumps
+	// from servers that saw no binary traffic omit it.
+	Pipeline []ServePipelineBucket `json:"pipeline,omitempty"`
+	// SnapScan is the snapshot-scan fast-path ledger. Optional and
+	// additive: omitted when no scan was eligible.
+	SnapScan *ServeSnapScan `json:"snapscan,omitempty"`
 	// Obs is the merged engine-level observability snapshot (phase latency
 	// histograms, abort taxonomy, policy and filter ledgers) of the worker
 	// threads — the same block an rhbench.v2 point embeds.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// ServePipelineBucket counts binary-protocol drains whose frame count
+// rounded up to Depth (1, 2, 4, ..., 64; the last bucket absorbs deeper
+// drains). One drain = one blocking read plus every complete frame already
+// buffered, answered through a single flush.
+type ServePipelineBucket struct {
+	Depth  int    `json:"depth"`
+	Drains uint64 `json:"drains"`
+}
+
+// ServeSnapScan ledgers the snapshot-scan fast path: single-scan read-only
+// requests answered from a seqlock-validated memory snapshot instead of an
+// instrumented transaction. Hits + Fallbacks == Attempts.
+type ServeSnapScan struct {
+	// Attempts counts eligible requests (read-only, exactly one scan op).
+	Attempts uint64 `json:"attempts"`
+	// Hits counts attempts answered by a clean snapshot pass.
+	Hits uint64 `json:"hits"`
+	// Fallbacks counts attempts whose passes were all dirtied by concurrent
+	// writers and re-ran on the transactional path.
+	Fallbacks uint64 `json:"fallbacks"`
 }
 
 // ServeEndpoint is one endpoint's request ledger and latency distribution.
@@ -158,6 +187,28 @@ func validateServeDump(data []byte) error {
 		seen[ep.Endpoint] = true
 		if err := validateServeEndpoint(&ep); err != nil {
 			return fmt.Errorf("endpoint %s: %w", ep.Endpoint, err)
+		}
+	}
+	prevDepth := 0
+	for _, b := range d.Pipeline {
+		if b.Depth < 1 || b.Depth&(b.Depth-1) != 0 {
+			return fmt.Errorf("pipeline depth %d is not a positive power of two", b.Depth)
+		}
+		if b.Depth <= prevDepth {
+			return fmt.Errorf("pipeline depths not strictly ascending (%d after %d)", b.Depth, prevDepth)
+		}
+		prevDepth = b.Depth
+		if b.Drains == 0 {
+			return fmt.Errorf("pipeline depth %d has zero drains (empty buckets are omitted)", b.Depth)
+		}
+	}
+	if sc := d.SnapScan; sc != nil {
+		if sc.Attempts == 0 {
+			return fmt.Errorf("snapscan with zero attempts (idle ledger is omitted)")
+		}
+		if sc.Hits+sc.Fallbacks != sc.Attempts {
+			return fmt.Errorf("snapscan hits %d + fallbacks %d != attempts %d",
+				sc.Hits, sc.Fallbacks, sc.Attempts)
 		}
 	}
 	if d.Obs != nil {

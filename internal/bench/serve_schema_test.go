@@ -41,7 +41,12 @@ const validServeDump = `{
     "htm_aborts": 12,
     "stm_restarts": 3,
     "abort_rate": 0.1176
-  }
+  },
+  "pipeline": [
+    {"depth": 1, "drains": 50},
+    {"depth": 8, "drains": 6}
+  ],
+  "snapscan": {"attempts": 20, "hits": 18, "fallbacks": 2}
 }`
 
 func TestValidateServeDumpAccepts(t *testing.T) {
@@ -94,6 +99,16 @@ func TestValidateServeDumpRejections(t *testing.T) {
 	// Quantile ordering.
 	mutateServe(t, `"p99_ns": 40000`, `"p99_ns": 46000`, "not ordered")
 	mutateServe(t, `"max_ns": 50000`, `"max_ns": 1000000000`, "max_ns")
+	// Pipeline bucket rules: power-of-two depths, strictly ascending,
+	// empty buckets omitted.
+	mutateServe(t, `{"depth": 8, "drains": 6}`, `{"depth": 6, "drains": 6}`, "power of two")
+	mutateServe(t, `{"depth": 8, "drains": 6}`, `{"depth": 1, "drains": 6}`, "ascending")
+	mutateServe(t, `{"depth": 8, "drains": 6}`, `{"depth": 8, "drains": 0}`, "zero drains")
+	// SnapScan ledger rules: idle ledger omitted, hits+fallbacks==attempts.
+	mutateServe(t, `"snapscan": {"attempts": 20, "hits": 18, "fallbacks": 2}`,
+		`"snapscan": {"attempts": 0, "hits": 0, "fallbacks": 0}`, "zero attempts")
+	mutateServe(t, `"snapscan": {"attempts": 20, "hits": 18, "fallbacks": 2}`,
+		`"snapscan": {"attempts": 20, "hits": 18, "fallbacks": 3}`, "!= attempts")
 }
 
 func TestValidateServeDumpDuplicateEndpoint(t *testing.T) {

@@ -472,30 +472,99 @@ func (m *Memory) stripeClockStable(s int) uint64 {
 // instant of the copy interval. Multi-word test assertions use this instead
 // of per-word plain loads, which can tear against concurrent commits.
 func (m *Memory) Snapshot(a Addr, dst []uint64) {
-	if len(dst) == 0 {
-		return
+	m.snapshot(a, 1, dst, 0)
+}
+
+// SnapshotTry is Snapshot with a bounded retry budget: it attempts at most
+// attempts seqlock-validated copy passes and reports whether one of them was
+// clean (every touched stripe clock unchanged across the copy — the same
+// per-stripe read protocol ValidateLockFree uses, so a true return certifies
+// dst is a consistent cut of memory). A false return means a concurrent
+// writer dirtied every pass and dst must be discarded; callers with
+// progress obligations (the service snapshot-scan fast path) fall back to an
+// instrumented transactional read instead of spinning. Validation is
+// O(touched stripes) per pass, not O(words). attempts < 1 is treated as 1.
+func (m *Memory) SnapshotTry(a Addr, dst []uint64, attempts int) bool {
+	if attempts < 1 {
+		attempts = 1
 	}
+	return m.snapshot(a, 1, dst, attempts)
+}
+
+// SnapshotStrideTry is SnapshotTry over a strided footprint: dst[i] is
+// filled from address a + i*stride under the same per-stripe seqlock
+// validation. Callers that map records onto cache lines (the service layer
+// puts key k's word at line k, so a key-range scan reads one word every
+// LineWords) snapshot exactly the words they need instead of copying the
+// whole line range. stride < 1 is treated as 1.
+func (m *Memory) SnapshotStrideTry(a Addr, stride int, dst []uint64, attempts int) bool {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	return m.snapshot(a, stride, dst, attempts)
+}
+
+// snapshotTestHook, when non-nil, runs once per snapshot pass between the
+// copy and the clock recheck. It exists so tests can dirty a touched stripe
+// at the exact point a concurrent commit would, deterministically even on
+// GOMAXPROCS=1 (one nil check per pass; always nil outside tests).
+var snapshotTestHook func()
+
+// snapshot is the shared bounded/unbounded copy loop; attempts == 0 retries
+// forever (the Snapshot contract) and always returns true. The loop is
+// deliberately closure-free: the service snapshot-scan fast path runs it on
+// every eligible request and must not heap-allocate (marks escaping into a
+// forEach closure would drag an 8KiB array onto the heap per call).
+func (m *Memory) snapshot(a Addr, stride int, dst []uint64, attempts int) bool {
+	if len(dst) == 0 {
+		return true
+	}
+	last := a + Addr((len(dst)-1)*stride)
 	m.check(a)
-	m.check(a + Addr(len(dst)) - 1)
+	m.check(last)
 	var touched stripeBits
-	for l := uint64(a) >> lineShift; l <= (uint64(a)+uint64(len(dst))-1)>>lineShift; l++ {
-		touched.set(int(l & m.mask))
+	if stride == 1 {
+		for l := uint64(a) >> lineShift; l <= uint64(last)>>lineShift; l++ {
+			touched.set(int(l & m.mask))
+		}
+	} else {
+		for i := range dst {
+			l := uint64(a+Addr(i*stride)) >> lineShift
+			touched.set(int(l & m.mask))
+		}
 	}
 	var marks [MaxStripes]uint64
-	for {
-		touched.forEach(func(s int) { marks[s] = m.stripeClockStable(s) })
+	for try := 0; attempts == 0 || try < attempts; try++ {
+		for w, word := range touched {
+			for word != 0 {
+				s := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				marks[s] = m.stripeClockStable(s)
+			}
+		}
 		for i := range dst {
-			dst[i] = m.loadRaw(a + Addr(i))
+			dst[i] = m.loadRaw(a + Addr(i*stride))
+		}
+		if snapshotTestHook != nil {
+			snapshotTestHook()
 		}
 		clean := true
-		touched.forEach(func(s int) {
-			if m.stripes[s].clock.Load() != marks[s] {
-				clean = false
+		for w, word := range touched {
+			for word != 0 {
+				s := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if m.stripes[s].clock.Load() != marks[s] {
+					clean = false
+				}
 			}
-		})
+		}
 		if clean {
-			return
+			return true
 		}
 		runtime.Gosched()
 	}
+	return false
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"rhnorec/internal/obs"
 )
 
 // One listener, two protocols: the accept loop reads a connection's first
@@ -186,62 +189,274 @@ func opcodeEndpoint(opcode uint8) (Endpoint, bool) {
 	return 0, false
 }
 
-// serveBinary runs one binary-protocol session: frames are handled in
-// order, one at a time (a pipelining client gets its replies in request
-// order). The sticky identity starts as the remote address and is replaced
-// by the first Hello.
+// maxDrainFrames bounds how many frames one drain collects before replying:
+// deep enough to cover any sensible pipeline depth, small enough that a
+// firehosing client cannot starve its own replies.
+const maxDrainFrames = 64
+
+// binSlot is one drained frame's recycled state: the parsed request (Ops
+// backing array reused), the worker envelope (results and done channel
+// reused), and the immediate-reply fields for frames that never reach a
+// worker (hello, ping, parse/validation errors, admission sheds).
+type binSlot struct {
+	preq      ProtoRequest
+	req       request
+	w         *worker // sticky worker at parse time (Hello mid-drain moves it)
+	reqID     uint64  // echoed reply ID (0 when the frame didn't parse)
+	submitted bool    // true: awaiting the worker; false: immediate reply
+	status    uint8   // immediate reply status
+	msg       string  // immediate reply message (bad request / error)
+}
+
+// binSession is one binary-protocol connection's recycled serving state.
+// Nothing in it is shared: the connection goroutine owns every field, so
+// the steady state allocates nothing (gated by BenchmarkServeBinary* and
+// TestServeBinarySteadyStateAllocs).
+type binSession struct {
+	s        *Server
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	identity string
+	w        *worker
+	slots    []*binSlot
+	inBuf    []byte
+	outBuf   []byte
+}
+
+// setIdentity installs a sticky-routing identity and resolves its worker
+// once — per session, not per request (ISSUE 8: the per-request
+// fnv.New64a() was measurable).
+func (sess *binSession) setIdentity(id string) {
+	sess.identity = id
+	sess.w = sess.s.workerFor(id)
+}
+
+// serveBinary runs one binary-protocol session. Each round: block for one
+// frame, then drain every complete frame already buffered (pipelining
+// clients land many per read), submit the executable ones to the sticky
+// worker as linked chains — one queue slot per chain, so the worker's fuse
+// machinery coalesces the whole drain into as few transactions as BatchMax
+// allows — and write all replies, in frame order, through one Flush.
 func (s *Server) serveBinary(c net.Conn) {
-	var (
-		br       = bufio.NewReader(c)
-		bw       = bufio.NewWriter(c)
-		identity = c.RemoteAddr().String()
-		inBuf    []byte
-		outBuf   []byte
-	)
+	sess := &binSession{s: s, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	identity := c.RemoteAddr().String()
 	if host, _, err := net.SplitHostPort(identity); err == nil {
 		identity = host
 	}
+	sess.setIdentity(identity)
+	for sess.drain() {
+	}
+}
+
+// drain runs one read→submit→reply round; false drops the session (EOF,
+// cut connection, framing violation, or write failure).
+func (sess *binSession) drain() bool {
+	frame, err := ReadFrame(sess.br, sess.inBuf)
+	if err != nil {
+		return false
+	}
+	n := 0
 	for {
-		frame, err := ReadFrame(br, inBuf)
-		if err != nil {
-			return // EOF, cut connection, or framing violation: drop the session
+		sess.inBuf = frame[:0] // parse copies out; buffer free for the next read
+		sess.prep(n, frame)
+		n++
+		if n >= maxDrainFrames || !sess.frameBuffered() {
+			break
 		}
-		inBuf = frame[:0]
-		resp := ProtoResponse{Status: StatusError}
-		req, err := ParseRequest(frame)
-		switch {
-		case err != nil:
-			resp.Status = StatusBadRequest
-			resp.Msg = err.Error()
-		case req.Opcode == OpcodeHello:
-			if req.Hello != "" {
-				identity = req.Hello
-			}
-			resp = ProtoResponse{Status: StatusOK, ReqID: req.ReqID, Results: []OpResult{}}
-		case req.Opcode == OpcodePing:
-			resp = ProtoResponse{Status: StatusPong, ReqID: req.ReqID}
-		default:
-			ep, ok := opcodeEndpoint(req.Opcode)
-			if !ok {
-				resp = ProtoResponse{Status: StatusBadRequest, ReqID: req.ReqID, Msg: "unknown opcode"}
-				break
-			}
-			res, err := s.Do(identity, ep, req.Ops)
-			resp = s.protoReply(req.ReqID, res, err)
-		}
-		if req != nil {
-			resp.ReqID = req.ReqID
-		}
-		outBuf = AppendResponse(outBuf[:0], &resp)
-		if err := WriteFrame(bw, outBuf); err != nil {
-			return
-		}
-		if br.Buffered() == 0 {
-			if err := bw.Flush(); err != nil {
-				return
-			}
+		if frame, err = ReadFrame(sess.br, sess.inBuf); err != nil {
+			return false
 		}
 	}
+	sess.s.pipeline.record(n)
+	sess.submit(n)
+	return sess.reply(n)
+}
+
+// frameBuffered reports whether a COMPLETE frame sits in the read buffer:
+// reading it cannot block. Depth alone (Buffered() > 0) is not enough — a
+// client that stops mid-frame must still get the replies already owed, or a
+// request/reply-windowed client deadlocks against us.
+func (sess *binSession) frameBuffered() bool {
+	if sess.br.Buffered() < 4 {
+		return false
+	}
+	hdr, _ := sess.br.Peek(4)
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return true // complete enough: let ReadFrame surface the violation
+	}
+	return sess.br.Buffered() >= 4+int(n)
+}
+
+// prep parses frame into slot i and classifies it: immediate (answered at
+// reply time without a worker) or submitted (envelope filled, linked and
+// enqueued by submit).
+func (sess *binSession) prep(i int, frame []byte) {
+	for len(sess.slots) <= i {
+		sess.slots = append(sess.slots, &binSlot{
+			req: request{done: make(chan struct{}, 1)},
+		})
+	}
+	sl := sess.slots[i]
+	sl.submitted = false
+	sl.msg = ""
+	sl.reqID = 0
+	if err := ParseRequestInto(frame, &sl.preq); err != nil {
+		sl.status = StatusBadRequest
+		sl.msg = err.Error()
+		return
+	}
+	sl.reqID = sl.preq.ReqID
+	switch sl.preq.Opcode {
+	case OpcodeHello:
+		if sl.preq.Hello != "" {
+			sess.setIdentity(sl.preq.Hello)
+		}
+		sl.status = StatusOK
+	case OpcodePing:
+		sl.status = StatusPong
+	default:
+		ep, ok := opcodeEndpoint(sl.preq.Opcode)
+		if !ok {
+			sl.status = StatusBadRequest
+			sl.msg = "unknown opcode"
+			return
+		}
+		if err := sess.s.checkOps(sl.preq.Ops); err != nil {
+			sl.status = StatusBadRequest
+			sl.msg = err.Error()
+			return
+		}
+		now := obs.Now()
+		r := &sl.req
+		r.ep = ep
+		r.ops = sl.preq.Ops
+		r.readOnly = readOnlyOps(sl.preq.Ops)
+		r.res = growResults(r.res, len(sl.preq.Ops))
+		r.err = nil
+		r.shed = false
+		r.enq = now
+		r.deadline = now + sess.s.cfg.RequestTimeout.Nanoseconds()
+		r.next = nil
+		sl.w = sess.w
+		sl.submitted = true
+	}
+}
+
+// growResults resizes res to n entries, reusing the backing array (and its
+// entries' recycled Vals buffers) when the capacity suffices.
+func growResults(res []OpResult, n int) []OpResult {
+	if cap(res) < n {
+		return make([]OpResult, n)
+	}
+	return res[:n]
+}
+
+// submit links maximal runs of same-worker submitted slots into chains and
+// enqueues each chain as one queue slot. Admission happens per chain: the
+// saturation and queue-full verdicts a lone request would have gotten apply
+// to the whole chain (its requests arrived together and would have met the
+// same queue). Shed chains are downgraded to immediate StatusShed replies.
+func (sess *binSession) submit(n int) {
+	i := 0
+	for i < n {
+		if !sess.slots[i].submitted {
+			i++
+			continue
+		}
+		w := sess.slots[i].w
+		var tail *request
+		count := 0
+		j := i
+		for ; j < n; j++ {
+			sl := sess.slots[j]
+			if !sl.submitted {
+				continue // immediate frames don't break a chain
+			}
+			if sl.w != w {
+				break // Hello moved the sticky identity mid-drain
+			}
+			if tail != nil {
+				tail.next = &sl.req
+			}
+			tail = &sl.req
+			count++
+		}
+		head := &sess.slots[i].req
+		shed := false
+		if sess.s.saturated(w) {
+			sess.s.admission.saturationShed.Add(uint64(count))
+			shed = true
+		} else if !sess.s.enqueue(w, head, count) {
+			shed = true
+		}
+		if shed {
+			for k := i; k < j; k++ {
+				if sl := sess.slots[k]; sl.submitted && sl.w == w {
+					sl.submitted = false
+					sl.status = StatusShed
+					sl.req.next = nil
+				}
+			}
+		}
+		i = j
+	}
+}
+
+// reply writes slot replies in frame order — submitted slots await their
+// envelope first — and flushes once.
+func (sess *binSession) reply(n int) bool {
+	for i := 0; i < n; i++ {
+		sl := sess.slots[i]
+		var resp ProtoResponse
+		switch {
+		case !sl.submitted:
+			resp = sess.immediate(sl)
+		case !sess.s.await(sl.w, &sl.req):
+			// Worker exited without dequeuing (shutdown): the envelope will
+			// never be answered, and is safe to reuse.
+			resp = ProtoResponse{Status: StatusError, Msg: ErrClosed.Error()}
+		case sl.req.shed:
+			resp = ProtoResponse{Status: StatusShed, RetryAfterMS: sess.s.retryAfterMS()}
+		case sl.req.err != nil:
+			resp = sess.s.protoReply(sl.reqID, nil, sl.req.err)
+		default:
+			resp = ProtoResponse{Status: StatusOK, Results: sl.req.res}
+		}
+		resp.ReqID = sl.reqID
+		sess.outBuf = AppendResponse(sess.outBuf[:0], &resp)
+		if err := WriteFrame(sess.bw, sess.outBuf); err != nil {
+			return false
+		}
+	}
+	return sess.bw.Flush() == nil
+}
+
+// emptyResults backs immediate StatusOK replies (hello): zero results on
+// the wire without a per-reply allocation.
+var emptyResults = []OpResult{}
+
+// immediate renders a slot answered without a worker round-trip.
+func (sess *binSession) immediate(sl *binSlot) ProtoResponse {
+	switch sl.status {
+	case StatusOK:
+		return ProtoResponse{Status: StatusOK, Results: emptyResults}
+	case StatusPong:
+		return ProtoResponse{Status: StatusPong}
+	case StatusShed:
+		return ProtoResponse{Status: StatusShed, RetryAfterMS: sess.s.retryAfterMS()}
+	default:
+		return ProtoResponse{Status: sl.status, Msg: sl.msg}
+	}
+}
+
+// retryAfterMS is the shed hint in milliseconds (at least 1).
+func (s *Server) retryAfterMS() uint32 {
+	ms := s.cfg.RetryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return uint32(ms)
 }
 
 // protoReply maps a Do outcome onto the response status vocabulary.
@@ -250,11 +465,7 @@ func (s *Server) protoReply(reqID uint64, res []OpResult, err error) ProtoRespon
 	case err == nil:
 		return ProtoResponse{Status: StatusOK, ReqID: reqID, Results: res}
 	case errors.Is(err, ErrShed):
-		ms := s.cfg.RetryAfter.Milliseconds()
-		if ms < 1 {
-			ms = 1
-		}
-		return ProtoResponse{Status: StatusShed, ReqID: reqID, RetryAfterMS: uint32(ms)}
+		return ProtoResponse{Status: StatusShed, ReqID: reqID, RetryAfterMS: s.retryAfterMS()}
 	default:
 		var reqErr *RequestError
 		if errors.As(err, &reqErr) {

@@ -1,5 +1,9 @@
 package serve
 
+// AppendTxnResults exposes the hand-rolled HTTP JSON encoder so the
+// equivalence test can pin it against encoding/json.
+func AppendTxnResults(buf []byte, res []OpResult) []byte { return appendTxnResults(buf, res) }
+
 // SetTestBatchDelay installs a hook run by a worker between dequeuing a
 // request and batching it, so tests can hold a worker still while they
 // overfill its queue. Restore the returned previous hook when done.

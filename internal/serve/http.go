@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -60,7 +62,8 @@ type TxnResult struct {
 }
 
 // Handler returns the service's HTTP handler (also usable under httptest;
-// Start serves it together with the binary protocol on one listener).
+// Start serves it together with the binary protocol on one listener). With
+// Config.Pprof the net/http/pprof handlers mount under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/get", s.handleGet)
@@ -72,6 +75,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
@@ -86,20 +96,58 @@ func clientID(r *http.Request) string {
 	return r.RemoteAddr
 }
 
+// jsonBufPool recycles reply-encoding buffers across requests (net/http
+// runs each request on a pooled goroutine, so a per-connection buffer has
+// no natural home; a sync.Pool is the next best).
+var jsonBufPool = sync.Pool{New: func() any { return new(jsonBuf) }}
+
+type jsonBuf struct{ b []byte }
+
+// appendTxnResults encodes the TxnResponse JSON by hand: byte-identical to
+// json.NewEncoder(w).Encode(&TxnResponse{...}) — including omitempty on
+// vals/swapped and the trailing newline — without reflection or
+// per-request allocation. TestHTTPJSONEncodingEquivalence pins the
+// equivalence against encoding/json.
+func appendTxnResults(buf []byte, res []OpResult) []byte {
+	buf = append(buf, `{"results":[`...)
+	for i := range res {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"val":`...)
+		buf = strconv.AppendUint(buf, res[i].Val, 10)
+		if len(res[i].Vals) > 0 {
+			buf = append(buf, `,"vals":[`...)
+			for j, v := range res[i].Vals {
+				if j > 0 {
+					buf = append(buf, ',')
+				}
+				buf = strconv.AppendUint(buf, v, 10)
+			}
+			buf = append(buf, ']')
+		}
+		if res[i].Swapped {
+			buf = append(buf, `,"swapped":true`...)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ']', '}', '\n')
+	return buf
+}
+
 // respond runs ops through Do and writes the JSON reply (or the mapped
-// error status).
+// error status) via the append-based encoder.
 func (s *Server) respond(w http.ResponseWriter, r *http.Request, ep Endpoint, ops []Op) {
 	res, err := s.Do(clientID(r), ep, ops)
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	out := TxnResponse{Results: make([]TxnResult, len(res))}
-	for i, or := range res {
-		out.Results[i] = TxnResult{Val: or.Val, Vals: or.Vals, Swapped: or.Swapped}
-	}
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.b = appendTxnResults(jb.b[:0], res)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(&out)
+	w.Write(jb.b)
+	jsonBufPool.Put(jb)
 }
 
 // writeErr maps a Do error onto the HTTP status vocabulary: shed → 429 +

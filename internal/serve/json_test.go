@@ -1,0 +1,58 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rhnorec/internal/serve"
+)
+
+// TestHTTPJSONEncodingEquivalence pins the hot-path append-based JSON
+// encoder byte-for-byte against what json.NewEncoder(w).Encode(&TxnResponse)
+// used to emit — omitempty on vals/swapped, field order, trailing newline.
+// Any divergence is a wire-format break for JSON clients.
+func TestHTTPJSONEncodingEquivalence(t *testing.T) {
+	cases := [][]serve.OpResult{
+		nil,
+		{},
+		{{Val: 0}},
+		{{Val: 42}},
+		{{Val: 1<<64 - 1}},
+		{{Val: 7, Swapped: true}},
+		{{Val: 7, Swapped: false}},
+		{{Vals: []uint64{}}}, // empty scan: omitempty drops vals
+		{{Vals: []uint64{0}}},
+		{{Vals: []uint64{1, 2, 1<<64 - 1}}},
+		{{Val: 3, Vals: []uint64{4, 5}, Swapped: true}},
+		{{Val: 1}, {Val: 2, Swapped: true}, {Vals: []uint64{9, 8}}, {Val: 0}},
+	}
+	for i, res := range cases {
+		got := serve.AppendTxnResults(nil, res)
+
+		want := serve.TxnResponse{Results: make([]serve.TxnResult, len(res))}
+		for j, r := range res {
+			want.Results[j] = serve.TxnResult{Val: r.Val, Vals: r.Vals, Swapped: r.Swapped}
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(&want); err != nil {
+			t.Fatalf("case %d: encoding/json: %v", i, err)
+		}
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Errorf("case %d diverged:\n got %q\nwant %q", i, got, buf.Bytes())
+		}
+	}
+}
+
+// TestHTTPJSONEncoderAppends: the encoder must append to (not replace) the
+// buffer it is handed — that is the pooling contract in respond().
+func TestHTTPJSONEncoderAppends(t *testing.T) {
+	prefix := []byte("xx")
+	out := serve.AppendTxnResults(prefix, []serve.OpResult{{Val: 1}})
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("encoder did not append: %q", out)
+	}
+	if want := `xx{"results":[{"val":1}]}` + "\n"; string(out) != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}

@@ -21,6 +21,7 @@ func (s *Server) Snapshot() *bench.ServeDump {
 		rec   = obs.NewRecorder(obs.Config{})
 		lat   = obs.NewLabeledHist(endpointLabels()...)
 		eps   [numEndpoints]endpointCounters
+		sscan snapScanCounters
 		snaps = make([]*workerSnap, 0, len(s.workers))
 	)
 	for _, w := range s.workers {
@@ -39,6 +40,9 @@ func (s *Server) Snapshot() *bench.ServeDump {
 			eps[e].shed += snap.eps[e].shed
 			eps[e].fused += snap.eps[e].fused
 		}
+		sscan.attempts += snap.snap.attempts
+		sscan.hits += snap.snap.hits
+		sscan.fallbacks += snap.snap.fallbacks
 	}
 	d := &bench.ServeDump{
 		SchemaVersion: bench.ServeSchemaVersion,
@@ -64,6 +68,18 @@ func (s *Server) Snapshot() *bench.ServeDump {
 	}
 	if total := d.TM.HTMAborts + d.TM.Commits; total > 0 {
 		d.TM.AbortRate = float64(d.TM.HTMAborts) / float64(total)
+	}
+	for i := 0; i < pipelineBucketCount; i++ {
+		if c := s.pipeline.buckets[i].Load(); c > 0 {
+			d.Pipeline = append(d.Pipeline, bench.ServePipelineBucket{Depth: 1 << i, Drains: c})
+		}
+	}
+	if sscan.attempts > 0 {
+		d.SnapScan = &bench.ServeSnapScan{
+			Attempts:  sscan.attempts,
+			Hits:      sscan.hits,
+			Fallbacks: sscan.fallbacks,
+		}
 	}
 	for e := Endpoint(0); e < numEndpoints; e++ {
 		c := eps[e]
@@ -105,6 +121,17 @@ func writeMetricsText(w io.Writer, d *bench.ServeDump) {
 	fmt.Fprintf(w, "tm: commits=%d fast=%d slow=%d serial=%d fallbacks=%d htm_aborts=%d stm_restarts=%d abort_rate=%.4f\n",
 		t.Commits, t.FastPathCommits, t.SlowPathCommits, t.SerialCommits,
 		t.Fallbacks, t.HTMAborts, t.STMRestarts, t.AbortRate)
+	if len(d.Pipeline) > 0 {
+		fmt.Fprintf(w, "pipeline:")
+		for _, b := range d.Pipeline {
+			fmt.Fprintf(w, " d%d=%d", b.Depth, b.Drains)
+		}
+		fmt.Fprintln(w)
+	}
+	if sc := d.SnapScan; sc != nil {
+		fmt.Fprintf(w, "snapscan: attempts=%d hits=%d fallbacks=%d\n",
+			sc.Attempts, sc.Hits, sc.Fallbacks)
+	}
 	if d.Obs == nil {
 		return
 	}

@@ -100,22 +100,40 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("proto: frame of %d bytes exceeds limit %d", len(payload), MaxFrame)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	n := uint32(len(payload))
+	if bw, ok := w.(io.ByteWriter); ok {
+		// Byte-at-a-time header keeps the hot path allocation-free: a
+		// stack header array would escape through the io.Writer interface
+		// call and cost one heap allocation per frame. Buffered writers
+		// (the only hot-path callers) take this branch.
+		for shift := 24; shift >= 0; shift -= 8 {
+			if err := bw.WriteByte(byte(n >> shift)); err != nil {
+				return err
+			}
+		}
+	} else {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
 	}
 	_, err := w.Write(payload)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame, reusing buf when it fits.
+// ReadFrame reads one length-prefixed frame, reusing buf when it fits. The
+// header is staged in buf too (a stack header array would escape through
+// the io.Reader interface call), so a recycled buf makes the whole read
+// allocation-free.
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if cap(buf) < 4 {
+		buf = make([]byte, 4)
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(buf[:4])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("proto: frame of %d bytes exceeds limit %d", n, MaxFrame)
 	}
@@ -179,57 +197,86 @@ func AppendRequest(buf []byte, req *ProtoRequest) ([]byte, error) {
 
 // ParseRequest decodes a request frame payload.
 func ParseRequest(frame []byte) (*ProtoRequest, error) {
-	if len(frame) < 9 {
-		return nil, fmt.Errorf("proto: request frame of %d bytes, want >= 9", len(frame))
+	req := new(ProtoRequest)
+	if err := ParseRequestInto(frame, req); err != nil {
+		return nil, err
 	}
-	req := &ProtoRequest{Opcode: frame[0], ReqID: binary.BigEndian.Uint64(frame[1:9])}
+	return req, nil
+}
+
+// growOps resizes ops to n entries, reusing its backing array when the
+// capacity suffices (the pipelined session parses every frame into recycled
+// op slices, so the steady state allocates nothing).
+func growOps(ops []Op, n int) []Op {
+	if cap(ops) < n {
+		return make([]Op, n)
+	}
+	return ops[:n]
+}
+
+// ParseRequestInto decodes a request frame payload into req, reusing
+// req.Ops' backing array when it is large enough. Every other field is
+// overwritten unconditionally, so a recycled req never leaks state between
+// frames; the decoded Ops copy everything they need out of frame, so the
+// caller may reuse the frame buffer immediately.
+func ParseRequestInto(frame []byte, req *ProtoRequest) error {
+	if len(frame) < 9 {
+		return fmt.Errorf("proto: request frame of %d bytes, want >= 9", len(frame))
+	}
+	req.Opcode = frame[0]
+	req.ReqID = binary.BigEndian.Uint64(frame[1:9])
+	req.Hello = ""
+	req.Ops = req.Ops[:0]
 	body := frame[9:]
 	switch req.Opcode {
 	case OpcodeHello:
 		req.Hello = string(body)
 	case OpcodeGet:
 		if len(body) < 2 {
-			return nil, fmt.Errorf("proto: truncated get body")
+			return fmt.Errorf("proto: truncated get body")
 		}
 		n := int(binary.BigEndian.Uint16(body))
 		body = body[2:]
 		if len(body) != 8*n {
-			return nil, fmt.Errorf("proto: get body of %d bytes, want %d for %d keys", len(body), 8*n, n)
+			return fmt.Errorf("proto: get body of %d bytes, want %d for %d keys", len(body), 8*n, n)
 		}
-		req.Ops = make([]Op, n)
+		req.Ops = growOps(req.Ops, n)
 		for i := 0; i < n; i++ {
 			req.Ops[i] = Op{Kind: OpGet, Key: binary.BigEndian.Uint64(body[8*i:])}
 		}
 	case OpcodePut:
 		if len(body) != 16 {
-			return nil, fmt.Errorf("proto: put body of %d bytes, want 16", len(body))
+			return fmt.Errorf("proto: put body of %d bytes, want 16", len(body))
 		}
-		req.Ops = []Op{{Kind: OpPut, Key: binary.BigEndian.Uint64(body), Val: binary.BigEndian.Uint64(body[8:])}}
+		req.Ops = growOps(req.Ops, 1)
+		req.Ops[0] = Op{Kind: OpPut, Key: binary.BigEndian.Uint64(body), Val: binary.BigEndian.Uint64(body[8:])}
 	case OpcodeCas:
 		if len(body) != 24 {
-			return nil, fmt.Errorf("proto: cas body of %d bytes, want 24", len(body))
+			return fmt.Errorf("proto: cas body of %d bytes, want 24", len(body))
 		}
-		req.Ops = []Op{{
+		req.Ops = growOps(req.Ops, 1)
+		req.Ops[0] = Op{
 			Kind: OpCas,
 			Key:  binary.BigEndian.Uint64(body),
 			Old:  binary.BigEndian.Uint64(body[8:]),
 			Val:  binary.BigEndian.Uint64(body[16:]),
-		}}
+		}
 	case OpcodeScan:
 		if len(body) != 12 {
-			return nil, fmt.Errorf("proto: scan body of %d bytes, want 12", len(body))
+			return fmt.Errorf("proto: scan body of %d bytes, want 12", len(body))
 		}
-		req.Ops = []Op{{Kind: OpScan, Key: binary.BigEndian.Uint64(body), Count: binary.BigEndian.Uint32(body[8:])}}
+		req.Ops = growOps(req.Ops, 1)
+		req.Ops[0] = Op{Kind: OpScan, Key: binary.BigEndian.Uint64(body), Count: binary.BigEndian.Uint32(body[8:])}
 	case OpcodeTxn:
 		if len(body) < 2 {
-			return nil, fmt.Errorf("proto: truncated txn body")
+			return fmt.Errorf("proto: truncated txn body")
 		}
 		n := int(binary.BigEndian.Uint16(body))
 		body = body[2:]
 		if len(body) != txnOpWire*n {
-			return nil, fmt.Errorf("proto: txn body of %d bytes, want %d for %d ops", len(body), txnOpWire*n, n)
+			return fmt.Errorf("proto: txn body of %d bytes, want %d for %d ops", len(body), txnOpWire*n, n)
 		}
-		req.Ops = make([]Op, n)
+		req.Ops = growOps(req.Ops, n)
 		for i := 0; i < n; i++ {
 			rec := body[txnOpWire*i:]
 			req.Ops[i] = Op{
@@ -242,12 +289,12 @@ func ParseRequest(frame []byte) (*ProtoRequest, error) {
 		}
 	case OpcodePing:
 		if len(body) != 0 {
-			return nil, fmt.Errorf("proto: ping body of %d bytes, want 0", len(body))
+			return fmt.Errorf("proto: ping body of %d bytes, want 0", len(body))
 		}
 	default:
-		return nil, fmt.Errorf("proto: unknown opcode %d", req.Opcode)
+		return fmt.Errorf("proto: unknown opcode %d", req.Opcode)
 	}
-	return req, nil
+	return nil
 }
 
 // AppendResponse encodes a response frame payload onto buf.
@@ -280,54 +327,86 @@ func AppendResponse(buf []byte, resp *ProtoResponse) []byte {
 
 // ParseResponse decodes a response frame payload.
 func ParseResponse(frame []byte) (*ProtoResponse, error) {
-	if len(frame) < 9 {
-		return nil, fmt.Errorf("proto: response frame of %d bytes, want >= 9", len(frame))
+	resp := new(ProtoResponse)
+	if err := ParseResponseInto(frame, resp); err != nil {
+		return nil, err
 	}
-	resp := &ProtoResponse{Status: frame[0], ReqID: binary.BigEndian.Uint64(frame[1:9])}
+	return resp, nil
+}
+
+// ParseResponseInto decodes a response frame payload into resp, reusing
+// resp.Results (and each recycled result's Vals backing array) when the
+// capacities suffice — the client-side twin of ParseRequestInto, used by
+// pipelining clients to keep the reply-drain loop allocation-free. Every
+// field is overwritten unconditionally, so a recycled resp never leaks
+// state between frames.
+func ParseResponseInto(frame []byte, resp *ProtoResponse) error {
+	if len(frame) < 9 {
+		return fmt.Errorf("proto: response frame of %d bytes, want >= 9", len(frame))
+	}
+	resp.Status = frame[0]
+	resp.ReqID = binary.BigEndian.Uint64(frame[1:9])
+	resp.Msg = ""
+	resp.RetryAfterMS = 0
+	recycled := resp.Results
+	resp.Results = nil
 	body := frame[9:]
 	switch resp.Status {
 	case StatusOK:
 		if len(body) < 2 {
-			return nil, fmt.Errorf("proto: truncated results")
+			return fmt.Errorf("proto: truncated results")
 		}
 		n := int(binary.BigEndian.Uint16(body))
 		body = body[2:]
-		resp.Results = make([]OpResult, 0, n)
+		if cap(recycled) < n {
+			recycled = make([]OpResult, 0, n)
+		}
+		resp.Results = recycled[:0]
 		for i := 0; i < n; i++ {
 			if len(body) < 13 {
-				return nil, fmt.Errorf("proto: truncated result %d", i)
+				return fmt.Errorf("proto: truncated result %d", i)
+			}
+			// Reclaim the recycled slot's Vals backing array (if any) before
+			// the slot is overwritten by append.
+			var vals []uint64
+			if i < cap(resp.Results) {
+				vals = resp.Results[:i+1][i].Vals[:0]
 			}
 			res := OpResult{Swapped: body[0]&1 != 0, Val: binary.BigEndian.Uint64(body[1:])}
 			nvals := int(binary.BigEndian.Uint32(body[9:]))
 			body = body[13:]
 			if nvals > 0 {
 				if len(body) < 8*nvals {
-					return nil, fmt.Errorf("proto: truncated scan values of result %d", i)
+					return fmt.Errorf("proto: truncated scan values of result %d", i)
 				}
-				res.Vals = make([]uint64, nvals)
+				if cap(vals) < nvals {
+					vals = make([]uint64, nvals)
+				}
+				vals = vals[:nvals]
 				for j := 0; j < nvals; j++ {
-					res.Vals[j] = binary.BigEndian.Uint64(body[8*j:])
+					vals[j] = binary.BigEndian.Uint64(body[8*j:])
 				}
+				res.Vals = vals
 				body = body[8*nvals:]
 			}
 			resp.Results = append(resp.Results, res)
 		}
 		if len(body) != 0 {
-			return nil, fmt.Errorf("proto: %d trailing bytes after results", len(body))
+			return fmt.Errorf("proto: %d trailing bytes after results", len(body))
 		}
 	case StatusBadRequest, StatusError:
 		resp.Msg = string(body)
 	case StatusShed:
 		if len(body) != 4 {
-			return nil, fmt.Errorf("proto: shed body of %d bytes, want 4", len(body))
+			return fmt.Errorf("proto: shed body of %d bytes, want 4", len(body))
 		}
 		resp.RetryAfterMS = binary.BigEndian.Uint32(body)
 	case StatusPong:
 		if len(body) != 0 {
-			return nil, fmt.Errorf("proto: pong body of %d bytes, want 0", len(body))
+			return fmt.Errorf("proto: pong body of %d bytes, want 0", len(body))
 		}
 	default:
-		return nil, fmt.Errorf("proto: unknown status %d", resp.Status)
+		return fmt.Errorf("proto: unknown status %d", resp.Status)
 	}
-	return resp, nil
+	return nil
 }

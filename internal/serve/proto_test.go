@@ -58,8 +58,10 @@ func normOps(ops []serve.Op) []serve.Op {
 	return ops
 }
 
-func TestProtoResponseRoundtrip(t *testing.T) {
-	cases := []*serve.ProtoResponse{
+// responseCorpus is one response of every status shape, used by the
+// roundtrip and recycled-decode tests and as the fuzz seed corpus.
+func responseCorpus() []*serve.ProtoResponse {
+	return []*serve.ProtoResponse{
 		{Status: serve.StatusOK, ReqID: 1, Results: []serve.OpResult{
 			{Val: 42}, {Val: 7, Swapped: true}, {Vals: []uint64{1, 2, 3}}}},
 		{Status: serve.StatusOK, ReqID: 2, Results: []serve.OpResult{}},
@@ -68,7 +70,10 @@ func TestProtoResponseRoundtrip(t *testing.T) {
 		{Status: serve.StatusError, ReqID: 5, Msg: "boom"},
 		{Status: serve.StatusPong, ReqID: 6},
 	}
-	for _, resp := range cases {
+}
+
+func TestProtoResponseRoundtrip(t *testing.T) {
+	for _, resp := range responseCorpus() {
 		frame := serve.AppendResponse(nil, resp)
 		got, err := serve.ParseResponse(frame)
 		if err != nil {
@@ -84,6 +89,100 @@ func TestProtoResponseRoundtrip(t *testing.T) {
 			if w.Val != g.Val || w.Swapped != g.Swapped || !reflect.DeepEqual(w.Vals, g.Vals) {
 				t.Errorf("status %d result %d: got %+v, want %+v", resp.Status, i, g, w)
 			}
+		}
+	}
+}
+
+// requestsEqual compares decoded requests by content (nil and empty op
+// slices are the same request).
+func requestsEqual(a, b *serve.ProtoRequest) bool {
+	return a.Opcode == b.Opcode && a.ReqID == b.ReqID && a.Hello == b.Hello &&
+		reflect.DeepEqual(normOps(a.Ops), normOps(b.Ops))
+}
+
+// responsesEqual compares decoded responses by content.
+func responsesEqual(a, b *serve.ProtoResponse) bool {
+	if a.Status != b.Status || a.ReqID != b.ReqID || a.Msg != b.Msg ||
+		a.RetryAfterMS != b.RetryAfterMS || len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		x, y := a.Results[i], b.Results[i]
+		if x.Val != y.Val || x.Swapped != y.Swapped || len(x.Vals) != len(y.Vals) {
+			return false
+		}
+		for j := range x.Vals {
+			if x.Vals[j] != y.Vals[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dirtyRequest/dirtyResponse leave a recycled decode target full of stale
+// buffers (the widest corpus entries), so a recycled parse that fails to
+// overwrite or re-bound a field shows through.
+func dirtyRequest(t *testing.T, req *serve.ProtoRequest) {
+	t.Helper()
+	frame, err := serve.AppendRequest(nil, requestCorpus()[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.ParseRequestInto(frame, req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dirtyResponse(t *testing.T, resp *serve.ProtoResponse) {
+	t.Helper()
+	frame := serve.AppendResponse(nil, responseCorpus()[0])
+	if err := serve.ParseResponseInto(frame, resp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseRequestIntoRecycled: decoding into a dirty recycled struct must
+// produce exactly what a fresh decode does, for every opcode — one request
+// envelope serves a whole connection lifetime on the hot path.
+func TestParseRequestIntoRecycled(t *testing.T) {
+	var recycled serve.ProtoRequest
+	for _, req := range requestCorpus() {
+		frame, err := serve.AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("opcode %d: encode: %v", req.Opcode, err)
+		}
+		dirtyRequest(t, &recycled)
+		if err := serve.ParseRequestInto(frame, &recycled); err != nil {
+			t.Fatalf("opcode %d: recycled decode: %v", req.Opcode, err)
+		}
+		fresh, err := serve.ParseRequest(frame)
+		if err != nil {
+			t.Fatalf("opcode %d: fresh decode: %v", req.Opcode, err)
+		}
+		if !requestsEqual(fresh, &recycled) {
+			t.Errorf("opcode %d: recycled decode diverged:\n got %+v\nwant %+v", req.Opcode, &recycled, fresh)
+		}
+	}
+}
+
+// TestParseResponseIntoRecycled is the response-side recycled-decode
+// equivalence (the pipelined load generator reuses one ProtoResponse per
+// connection).
+func TestParseResponseIntoRecycled(t *testing.T) {
+	var recycled serve.ProtoResponse
+	for _, resp := range responseCorpus() {
+		frame := serve.AppendResponse(nil, resp)
+		dirtyResponse(t, &recycled)
+		if err := serve.ParseResponseInto(frame, &recycled); err != nil {
+			t.Fatalf("status %d: recycled decode: %v", resp.Status, err)
+		}
+		fresh, err := serve.ParseResponse(frame)
+		if err != nil {
+			t.Fatalf("status %d: fresh decode: %v", resp.Status, err)
+		}
+		if !responsesEqual(fresh, &recycled) {
+			t.Errorf("status %d: recycled decode diverged:\n got %+v\nwant %+v", resp.Status, &recycled, fresh)
 		}
 	}
 }
@@ -112,6 +211,16 @@ func FuzzParseRequest(f *testing.F) {
 		if _, err := serve.ParseRequest(re); err != nil {
 			t.Fatalf("re-encoded request does not re-decode: %v", err)
 		}
+		// A recycled decode target (pooled buffers full of a previous
+		// request) must accept the same frames and read back identically.
+		var recycled serve.ProtoRequest
+		dirtyRequest(t, &recycled)
+		if err := serve.ParseRequestInto(frame, &recycled); err != nil {
+			t.Fatalf("recycled decode rejects what a fresh decode accepted: %v", err)
+		}
+		if !requestsEqual(req, &recycled) {
+			t.Fatalf("recycled decode diverged:\n got %+v\nwant %+v", &recycled, req)
+		}
 	})
 }
 
@@ -128,6 +237,14 @@ func FuzzParseResponse(f *testing.F) {
 		re := serve.AppendResponse(nil, resp)
 		if _, err := serve.ParseResponse(re); err != nil {
 			t.Fatalf("re-encoded response does not re-decode: %v", err)
+		}
+		var recycled serve.ProtoResponse
+		dirtyResponse(t, &recycled)
+		if err := serve.ParseResponseInto(frame, &recycled); err != nil {
+			t.Fatalf("recycled decode rejects what a fresh decode accepted: %v", err)
+		}
+		if !responsesEqual(resp, &recycled) {
+			t.Fatalf("recycled decode diverged:\n got %+v\nwant %+v", &recycled, resp)
 		}
 	})
 }

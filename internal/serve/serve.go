@@ -32,8 +32,8 @@ package serve
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rhnorec/internal/bench"
@@ -146,6 +146,13 @@ type Config struct {
 	// SigBits, when > 0, publishes write signatures of that bloom width on
 	// the memory and arms signature-filtered validation.
 	SigBits int
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ on the
+	// service mux (off by default: profiling endpoints are opt-in).
+	Pprof bool
+	// SnapScanAttempts bounds the seqlock copy passes the snapshot-scan fast
+	// path tries before falling back to the transactional read (default 3;
+	// negative disables the fast path).
+	SnapScanAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +179,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.SnapScanAttempts == 0 {
+		c.SnapScanAttempts = 3
 	}
 	return c
 }
@@ -203,7 +213,10 @@ var ErrShed = fmt.Errorf("serve: overloaded, retry later")
 // ErrClosed reports a request caught in server shutdown.
 var ErrClosed = fmt.Errorf("serve: server closed")
 
-// request is one in-flight request envelope.
+// request is one in-flight request envelope. Envelopes are recyclable: the
+// binary session embeds one per pipeline slot and reuses it across frames,
+// so completion is a buffered-1 send on done (a close would be one-shot) and
+// every field is rewritten before each enqueue.
 type request struct {
 	ep       Endpoint
 	ops      []Op
@@ -214,6 +227,34 @@ type request struct {
 	enq      int64 // obs.Now at admission
 	deadline int64 // obs.Now after which a queued request is shed
 	done     chan struct{}
+	// next links a pipelined submit group: a connection that drained several
+	// frames enqueues the whole chain as ONE queue slot, and the worker
+	// unlinks it back into its batch (worker.serveBatch).
+	next *request
+}
+
+// finish answers the request (worker side). The buffered send never blocks:
+// each envelope has exactly one waiter per enqueue.
+func (r *request) finish() { r.done <- struct{}{} }
+
+// pipelineBucketCount is the number of power-of-two pipeline-depth buckets
+// (1, 2, 4, ..., 64); the last bucket absorbs deeper drains.
+const pipelineBucketCount = 7
+
+// pipelineCounters ledgers binary-session drain depths: one count per
+// drain, bucketed by the smallest power of two >= the number of frames the
+// drain carried. Incremented by connection goroutines (atomics — sessions
+// are not worker-owned).
+type pipelineCounters struct {
+	buckets [pipelineBucketCount]atomic.Uint64
+}
+
+func (p *pipelineCounters) record(depth int) {
+	i := 0
+	for d := 1; d < depth && i < pipelineBucketCount-1; d <<= 1 {
+		i++
+	}
+	p.buckets[i].Add(1)
 }
 
 // Server is one KV service instance: the memory, the TM system, and the
@@ -234,6 +275,7 @@ type Server struct {
 	once    sync.Once
 
 	admission admissionCounters
+	pipeline  pipelineCounters
 
 	mu         sync.Mutex
 	finalSnaps []*workerSnap
@@ -337,11 +379,24 @@ func (s *Server) addrOf(key uint64) mem.Addr {
 	return s.base + mem.Addr(key*mem.LineWords)
 }
 
+// sum64a is an inline FNV-1a over s: the same hash hash/fnv computes, minus
+// the heap-allocated hasher object and the []byte(client) copy a
+// fnv.New64a()+Write pair costs on every request.
+func sum64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // workerFor routes a client identity to its sticky worker (FNV-1a hash).
+// Binary sessions call this once per identity (at connect and at Hello) and
+// cache the worker; the HTTP path calls it per request but allocates
+// nothing either way.
 func (s *Server) workerFor(client string) *worker {
-	h := fnv.New64a()
-	h.Write([]byte(client))
-	return s.workers[h.Sum64()%uint64(len(s.workers))]
+	return s.workers[sum64a(client)%uint64(len(s.workers))]
 }
 
 // checkOps validates a request's ops against the key space and clamps.
@@ -387,9 +442,54 @@ func readOnlyOps(ops []Op) bool {
 	return true
 }
 
+// saturated reports whether the saturation shed trips for w: the engine's
+// contention window is the adaptive policy's fast-path admission signal; at
+// the service boundary the same signal sheds new work while this worker is
+// already backlogged, so the convoy drains instead of growing.
+func (s *Server) saturated(w *worker) bool {
+	if s.engine == nil {
+		return false
+	}
+	win := s.engine.Policy().ContentionWindow
+	return win > 0 && s.engine.SlowPathLoad() >= win && w.backlog() >= s.cfg.QueueDepth/2
+}
+
+// enqueue offers a request chain (head, counting n requests) to w's queue
+// without blocking; the whole chain occupies ONE queue slot, which is what
+// lets a pipelined drain coalesce. A full queue sheds the chain.
+func (s *Server) enqueue(w *worker, head *request, n int) bool {
+	select {
+	case w.q <- head:
+		return true
+	default:
+		s.admission.queueShed.Add(uint64(n))
+		return false
+	}
+}
+
+// await blocks until r completes. A false return means the worker exited
+// (shutdown) without ever dequeuing r — and never will, so the envelope is
+// safe to recycle: workers answer everything they dequeued before closing
+// done.
+func (s *Server) await(w *worker, r *request) bool {
+	select {
+	case <-r.done:
+		return true
+	case <-w.done:
+		select {
+		case <-r.done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
 // Do validates, admits, and executes one request on the client's sticky
 // worker, blocking until the reply. It returns the per-op results, ErrShed
-// (retry later), a *RequestError (client error), or ErrClosed.
+// (retry later), a *RequestError (client error), or ErrClosed. Do allocates
+// its envelope (the results escape to the caller); the binary session keeps
+// per-connection recycled envelopes and speaks submit/await directly.
 func (s *Server) Do(client string, ep Endpoint, ops []Op) ([]OpResult, error) {
 	if err := s.checkOps(ops); err != nil {
 		return nil, err
@@ -400,16 +500,9 @@ func (s *Server) Do(client string, ep Endpoint, ops []Op) ([]OpResult, error) {
 	default:
 	}
 	w := s.workerFor(client)
-	// Saturation shed: the engine's contention window is the adaptive
-	// policy's fast-path admission signal; at the service boundary the same
-	// signal sheds new work while this worker is already backlogged, so the
-	// convoy drains instead of growing.
-	if s.engine != nil {
-		if win := s.engine.Policy().ContentionWindow; win > 0 &&
-			s.engine.SlowPathLoad() >= win && w.backlog() >= s.cfg.QueueDepth/2 {
-			s.admission.saturationShed.Add(1)
-			return nil, ErrShed
-		}
+	if s.saturated(w) {
+		s.admission.saturationShed.Add(1)
+		return nil, ErrShed
 	}
 	now := obs.Now()
 	r := &request{
@@ -419,23 +512,13 @@ func (s *Server) Do(client string, ep Endpoint, ops []Op) ([]OpResult, error) {
 		res:      make([]OpResult, len(ops)),
 		enq:      now,
 		deadline: now + s.cfg.RequestTimeout.Nanoseconds(),
-		done:     make(chan struct{}),
+		done:     make(chan struct{}, 1),
 	}
-	select {
-	case w.q <- r:
-	default:
-		s.admission.queueShed.Add(1)
+	if !s.enqueue(w, r, 1) {
 		return nil, ErrShed
 	}
-	select {
-	case <-r.done:
-	case <-w.done:
-		// The worker exited (shutdown) without draining this request.
-		select {
-		case <-r.done:
-		default:
-			return nil, ErrClosed
-		}
+	if !s.await(w, r) {
+		return nil, ErrClosed
 	}
 	if r.shed {
 		return nil, ErrShed
@@ -448,8 +531,9 @@ func (s *Server) Do(client string, ep Endpoint, ops []Op) ([]OpResult, error) {
 
 // applyOps executes one request's ops against the transactional view,
 // overwriting res. It is re-executed from the top on every restart, so it
-// writes results idempotently and allocates nothing (the Vals slices are
-// pre-sized by Do).
+// writes results idempotently and allocates nothing in steady state (a
+// scan's Vals backing array is grown once and recycled across uses of the
+// envelope).
 func (s *Server) applyOps(tx tm.Tx, ops []Op, res []OpResult) {
 	for i := range ops {
 		op := &ops[i]
@@ -469,9 +553,10 @@ func (s *Server) applyOps(tx tm.Tx, ops []Op, res []OpResult) {
 			}
 		case OpScan:
 			vals := res[i].Vals
-			if vals == nil {
+			if cap(vals) < int(op.Count) {
 				vals = make([]uint64, op.Count)
 			}
+			vals = vals[:op.Count]
 			for j := uint64(0); j < uint64(op.Count); j++ {
 				vals[j] = tx.Load(s.addrOf(op.Key + j))
 			}

@@ -3,6 +3,7 @@ package serve
 import (
 	"sync/atomic"
 
+	"rhnorec/internal/mem"
 	"rhnorec/internal/obs"
 	"rhnorec/internal/tm"
 )
@@ -23,6 +24,16 @@ type endpointCounters struct {
 	fused    uint64 // requests that shared a fused transaction with others
 }
 
+// snapScanCounters ledgers the snapshot-scan fast path (rhserve.v1
+// "snapscan"): attempts = eligible requests, hits = answered by a clean
+// seqlock snapshot, fallbacks = dirtied every pass and re-ran
+// transactionally. hits + fallbacks == attempts always.
+type snapScanCounters struct {
+	attempts  uint64
+	hits      uint64
+	fallbacks uint64
+}
+
 // workerSnap is one worker's state copied out over the ctl channel (or
 // stored at exit): a value copy of the tm counters, clones of the
 // observability state, and the endpoint ledger. Everything in it is owned
@@ -32,6 +43,7 @@ type workerSnap struct {
 	rec   *obs.Recorder
 	lat   *obs.LabeledHist
 	eps   [numEndpoints]endpointCounters
+	snap  snapScanCounters
 	ring  []obs.Event // drained only in the final (exit-time) snapshot
 }
 
@@ -47,10 +59,18 @@ type worker struct {
 	ctl  chan chan *workerSnap
 	done chan struct{}
 
-	th    tm.Thread
+	th tm.Thread
+	// run/runRO are th.Run and th.RunReadOnly bound once at loop start: a
+	// method value is a fresh closure per evaluation, so binding per batch
+	// would heap-allocate on the hot path. body is the batch-executing
+	// closure, likewise created once (it reads w.batch at call time).
+	run   func(func(tm.Tx) error) error
+	runRO func(func(tm.Tx) error) error
+	body  func(tm.Tx) error
 	rec   *obs.Recorder
 	lat   *obs.LabeledHist
 	eps   [numEndpoints]endpointCounters
+	snap  snapScanCounters
 	batch []*request
 }
 
@@ -93,6 +113,7 @@ func (w *worker) makeSnap(final bool) *workerSnap {
 		rec:   w.rec.Clone(),
 		lat:   w.lat.Clone(),
 		eps:   w.eps,
+		snap:  w.snap,
 	}
 	snap.stats.Obs = nil // cloned above; the live pointer stays worker-owned
 	if final {
@@ -107,6 +128,15 @@ func (w *worker) makeSnap(final bool) *workerSnap {
 // thread is created here so its whole lifetime stays on one goroutine.
 func (w *worker) loop() {
 	w.th = w.s.sys.NewThread()
+	w.run, w.runRO = w.th.Run, w.th.RunReadOnly
+	w.body = func(tx tm.Tx) error {
+		// Re-executed from the top on every restart; applyOps overwrites
+		// results idempotently.
+		for _, r := range w.batch {
+			w.s.applyOps(tx, r.ops, r.res)
+		}
+		return nil
+	}
 	w.rec = obs.NewRecorder(obs.Config{RingSize: w.s.cfg.RingSize})
 	w.th.Stats().Obs = w.rec
 	w.lat = obs.NewLabeledHist(endpointLabels()...)
@@ -131,41 +161,77 @@ func (w *worker) loop() {
 	}
 }
 
-// drainClosed answers everything still queued with ErrClosed (shutdown).
+// drainClosed answers everything still queued with ErrClosed (shutdown),
+// walking each queue slot's whole submit chain.
 func (w *worker) drainClosed() {
 	for {
 		select {
 		case r := <-w.q:
-			r.err = ErrClosed
-			close(r.done)
+			for r != nil {
+				next := r.next
+				r.next = nil
+				r.err = ErrClosed
+				r.finish()
+				r = next
+			}
 		default:
 			return
 		}
 	}
 }
 
-// serve executes r plus everything else already queued, fused into one
-// transaction (up to BatchMax requests). A fused batch is trivially atomic —
-// it IS one transaction — and a batch of pure reads keeps the read-only
-// fast path. Deadline-expired requests are shed at dequeue: by the time a
-// backlogged worker reaches them the client has typically given up, and
-// executing them anyway is work the admission controller exists to avoid.
+// serve executes the submit chain headed at first plus everything else
+// already queued, in batches of up to BatchMax requests fused into one
+// transaction each. A fused batch is trivially atomic — it IS one
+// transaction — and a batch of pure reads keeps the read-only fast path. A
+// chain longer than BatchMax carries its remainder into the next batch
+// without going back through the queue.
 func (w *worker) serve(first *request) {
+	for first != nil {
+		first = w.serveBatch(first)
+	}
+}
+
+// serveBatch fills one batch from the chain at head (then from the queue),
+// executes it, and returns the unconsumed chain remainder. Deadline-expired
+// requests are shed at dequeue: by the time a backlogged worker reaches
+// them the client has typically given up, and executing them anyway is work
+// the admission controller exists to avoid.
+func (w *worker) serveBatch(head *request) *request {
 	testBatchDelay()
 	now := obs.Now()
-	batch := w.admit(w.batch[:0], first, now)
-	for len(batch) < w.s.cfg.BatchMax {
+	max := w.s.cfg.BatchMax
+	batch := w.batch[:0]
+	for {
+		for head != nil && len(batch) < max {
+			r := head
+			head, r.next = r.next, nil
+			batch = w.admit(batch, r, now)
+		}
+		if head != nil || len(batch) >= max {
+			break
+		}
 		select {
 		case r := <-w.q:
-			batch = w.admit(batch, r, now)
+			head = r
 		default:
+			head = nil
 			goto drained
 		}
 	}
 drained:
-	if len(batch) == 0 {
-		return
+	batch = w.snapScans(batch)
+	if len(batch) > 0 {
+		w.batch = batch
+		w.execBatch(batch)
 	}
+	w.batch = batch[:0]
+	return head
+}
+
+// execBatch runs one non-empty batch as a single transaction and answers
+// every request in it.
+func (w *worker) execBatch(batch []*request) {
 	readOnly := true
 	for _, r := range batch {
 		if !r.readOnly {
@@ -173,18 +239,11 @@ drained:
 			break
 		}
 	}
-	run := w.th.Run
+	run := w.run
 	if readOnly {
-		run = w.th.RunReadOnly
+		run = w.runRO
 	}
-	err := run(func(tx tm.Tx) error {
-		// Re-executed from the top on every restart; applyOps overwrites
-		// results idempotently.
-		for _, r := range batch {
-			w.s.applyOps(tx, r.ops, r.res)
-		}
-		return nil
-	})
+	err := run(w.body)
 	fused := len(batch) > 1
 	if fused {
 		if ring := w.rec.Ring(); ring != nil {
@@ -202,9 +261,49 @@ drained:
 			r.err = err
 		}
 		w.lat.Record(int(r.ep), uint64(done-r.enq))
-		close(r.done)
+		r.finish()
 	}
-	w.batch = batch[:0]
+}
+
+// snapScans peels snapshot-eligible requests — read-only, exactly one scan
+// op — off the batch and answers them from a bounded seqlock snapshot
+// (mem.SnapshotStrideTry): O(touched stripes) validation instead of
+// O(words) instrumented TxnLoads, and no read-set bookkeeping at all. A
+// clean pass certifies the copied values coexisted in memory (DESIGN.md
+// §14); a request whose passes were all dirtied falls back into the
+// transactional batch. Requests with more than one op stay transactional
+// even when read-only: their ops must observe ONE consistent cut, which is
+// the transaction's job.
+func (w *worker) snapScans(batch []*request) []*request {
+	if w.s.cfg.SnapScanAttempts < 0 {
+		return batch
+	}
+	kept := batch[:0]
+	for _, r := range batch {
+		if !r.readOnly || len(r.ops) != 1 || r.ops[0].Kind != OpScan {
+			kept = append(kept, r)
+			continue
+		}
+		op := &r.ops[0]
+		w.snap.attempts++
+		vals := r.res[0].Vals
+		if cap(vals) < int(op.Count) {
+			vals = make([]uint64, op.Count)
+		}
+		vals = vals[:op.Count]
+		if !w.s.m.SnapshotStrideTry(w.s.addrOf(op.Key), mem.LineWords, vals, w.s.cfg.SnapScanAttempts) {
+			w.snap.fallbacks++
+			r.res[0].Vals = vals // keep the grown buffer for the txn path
+			kept = append(kept, r)
+			continue
+		}
+		w.snap.hits++
+		r.res[0] = OpResult{Vals: vals}
+		w.eps[EpScan].requests++
+		w.lat.Record(int(EpScan), uint64(obs.Now()-r.enq))
+		r.finish()
+	}
+	return kept
 }
 
 // admit appends r to the batch, or sheds it if its deadline expired while
@@ -218,7 +317,7 @@ func (w *worker) admit(batch []*request, r *request, now int64) []*request {
 		if ring := w.rec.Ring(); ring != nil {
 			ring.Record(obs.Event{T: w.s.m.Clock(), Kind: obs.EventShed})
 		}
-		close(r.done)
+		r.finish()
 		return batch
 	}
 	return append(batch, r)

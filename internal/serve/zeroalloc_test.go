@@ -1,0 +1,162 @@
+package serve_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"rhnorec/internal/serve"
+)
+
+// zaConn is an allocation-free binary-protocol client: request frames are
+// prebuilt wire bytes written in one syscall, replies decode into one
+// recycled ProtoResponse. Together with the server's recycled session
+// state, a steady-state round trip performs zero process-wide heap
+// allocations — which is what BenchmarkServeBinary* and the CI gate
+// measure (testing counts mallocs across all goroutines, so a hidden
+// server-side allocation fails the client-side benchmark).
+type zaConn struct {
+	c     net.Conn
+	br    *bufio.Reader
+	inBuf []byte
+	resp  serve.ProtoResponse
+}
+
+func dialZA(tb testing.TB, addr string) *zaConn {
+	tb.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		tb.Fatalf("dial: %v", err)
+	}
+	if _, err := io.WriteString(c, serve.ProtoMagic); err != nil {
+		tb.Fatalf("magic: %v", err)
+	}
+	z := &zaConn{c: c, br: bufio.NewReader(c)}
+	hello := buildWire(tb, &serve.ProtoRequest{Opcode: serve.OpcodeHello, ReqID: 1, Hello: "za-1"})
+	if err := z.exchange(hello, 1); err != nil {
+		tb.Fatalf("hello: %v", err)
+	}
+	return z
+}
+
+// buildWire prebuilds the wire bytes of one or more frames.
+func buildWire(tb testing.TB, reqs ...*serve.ProtoRequest) []byte {
+	tb.Helper()
+	var wire []byte
+	for _, req := range reqs {
+		payload, err := serve.AppendRequest(nil, req)
+		if err != nil {
+			tb.Fatalf("encode: %v", err)
+		}
+		wire = append(wire,
+			byte(len(payload)>>24), byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
+		wire = append(wire, payload...)
+	}
+	return wire
+}
+
+// exchange writes prebuilt wire bytes and consumes n replies. It is
+// allocation-free on the happy path after warmup.
+func (z *zaConn) exchange(wire []byte, n int) error {
+	if _, err := z.c.Write(wire); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		frame, err := serve.ReadFrame(z.br, z.inBuf)
+		if err != nil {
+			return err
+		}
+		z.inBuf = frame[:0]
+		if err := serve.ParseResponseInto(frame, &z.resp); err != nil {
+			return err
+		}
+		if z.resp.Status != serve.StatusOK && z.resp.Status != serve.StatusPong {
+			return fmt.Errorf("status %d: %s", z.resp.Status, z.resp.Msg)
+		}
+	}
+	return nil
+}
+
+// benchBinary measures steady-state round trips of a prebuilt frame batch.
+func benchBinary(b *testing.B, reqs []*serve.ProtoRequest) {
+	s, err := serve.New(serve.Config{Keys: 64, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	z := dialZA(b, addr.String())
+	defer z.c.Close()
+	wire := buildWire(b, reqs...)
+	for i := 0; i < 32; i++ { // warm every recycled buffer on both sides
+		if err := z.exchange(wire, len(reqs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := z.exchange(wire, len(reqs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeBinaryGet(b *testing.B) {
+	benchBinary(b, []*serve.ProtoRequest{{Opcode: serve.OpcodeGet, ReqID: 2,
+		Ops: []serve.Op{{Kind: serve.OpGet, Key: 7}}}})
+}
+
+func BenchmarkServeBinaryPut(b *testing.B) {
+	benchBinary(b, []*serve.ProtoRequest{{Opcode: serve.OpcodePut, ReqID: 2,
+		Ops: []serve.Op{{Kind: serve.OpPut, Key: 7, Val: 42}}}})
+}
+
+func BenchmarkServeBinaryPipelined(b *testing.B) {
+	reqs := make([]*serve.ProtoRequest, 8)
+	for i := range reqs {
+		reqs[i] = &serve.ProtoRequest{Opcode: serve.OpcodeGet, ReqID: uint64(2 + i),
+			Ops: []serve.Op{{Kind: serve.OpGet, Key: uint64(i)}}}
+	}
+	benchBinary(b, reqs)
+}
+
+// TestServeBinarySteadyStateAllocs pins the tentpole's zero-alloc claim
+// directly: after warmup, a binary get round trip — client encode, server
+// parse, worker execution, reply encode, client decode — performs zero
+// heap allocations process-wide.
+func TestServeBinarySteadyStateAllocs(t *testing.T) {
+	s, err := serve.New(serve.Config{Keys: 64, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := dialZA(t, addr.String())
+	defer z.c.Close()
+	wire := buildWire(t,
+		&serve.ProtoRequest{Opcode: serve.OpcodePut, ReqID: 2, Ops: []serve.Op{{Kind: serve.OpPut, Key: 7, Val: 42}}},
+		&serve.ProtoRequest{Opcode: serve.OpcodeGet, ReqID: 3, Ops: []serve.Op{{Kind: serve.OpGet, Key: 7}}},
+	)
+	for i := 0; i < 32; i++ {
+		if err := z.exchange(wire, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := z.exchange(wire, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state binary round trip allocates %.1f times, want 0", avg)
+	}
+}
