@@ -12,6 +12,7 @@
 //	rhbench -experiment disjoint        # per-thread private lines (striping scaling)
 //	rhbench -experiment contention      # hotspot vs disjoint under policy variants
 //	rhbench -experiment signature       # sig-filter / group-commit ablation grid
+//	rhbench -experiment persist         # durability overhead: off vs group fsync vs fsync-per-commit
 //	rhbench -experiment all             # fig4+fig5+fig6+extra
 //	rhbench -experiment list            # list workloads and algorithms
 //
@@ -31,6 +32,12 @@
 // selects the retry-policy kind (default: static, overridable via the
 // RHNOREC_POLICY environment variable), -retries the fast-path retry
 // budget, -backoff the base backoff bound in scheduler yields.
+//
+// Durability (docs/PERSIST.md): -persist group|sync arms the redo-log
+// persistence plane on every point — each point logs its commits to a
+// throwaway directory and durable-acks every operation (default: off, or
+// RHNOREC_PERSIST). The persist experiment ignores the flag and sweeps the
+// three modes side by side; CI gates it against the BENCH_7.json baseline.
 //
 // CI perf gate: -compare BASELINE.json re-checks this run's points against
 // a baseline dump and exits non-zero when any point is missing or fell
@@ -65,7 +72,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | contention | signature | all | list (comma-separated ok)")
+		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | contention | signature | persist | all | list (comma-separated ok)")
 		duration   = flag.Duration("duration", 150*time.Millisecond, "measurement time per benchmark point")
 		threadsCSV = flag.String("threads", "1,2,4,8,12,16", "thread counts to sweep")
 		algosCSV   = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's five)")
@@ -84,6 +91,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "print each point as it completes")
 
 		policyName  = flag.String("policy", "", "contention policy kind: static | backoff | adaptive (default: static, or $RHNOREC_POLICY)")
+		persistName = flag.String("persist", "", "durability mode for every point: group | sync | off (default: off, or $RHNOREC_PERSIST); armed points redo-log commits and durable-ack each op")
 		retries     = flag.Int("retries", 0, "fast-path HTM retry budget before fallback (0 = paper default)")
 		backoffBase = flag.Int("backoff", 0, "base backoff bound in scheduler yields for the randomized policies (0 = default)")
 
@@ -95,7 +103,7 @@ func main() {
 	tm.SetSoftwareAccessCost(*swcost)
 
 	if *experiment == "list" {
-		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint contention signature all")
+		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint contention signature persist all")
 		fmt.Print("algorithms:")
 		for _, a := range bench.StandardAlgos() {
 			fmt.Printf(" %s", a.Name)
@@ -110,6 +118,10 @@ func main() {
 		}
 		fmt.Print("\nsignature variants:")
 		for _, a := range bench.SignatureVariants(0) {
+			fmt.Printf(" %s", a.Name)
+		}
+		fmt.Print("\npersist variants:")
+		for _, a := range bench.PersistVariants() {
 			fmt.Printf(" %s", a.Name)
 		}
 		fmt.Println()
@@ -143,6 +155,13 @@ func main() {
 	}
 	if *backoffBase > 0 {
 		cfg.Policy.BackoffBaseYields = *backoffBase
+	}
+	if *persistName != "" {
+		mode, ok := tm.PersistModeByName(*persistName)
+		if !ok {
+			fatal(fmt.Errorf("unknown -persist %q (want group, sync or off)", *persistName))
+		}
+		cfg.Policy.Persist = mode
 	}
 	if *tracePath != "" {
 		if *ringSize <= 0 {
@@ -218,6 +237,8 @@ func main() {
 			return bench.ContentionFigure(os.Stdout, cfg)
 		case "signature":
 			return bench.SignatureFigure(os.Stdout, cfg)
+		case "persist":
+			return bench.PersistFigure(os.Stdout, cfg)
 		case "ablation":
 			acfg := cfg
 			if *algosCSV == "" {

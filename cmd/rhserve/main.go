@@ -18,6 +18,13 @@
 // -ringsize per-worker event-ring entries, -pprof mounts net/http/pprof
 // under /debug/pprof/ (opt-in profiling).
 //
+// Durability (docs/PERSIST.md): -data <dir> arms the redo-log persistence
+// plane — boot replays the directory's logs (crash recovery) and committing
+// writes append to them; requires -algo rh-norec. -persist group|sync picks
+// group fsync vs fsync-per-commit (default: group, or RHNOREC_PERSIST).
+// -durable makes every write request wait for its fsync before the reply
+// (per-connection opt-in exists on the binary protocol via OpcodeDurable).
+//
 // Observability: GET /metrics is the human-readable counter page;
 // GET /metrics?format=json is the rhserve.v1 dump (docs/METRICS.md),
 // validated in CI by bench.ValidateDump and consumed by cmd/rhload.
@@ -52,6 +59,9 @@ func main() {
 		ringSize   = flag.Int("ringsize", 0, "per-worker event-ring entries (0 = off)")
 		cores      = flag.Int("cores", 0, "simulated HTM cores (0 = default)")
 		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service mux")
+		dataDir    = flag.String("data", "", "redo-log directory: arms durable persistence + boot crash recovery")
+		persistStr = flag.String("persist", "", "durability mode with -data: group|sync (default: group / RHNOREC_PERSIST)")
+		durable    = flag.Bool("durable", false, "every write request waits for its fsync before the reply")
 	)
 	flag.Parse()
 
@@ -63,6 +73,14 @@ func main() {
 			os.Exit(2)
 		}
 		pol.Kind = kind
+	}
+	if *persistStr != "" {
+		mode, ok := tm.PersistModeByName(*persistStr)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rhserve: unknown persist mode %q (want group|sync)\n", *persistStr)
+			os.Exit(2)
+		}
+		pol.Persist = mode
 	}
 	hcfg := htm.Config{}
 	if *cores > 0 {
@@ -82,10 +100,16 @@ func main() {
 		RingSize:       *ringSize,
 		SigBits:        *sigbits,
 		Pprof:          *pprofFlag,
+		DataDir:        *dataDir,
+		DurableAcks:    *durable,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhserve: %v\n", err)
 		os.Exit(1)
+	}
+	if stats, on := s.Recovery(); on {
+		fmt.Printf("rhserve: recovered %s: replayed %d commits (%d records) to seq %d, dropped %d, torn tails %d\n",
+			*dataDir, stats.Commits, stats.Records, stats.Seq, stats.Dropped, stats.TornTails)
 	}
 	bound, err := s.Start(*addr)
 	if err != nil {

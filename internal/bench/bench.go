@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"rhnorec/internal/mem"
 	"rhnorec/internal/norec"
 	"rhnorec/internal/obs"
+	"rhnorec/internal/persist"
 	"rhnorec/internal/phasedtm"
 	"rhnorec/internal/rhtl2"
 	"rhnorec/internal/tl2"
@@ -41,6 +43,17 @@ type Workload interface {
 type Algo struct {
 	Name string
 	New  func(m *mem.Memory, dev *htm.Device, pol tm.RetryPolicy) tm.System
+	// Persist pins the point's durability mode, overriding the sweep-level
+	// policy knob (RunConfig.Policy.Persist / rhbench -persist): when group
+	// or sync, Run opens a fresh redo log (internal/persist) on a temporary
+	// directory (honoring $TMPDIR; the CI gate points it at a RAM disk to
+	// isolate protocol overhead from device latency), attaches it to the
+	// point's memory, and durable-acks every 16-op worker batch — the
+	// service's ack granularity, where one WaitDurable covers a fused batch
+	// of requests. PersistOff pins persistence off even under an ambient
+	// knob (the baseline cell of the persist ablation); PersistDefault
+	// defers to the sweep.
+	Persist tm.PersistMode
 }
 
 // StandardAlgos returns the five systems the paper benchmarks (§3.1), in
@@ -148,8 +161,29 @@ func SignatureVariants(sigBits int) []Algo {
 	}
 }
 
-// AlgoByName returns the standard, ablation, policy-variant or
-// signature-variant algorithm with the given name.
+// PersistVariants returns the durability-overhead ablation over RH NOrec
+// (DESIGN.md §15): persistence off, the group-fsync redo log, and the
+// fsync-per-commit ablation. The persisting variants pin Algo.Persist, so
+// each of their points opens a fresh redo log and every operation
+// durable-acks (see Algo.Persist); the baseline pins PersistOff so an
+// ambient -persist/RHNOREC_PERSIST setting cannot blur the comparison.
+// This is the algorithm set of the persist experiment and of the CI
+// crash-recovery gate against the checked-in BENCH_7.json baseline.
+func PersistVariants() []Algo {
+	rh := func(name string, mode tm.PersistMode) Algo {
+		return Algo{Name: name, New: func(m *mem.Memory, d *htm.Device, p tm.RetryPolicy) tm.System {
+			return core.New(m, d, p)
+		}, Persist: mode}
+	}
+	return []Algo{
+		rh("rh-norec", tm.PersistOff),
+		rh("rh-norec+persist", tm.PersistGroup),
+		rh("rh-norec+persist-sync", tm.PersistSync),
+	}
+}
+
+// AlgoByName returns the standard, ablation, policy-variant,
+// signature-variant or persist-variant algorithm with the given name.
 func AlgoByName(name string) (Algo, bool) {
 	for _, a := range StandardAlgos() {
 		if a.Name == name {
@@ -167,6 +201,11 @@ func AlgoByName(name string) (Algo, bool) {
 		}
 	}
 	for _, a := range SignatureVariants(0) {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	for _, a := range PersistVariants() {
 		if a.Name == name {
 			return a, true
 		}
@@ -251,6 +290,34 @@ func Run(cfg RunConfig) (Result, error) {
 	if cfg.Combine {
 		cfg.Policy.Combine = true
 	}
+	// Durability: the algo's pinned mode wins, else the policy knob
+	// (rhbench -persist / RHNOREC_PERSIST via WithDefaults). An armed point
+	// redo-logs every commit to a throwaway directory and durable-acks every
+	// op in the worker loop below.
+	persistMode := cfg.Algo.Persist
+	if persistMode == tm.PersistDefault {
+		persistMode = cfg.Policy.WithDefaults().Persist
+	}
+	var plog *persist.Log
+	if persistMode == tm.PersistGroup || persistMode == tm.PersistSync {
+		dir, err := os.MkdirTemp("", "rhbench-persist-")
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: persist dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		log, _, err := persist.Open(persist.Options{
+			// The whole allocatable arena (address 0 is mem.Nil): workloads
+			// allocate after New, so the range cannot be narrowed here.
+			Dir: dir, Lo: mem.LineWords, Hi: mem.Addr(m.Size()),
+			SyncEveryAppend: persistMode == tm.PersistSync,
+		}, m.StorePlain, m.LoadPlain)
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: persist open: %w", err)
+		}
+		plog = log
+		defer plog.Close()
+		m.SetPersister(plog)
+	}
 	dev := htm.NewDevice(m, cfg.HTM)
 	dev.SetActiveThreads(cfg.Threads)
 	sys := cfg.Algo.New(m, dev, cfg.Policy)
@@ -290,6 +357,18 @@ func Run(cfg RunConfig) (Result, error) {
 					}
 					ops++
 				}
+				if plog != nil {
+					// Durable ack at the batch boundary: everything appended
+					// so far (including this batch's commits) must reach
+					// stable storage before the next batch — the service's
+					// ack granularity, where one WaitDurable covers a fused
+					// batch of requests. Concurrent waiters batch further
+					// behind one group-fsync pass.
+					if err := plog.WaitDurable(plog.Appended()); err != nil {
+						stop.Store(true)
+						return
+					}
+				}
 			}
 			totalOps.Add(ops)
 			aggMu.Lock()
@@ -305,6 +384,11 @@ func Run(cfg RunConfig) (Result, error) {
 	time.Sleep(cfg.Duration)
 	stop.Store(true)
 	wg.Wait()
+	if plog != nil {
+		if err := plog.Err(); err != nil {
+			return Result{}, fmt.Errorf("bench: persist: %w", err)
+		}
+	}
 	elapsed := time.Since(start)
 	ops := totalOps.Load()
 	res := Result{

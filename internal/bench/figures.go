@@ -337,6 +337,30 @@ func SignatureFigure(w io.Writer, cfg FigureConfig) error {
 		[]WorkloadFactory{Scan(ScanConfig{ReadLines: 64})})
 }
 
+// PersistFigure runs the durability-overhead sweep (DESIGN.md §15,
+// docs/PERSIST.md): the hotspot workload — every transaction
+// read-modify-writes the same two shared lines, and every operation
+// durable-acks before the next one — under the persist variants. The
+// shape the baseline encodes: group fsync stays within a small factor of
+// persist-off because concurrent waiters amortize one fsync pass per
+// commit group, while fsync-per-commit pays a full fsync inside every
+// commit's append (serialized under the commit window) and falls off a
+// cliff as threads grow. CI's crash-recovery job gates on this sweep
+// against the checked-in BENCH_7.json baseline.
+func PersistFigure(w io.Writer, cfg FigureConfig) error {
+	if len(cfg.Algos) == 0 {
+		cfg.Algos = PersistVariants()
+	}
+	if cfg.MemWords == 0 {
+		// The hotspot touches a handful of lines; a smaller arena keeps
+		// allocation noise out of the short CI points (and out of the log's
+		// persisted range bound, which spans the whole memory).
+		cfg.MemWords = 1 << 18
+	}
+	return runAndPrint(w, "Persist: durable-acked hotspot (off vs group fsync vs fsync-per-commit)", cfg,
+		[]WorkloadFactory{Hotspot(HotspotConfig{Lines: 2})})
+}
+
 // Extra reproduces the workloads the paper folds into the SSCA2 discussion
 // (Kmeans and Labyrinth, §3.6) plus Bayes, which the paper omits for
 // inconsistent behaviour (no claims are made about it).

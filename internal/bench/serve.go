@@ -49,6 +49,10 @@ type ServeDump struct {
 	// SnapScan is the snapshot-scan fast-path ledger. Optional and
 	// additive: omitted when no scan was eligible.
 	SnapScan *ServeSnapScan `json:"snapscan,omitempty"`
+	// Persist is the durable persistence plane's ledger (redo log + boot
+	// recovery). Optional and additive: omitted when the server runs without
+	// a data directory.
+	Persist *ServePersist `json:"persist,omitempty"`
 	// Obs is the merged engine-level observability snapshot (phase latency
 	// histograms, abort taxonomy, policy and filter ledgers) of the worker
 	// threads — the same block an rhbench.v2 point embeds.
@@ -75,6 +79,36 @@ type ServeSnapScan struct {
 	// Fallbacks counts attempts whose passes were all dirtied by concurrent
 	// writers and re-ran on the transactional path.
 	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// ServePersist ledgers the durable persistence plane: the redo log's append
+// and group-fsync counters plus what boot-time crash recovery replayed. The
+// counter names mirror obs.PersistKind's schema strings (docs/METRICS.md).
+type ServePersist struct {
+	// LogAppends counts logged commits ("log-append").
+	LogAppends uint64 `json:"log_appends"`
+	// LogRecords counts per-segment redo records ("log-record");
+	// >= LogAppends, since one commit may span several segments.
+	LogRecords uint64 `json:"log_records"`
+	// FsyncGroups counts group-fsync passes ("fsync-group"); every durable
+	// ack waiting at a pass rode it, so FsyncGroups <= LogAppends under load
+	// is the batching win.
+	FsyncGroups uint64 `json:"fsync_groups"`
+	// Fsyncs counts per-segment-file fsyncs ("fsync").
+	Fsyncs uint64 `json:"fsyncs"`
+	// Appended and Durable are the log's sequence frontiers: the last
+	// sequence buffered and the last sequence known on stable storage.
+	Appended uint64 `json:"appended"`
+	Durable  uint64 `json:"durable"`
+	// RecoveryReplayed counts commits boot recovery replayed
+	// ("recovery-replayed").
+	RecoveryReplayed uint64 `json:"recovery_replayed"`
+	// RecoveryDropped counts parsed records discarded beyond the consistent
+	// cut ("recovery-dropped").
+	RecoveryDropped uint64 `json:"recovery_dropped"`
+	// TornTails counts segments whose tail bytes were torn or corrupt
+	// ("torn-tail").
+	TornTails uint64 `json:"torn_tails"`
 }
 
 // ServeEndpoint is one endpoint's request ledger and latency distribution.
@@ -209,6 +243,17 @@ func validateServeDump(data []byte) error {
 		if sc.Hits+sc.Fallbacks != sc.Attempts {
 			return fmt.Errorf("snapscan hits %d + fallbacks %d != attempts %d",
 				sc.Hits, sc.Fallbacks, sc.Attempts)
+		}
+	}
+	if p := d.Persist; p != nil {
+		if p.LogRecords < p.LogAppends {
+			return fmt.Errorf("persist log_records %d < log_appends %d", p.LogRecords, p.LogAppends)
+		}
+		if p.Fsyncs < p.FsyncGroups {
+			return fmt.Errorf("persist fsyncs %d < fsync_groups %d", p.Fsyncs, p.FsyncGroups)
+		}
+		if p.Durable > p.Appended {
+			return fmt.Errorf("persist durable %d ahead of appended %d", p.Durable, p.Appended)
 		}
 	}
 	if d.Obs != nil {

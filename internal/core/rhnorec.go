@@ -179,6 +179,12 @@ type thread struct {
 	// entry. Grow-once, recycled.
 	groupBuf []mem.WriteEntry
 
+	// redoBuf assembles the eager-commit redo record (the final values of
+	// every word the full-software path published in place) for the
+	// persistence plane. Grow-once, recycled; untouched when no persister is
+	// attached.
+	redoBuf []mem.WriteEntry
+
 	// Prefix-length adaptation (§2.4): expectedLen is the reads budget the
 	// next prefix will attempt; it halves on prefix aborts and grows again
 	// after sustained success.
@@ -610,12 +616,49 @@ func (t *thread) mixedCommit() {
 			t.groupCommitSoftware()
 			return
 		}
+		// The eager writes are already in memory but no reader can commit a
+		// transaction that saw them until the clock releases below, so the
+		// redo record appended here still precedes every dependent commit's
+		// record (mem.AppendRedo's ordering obligation).
+		t.appendRedoEager(nil)
 		m.StorePlain(t.sys.gHTMLock, 0)
 		t.fullSoftware = false
 	}
 	m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
 	t.writeDetected = false
 	t.undo = t.undo[:0]
+}
+
+// appendRedoEager hands the full-software path's write set to the
+// persistence plane: the deduplicated undo-log addresses (plus a drained
+// group's buffer, for the combining holder) re-read for their final values.
+// Must run before the clock/HTM-lock release makes the values certifiable.
+func (t *thread) appendRedoEager(extra []mem.WriteEntry) {
+	m := t.base.M
+	if !m.Persisting() {
+		return
+	}
+	t.redoBuf = t.redoBuf[:0]
+	for i := range t.undo {
+		t.redoAdd(t.undo[i].Addr)
+	}
+	for i := range extra {
+		t.redoAdd(extra[i].Addr)
+	}
+	if len(t.redoBuf) > 0 {
+		m.AppendRedo(t.redoBuf)
+	}
+}
+
+// redoAdd appends a's final value to redoBuf once (linear dedup: eager
+// write sets are small, and a map would allocate on the hot path).
+func (t *thread) redoAdd(a mem.Addr) {
+	for i := range t.redoBuf {
+		if t.redoBuf[i].Addr == a {
+			return
+		}
+	}
+	t.redoBuf = append(t.redoBuf, mem.WriteEntry{Addr: a, Value: t.base.M.LoadPlain(a)})
 }
 
 // groupCommitPostfix commits a postfix holder with the combining ring
@@ -696,6 +739,7 @@ func (t *thread) groupCommitSoftware() {
 	for _, w := range t.groupBuf {
 		m.StorePlain(w.Addr, w.Value)
 	}
+	t.appendRedoEager(t.groupBuf)
 	m.StorePlain(t.sys.gClock, (t.txv&^1)+2)
 	m.StorePlain(t.sys.gHTMLock, 0)
 	t.fullSoftware = false

@@ -1,0 +1,81 @@
+package explore
+
+// Tests of the explored crash plane: the bank-crash scenario sweeps crash
+// plans ("crash@N") across PCT seeds, so torn redo-log images from many
+// schedule × crash-point combinations all recover to a consistent cut.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rhnorec/internal/tm"
+)
+
+// TestBankCrashSweep is the crash-recovery acceptance sweep: >= 200 explored
+// schedules (seed × crash point), every one recovering its crash image with
+// conservation intact and no durable-acked commit lost. Violations carry the
+// full schedule for reproduction.
+func TestBankCrashSweep(t *testing.T) {
+	seeds, crashPoints := 10, 20
+	if testing.Short() {
+		seeds, crashPoints = 3, 8
+	}
+	runs := 0
+	for ca := 1; ca <= crashPoints; ca++ {
+		cfg := Config{Scenario: "bank-crash", Algo: "rh-norec", Bug: fmt.Sprintf("crash@%d", ca)}
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			res := mustRun(t, cfg, NewPCT(seed, 3, 3, 256, 0.1))
+			runs++
+			if res.Outcome == OutcomeViolation {
+				t.Fatalf("crash@%d seed %d: %s\n%s", ca, seed, res.Violation, FormatTrace(res))
+			}
+		}
+	}
+	t.Logf("swept %d crash schedules", runs)
+}
+
+// TestBankCrashDeterminism: a crash plan must not break replayability — the
+// snapshot trigger counts persist events, which are a pure function of the
+// schedule.
+func TestBankCrashDeterminism(t *testing.T) {
+	cfg := Config{Scenario: "bank-crash", Algo: "rh-norec", Bug: "crash@7"}
+	for _, seed := range []uint64{2, 11} {
+		a := mustRun(t, cfg, NewPCT(seed, 3, 3, 128, 0.2))
+		b := mustRun(t, cfg, NewPCT(seed, 3, 3, 128, 0.2))
+		if !reflect.DeepEqual(a.Events, b.Events) || !reflect.DeepEqual(a.Choices, b.Choices) {
+			t.Fatalf("seed %d: crash-plan runs diverge across identical seeds", seed)
+		}
+		if a.Outcome != b.Outcome {
+			t.Fatalf("seed %d: outcomes %v vs %v", seed, a.Outcome, b.Outcome)
+		}
+	}
+	// And a recorded crash run certifies under replay.
+	res := mustRun(t, cfg, NewPCT(2, 3, 3, 128, 0.2))
+	if _, err := NewTrace(cfg, res).Replay(); err != nil {
+		t.Fatalf("crash-plan trace failed certification: %v", err)
+	}
+}
+
+// TestBankCrashRejectsUnwiredAlgo: only rh-norec logs its eager
+// full-software stores; the scenario must refuse to certify any other algo.
+func TestBankCrashRejectsUnwiredAlgo(t *testing.T) {
+	cfg := Config{Scenario: "bank-crash", Algo: "norec", Bug: "crash@3"}
+	if _, err := RunOnce(cfg, NewPCT(1, 3, 3, 128, 0)); err == nil {
+		t.Fatal("bank-crash accepted an unwired algorithm")
+	}
+}
+
+// TestCrashFixtureReplay certifies the checked-in crash-recovery trace: a
+// schedule that crashes the redo log mid-run and recovers clean. Breaking
+// the log's event determinism or the recovery cut shows up here.
+func TestCrashFixtureReplay(t *testing.T) {
+	t.Setenv(tm.CombineEnvVar, "")
+	tr, err := LoadTrace("testdata/bank-crash-rh-norec-seed3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Replay(); err != nil {
+		t.Fatalf("crash fixture no longer reproduces: %v\n(regenerate with: go run ./cmd/rhexplore -scenario bank-crash -algo rh-norec -seeds 1 -seed0 3 -fault-rate 0.1 -bug crash@9 -record internal/explore/testdata/bank-crash-rh-norec-seed3.json)", err)
+	}
+}

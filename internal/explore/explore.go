@@ -19,6 +19,8 @@ package explore
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -51,8 +53,12 @@ type Config struct {
 	Bug string
 }
 
-// Bugs lists the planted-defect names accepted in Config.Bug.
-func Bugs() []string { return []string{"skip-validation"} }
+// Bugs lists the planted-defect names accepted in Config.Bug. "crash@N" is
+// not a defect but a crash plan: the bank-crash scenario snapshots its
+// persistence backend at the N-th persist event (1-based) and audits
+// recovery from that image. It rides Config.Bug so traces serialize it and
+// a recorded crash run replays as a self-contained fixture.
+func Bugs() []string { return []string{"skip-validation", "crash@N"} }
 
 func bugFlag(name string) (*atomic.Bool, error) {
 	switch name {
@@ -61,8 +67,25 @@ func bugFlag(name string) (*atomic.Bool, error) {
 	case "skip-validation":
 		return &htm.PlantedBugs.SkipValueRevalidation, nil
 	default:
+		if _, ok := crashPlan(name); ok {
+			return nil, nil // consumed by the scenario, no global flag
+		}
 		return nil, fmt.Errorf("explore: unknown bug %q (have %v)", name, Bugs())
 	}
+}
+
+// crashPlan parses a "crash@N" plan (N >= 1: crash at the N-th persist
+// event).
+func crashPlan(bug string) (int, bool) {
+	s, ok := strings.CutPrefix(bug, "crash@")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Env is the per-run world handed to scenario builders: a fresh memory and

@@ -142,7 +142,24 @@ type Memory struct {
 	sigs    []sigRing
 	sigBits uint32
 
+	// persister, when non-nil, receives every committed write set before its
+	// windows close (see Persister). Costs one nil check per commit when
+	// unset, which keeps the persistence-off hot path allocation- and
+	// branch-identical to before.
+	persister Persister
+
 	alloc allocState
+}
+
+// Persister consumes committed write sets for the durability plane
+// (internal/persist implements it with a per-stripe redo log). Append is
+// called inside CommitWrites' locked span — after the stores, before the
+// seqlock windows close — so no reader can certify a read of the commit's
+// values before the commit is in the log; eager software paths call it via
+// AppendRedo under the same ordering obligation. Append must not block on
+// I/O and must not touch the memory it persists.
+type Persister interface {
+	Append(ticket uint64, writes []WriteEntry)
 }
 
 // New creates a memory of the given size in words with DefaultStripes
@@ -181,6 +198,37 @@ func NewStriped(sizeWords, stripes int) *Memory {
 // called while no other goroutine is accessing the memory; the explorer
 // installs it before starting its workers.
 func (m *Memory) SetHook(h Hook) { m.hook = h }
+
+// SetPersister attaches (or, with nil, detaches) the durability plane. Like
+// SetHook it must be called while no other goroutine is accessing the
+// memory: servers attach after boot-time recovery and detach only after
+// draining every committer.
+func (m *Memory) SetPersister(p Persister) { m.persister = p }
+
+// Persisting reports whether a persister is attached; eager software commit
+// paths consult it before assembling a redo entry.
+func (m *Memory) Persisting() bool { return m.persister != nil }
+
+// AppendRedo hands an eagerly-published write set to the attached persister
+// (no-op when none is attached). Callers that publish via StorePlain during
+// execution — the full-software fallback writing under the clock lock —
+// must call it with the final values of every written word *before*
+// releasing the lock that hides those values from committing readers.
+func (m *Memory) AppendRedo(writes []WriteEntry) {
+	if m.persister != nil {
+		m.persister.Append(m.ticket.Load()+1, writes)
+	}
+}
+
+// AllocMark returns the bump-arena watermark: every address below it was
+// handed out (or reserved) already, every address at or above it is still
+// virgin arena. The persistence plane uses it to bound the data range to
+// persist, excluding the TM metadata words allocated before it.
+func (m *Memory) AllocMark() Addr {
+	m.alloc.mu.Lock()
+	defer m.alloc.mu.Unlock()
+	return m.alloc.next
+}
 
 // Size returns the memory size in words.
 func (m *Memory) Size() int { return len(m.words) }
@@ -401,6 +449,13 @@ func (m *Memory) CommitWrites(writes []WriteEntry, validate func() bool) bool {
 				g.AddLine(LineOf(writes[i].Addr), m.sigBits)
 			}
 			touched.forEach(func(s int) { m.publishSig(s, &g) })
+		}
+		if m.persister != nil {
+			// Log before the windows close: a reader can only certify a read
+			// of these values after the clocks return even, which is after the
+			// record exists — so the log's sequence order extends every
+			// reads-from edge and replaying a sequence prefix is consistent.
+			m.persister.Append(m.ticket.Load()+1, writes)
 		}
 		touched.forEach(func(s int) { m.stripes[s].clock.Add(1) })
 		m.ticket.Add(1)

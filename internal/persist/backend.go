@@ -1,0 +1,227 @@
+package persist
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Backend abstracts the durable byte store under a Log: a named-file surface
+// small enough that the crash plane can implement it exactly. Two
+// implementations ship: FileBackend (real files + fsync, production) and
+// MemBackend (in-memory, for unit tests and the explore crash plane — it can
+// snapshot its "disk" at a crash instant, keeping the synced prefix of every
+// file plus a deterministic torn portion of the unsynced tail).
+type Backend interface {
+	// ReadFile returns name's full contents, or an error wrapping
+	// fs.ErrNotExist when the file does not exist.
+	ReadFile(name string) ([]byte, error)
+	// WriteAtomic durably replaces name with data: after it returns, a crash
+	// observes either the old contents or the new, never a mix.
+	WriteAtomic(name string, data []byte) error
+	// OpenAppend opens name for appending, creating it empty if absent.
+	OpenAppend(name string) (File, error)
+	// List returns the names (not paths) of existing files whose name starts
+	// with prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// File is one append-only log segment handle.
+type File interface {
+	// Append writes p at the end of the file. Durability is not implied.
+	Append(p []byte) error
+	// Sync makes every byte appended so far durable.
+	Sync() error
+	Close() error
+}
+
+// FileBackend stores files in one directory with real fsync barriers.
+// WriteAtomic is temp-file + fsync + rename + directory fsync, the standard
+// crash-safe replace.
+type FileBackend struct{ dir string }
+
+// NewFileBackend creates dir if needed and returns a backend rooted there.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileBackend{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (b *FileBackend) Dir() string { return b.dir }
+
+func (b *FileBackend) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(b.dir, name))
+}
+
+func (b *FileBackend) WriteAtomic(name string, data []byte) error {
+	tmp := filepath.Join(b.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(b.dir, name)); err != nil {
+		return err
+	}
+	return b.syncDir()
+}
+
+// syncDir fsyncs the directory so a completed rename survives a crash.
+func (b *FileBackend) syncDir() error {
+	d, err := os.Open(b.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (b *FileBackend) OpenAppend(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (b *FileBackend) List(prefix string) ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && len(e.Name()) >= len(prefix) && e.Name()[:len(prefix)] == prefix {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Append(p []byte) error {
+	_, err := o.f.Write(p)
+	return err
+}
+func (o osFile) Sync() error  { return o.f.Sync() }
+func (o osFile) Close() error { return o.f.Close() }
+
+// MemBackend is an in-memory Backend that models the only disk property the
+// recovery protocol relies on: a crash preserves every synced byte and an
+// arbitrary prefix of the unsynced tail. CrashSnapshot freezes that state
+// deterministically, which is what lets the explore crash plane replay the
+// same crash from the same schedule.
+type MemBackend struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{files: map[string]*memFile{}}
+}
+
+func (b *MemBackend) ReadFile(name string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok {
+		return nil, fs.ErrNotExist
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (b *MemBackend) WriteAtomic(name string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+	return nil
+}
+
+func (b *MemBackend) OpenAppend(name string) (File, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok {
+		f = &memFile{}
+		b.files[name] = f
+	}
+	return &memHandle{b: b, f: f}, nil
+}
+
+func (b *MemBackend) List(prefix string) ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var names []string
+	for name := range b.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// CrashSnapshot returns a new backend holding what a crash at this instant
+// would leave on disk: for every file, the synced prefix plus half of the
+// unsynced tail (rounded down) — enough tearing to cut records mid-byte and
+// strand multi-segment commits, while staying a pure function of the
+// append/sync history so explored crashes replay deterministically.
+func (b *MemBackend) CrashSnapshot() *MemBackend {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := NewMemBackend()
+	for name, f := range b.files {
+		keep := f.synced + (len(f.data)-f.synced)/2
+		out.files[name] = &memFile{data: append([]byte(nil), f.data[:keep]...), synced: keep}
+	}
+	return out
+}
+
+type memHandle struct {
+	b *MemBackend
+	f *memFile
+}
+
+func (h *memHandle) Append(p []byte) error {
+	h.b.mu.Lock()
+	defer h.b.mu.Unlock()
+	h.f.data = append(h.f.data, p...)
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.b.mu.Lock()
+	defer h.b.mu.Unlock()
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+var errClosed = errors.New("persist: log closed")

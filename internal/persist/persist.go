@@ -1,0 +1,382 @@
+// Package persist is the durable persistence plane behind internal/mem: a
+// per-stripe redo log with group fsync, torn-write detection, and
+// crash-recovery replay (DESIGN.md §15, docs/PERSIST.md).
+//
+// Committing transactions append their write sets through the mem.Persister
+// hook; the log assigns each in-range commit a dense sequence number, splits
+// its pairs into per-stripe segment buffers, and leaves flushing to the
+// group-fsync path: WaitDurable batches every waiter behind one fsync pass
+// per dirty segment, so durability costs one fsync group per commit *group*,
+// not per transaction. The HTM fast path stays uninstrumented — its commits
+// reach the log through the same software CommitWrites funnel as everyone
+// else, which is the paper's fast-path/slow-path split carried into the
+// durability plane.
+//
+// Recovery (Open) scans the segments, drops torn or corrupt tails via
+// per-record checksums, requires every segment record of a multi-stripe
+// commit to be present, and replays the longest consistent sequence prefix —
+// so a crash can lose only un-acked suffix commits, never resurrect an
+// aborted transaction, and never tear one in half.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rhnorec/internal/mem"
+)
+
+// DefaultSegments is the default per-stripe segment-file count.
+const DefaultSegments = 8
+
+// Event identifies one persistence yield point (the explore crash plane
+// counts these to place deterministic crashes).
+type Event uint8
+
+const (
+	// EventAppend fires after a commit's records are buffered (sequence
+	// assigned, nothing durable yet).
+	EventAppend Event = iota
+	// EventSync fires after a group-fsync pass advances the durable frontier.
+	EventSync
+)
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the log directory; used when Backend is nil (FileBackend).
+	Dir string
+	// Backend overrides the byte store (tests, crash exploration).
+	Backend Backend
+	// Segments is the segment-file count (default DefaultSegments). Words
+	// are line-interleaved across segments, mirroring the memory stripes.
+	Segments int
+	// Lo, Hi bound the persisted address range [Lo, Hi): only write entries
+	// inside it are logged, so TM metadata words (the global clock, the
+	// fallback counter) never spam the log or get replayed over a fresh
+	// system's state.
+	Lo, Hi mem.Addr
+	// SyncEveryAppend fsyncs inside every Append — the fsync-per-commit
+	// ablation (rhbench -persist sync).
+	SyncEveryAppend bool
+	// OnEvent, when set, observes every append and sync (explore crash
+	// plane). Called outside the log's locks.
+	OnEvent func(ev Event, seq uint64)
+}
+
+// Record layout (little-endian), one record per (commit, segment):
+//
+//	u32 size      — byte length of everything after this field
+//	u64 seq       — dense per-log commit sequence number
+//	u64 ticket    — the memory's global commit ticket at append (diagnostic)
+//	u32 segment   — owning segment index
+//	u32 nsegments — how many segment records this commit wrote in total
+//	u32 npairs    — word pairs in this record
+//	npairs × (u64 addr, u64 val)
+//	u64 checksum  — FNV-64a over the payload (seq through the last pair)
+//
+// A commit touching k segments writes k records sharing one seq; recovery
+// accepts a seq only when all nsegments records parse clean, so a crash that
+// syncs some segments but not others cannot replay half a commit.
+const (
+	recHeadBytes = 8 + 8 + 4 + 4 + 4 // payload header: seq..npairs
+	recPairBytes = 16
+	recSumBytes  = 8
+)
+
+// Counters is a point-in-time copy of the log's ledger, surfaced in the
+// rhserve.v1 dump (obs.PersistKind names the fields' metric vocabulary).
+type Counters struct {
+	// Appends counts logged commits (sequence numbers assigned).
+	Appends uint64
+	// Records counts per-segment records buffered.
+	Records uint64
+	// FsyncGroups counts group-fsync passes that flushed anything.
+	FsyncGroups uint64
+	// Fsyncs counts individual segment-file fsyncs.
+	Fsyncs uint64
+	// Appended and Durable are the log's two frontiers: the last assigned
+	// sequence and the last sequence guaranteed on stable storage.
+	Appended uint64
+	Durable  uint64
+	// Recovery holds the boot-time replay outcome.
+	Recovery RecoveryStats
+}
+
+// Log is the append side of the persistence plane. It implements
+// mem.Persister; construct with Open (which also runs recovery).
+type Log struct {
+	b         Backend
+	lo, hi    mem.Addr
+	nseg      int
+	syncEvery bool
+	onEvent   func(Event, uint64)
+
+	// appendMu orders sequence assignment and buffer encoding; holding it is
+	// the linearization point of persistence. Conflicting commits reach
+	// Append while still holding their stripe locks (or the software clock
+	// lock), so sequence order extends the TM's serialization order.
+	appendMu sync.Mutex
+	seq      uint64
+	bufs     [][]byte
+	segPairs []int
+	touched  []int
+	segStart []int
+
+	appended atomic.Uint64
+	durable  atomic.Uint64
+
+	// syncMu serializes group-fsync passes. It is never held across a
+	// scheduler yield point (syncLocked performs no memory-hook traffic), so
+	// the cooperative explorer cannot park a worker that owns it.
+	syncMu sync.Mutex
+	flush  [][]byte
+	files  []File
+
+	errMu  sync.Mutex
+	err    error
+	closed bool
+
+	nAppends     atomic.Uint64
+	nRecords     atomic.Uint64
+	nFsyncGroups atomic.Uint64
+	nFsyncs      atomic.Uint64
+	recovery     RecoveryStats
+}
+
+// segOf maps an address to its segment: line-interleaved, mirroring the
+// memory's stripe interleaving.
+func (l *Log) segOf(a mem.Addr) int {
+	return int((uint64(a) / mem.LineWords) % uint64(l.nseg))
+}
+
+// Append implements mem.Persister: it buffers one redo record per touched
+// segment for the in-range entries of writes, under a dense sequence number.
+// Commits with no in-range entries produce no record and no sequence. Append
+// never blocks on I/O unless SyncEveryAppend is set.
+func (l *Log) Append(ticket uint64, writes []mem.WriteEntry) {
+	any := false
+	for i := range writes {
+		if writes[i].Addr >= l.lo && writes[i].Addr < l.hi {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	l.appendMu.Lock()
+	seq := l.seq + 1
+	l.touched = l.touched[:0]
+	for i := range writes {
+		a := writes[i].Addr
+		if a < l.lo || a >= l.hi {
+			continue
+		}
+		s := l.segOf(a)
+		if l.segPairs[s] == 0 {
+			l.touched = append(l.touched, s)
+		}
+		l.segPairs[s]++
+	}
+	nsegments := len(l.touched)
+	for _, s := range l.touched {
+		np := l.segPairs[s]
+		size := uint32(recHeadBytes + np*recPairBytes + recSumBytes)
+		b := l.bufs[s]
+		b = binary.LittleEndian.AppendUint32(b, size)
+		l.segStart[s] = len(b)
+		b = binary.LittleEndian.AppendUint64(b, seq)
+		b = binary.LittleEndian.AppendUint64(b, ticket)
+		b = binary.LittleEndian.AppendUint32(b, uint32(s))
+		b = binary.LittleEndian.AppendUint32(b, uint32(nsegments))
+		b = binary.LittleEndian.AppendUint32(b, uint32(np))
+		l.bufs[s] = b
+	}
+	for i := range writes {
+		a := writes[i].Addr
+		if a < l.lo || a >= l.hi {
+			continue
+		}
+		s := l.segOf(a)
+		b := l.bufs[s]
+		b = binary.LittleEndian.AppendUint64(b, uint64(a))
+		b = binary.LittleEndian.AppendUint64(b, writes[i].Value)
+		l.bufs[s] = b
+	}
+	for _, s := range l.touched {
+		payload := l.bufs[s][l.segStart[s]:]
+		l.bufs[s] = binary.LittleEndian.AppendUint64(l.bufs[s], fnv64a(payload))
+		l.segPairs[s] = 0
+	}
+	l.seq = seq
+	l.appended.Store(seq)
+	l.appendMu.Unlock()
+	l.nAppends.Add(1)
+	l.nRecords.Add(uint64(nsegments))
+	if l.onEvent != nil {
+		l.onEvent(EventAppend, seq)
+	}
+	if l.syncEvery {
+		l.syncMu.Lock()
+		l.syncLocked()
+		l.syncMu.Unlock()
+		if l.onEvent != nil {
+			l.onEvent(EventSync, l.durable.Load())
+		}
+	}
+}
+
+// Appended returns the last assigned sequence number: the frontier a
+// durable-acking caller should WaitDurable on after its commit returns.
+func (l *Log) Appended() uint64 { return l.appended.Load() }
+
+// Durable returns the last sequence guaranteed on stable storage.
+func (l *Log) Durable() uint64 { return l.durable.Load() }
+
+// WaitDurable blocks until every append with sequence <= seq is durable,
+// running a group-fsync pass if nobody else gets there first. Concurrent
+// waiters batch: one pass flushes every dirty segment once and advances the
+// durable frontier past all of them. It returns the log's sticky I/O error,
+// if any.
+func (l *Log) WaitDurable(seq uint64) error {
+	if l.durable.Load() >= seq {
+		return l.Err()
+	}
+	l.syncMu.Lock()
+	synced := false
+	for l.durable.Load() < seq {
+		if err := l.Err(); err != nil {
+			l.syncMu.Unlock()
+			return err
+		}
+		l.syncLocked()
+		synced = true
+	}
+	l.syncMu.Unlock()
+	if synced && l.onEvent != nil {
+		l.onEvent(EventSync, l.durable.Load())
+	}
+	return l.Err()
+}
+
+// Sync forces one group-fsync pass over everything appended so far.
+func (l *Log) Sync() error { return l.WaitDurable(l.appended.Load()) }
+
+// syncLocked (syncMu held) swaps out the append buffers and flushes every
+// dirty segment with one write+fsync each, then advances the durable
+// frontier to the sequence captured at the swap.
+func (l *Log) syncLocked() {
+	l.appendMu.Lock()
+	target := l.seq
+	for s := range l.bufs {
+		if len(l.bufs[s]) > 0 {
+			l.bufs[s], l.flush[s] = l.flush[s][:0], l.bufs[s]
+		}
+	}
+	l.appendMu.Unlock()
+	dirty := 0
+	for s := range l.flush {
+		if len(l.flush[s]) == 0 {
+			continue
+		}
+		dirty++
+		if err := l.files[s].Append(l.flush[s]); err != nil {
+			l.fail(err)
+			return
+		}
+		if err := l.files[s].Sync(); err != nil {
+			l.fail(err)
+			return
+		}
+		l.flush[s] = l.flush[s][:0]
+	}
+	if dirty > 0 {
+		l.nFsyncGroups.Add(1)
+		l.nFsyncs.Add(uint64(dirty))
+	}
+	l.durable.Store(target)
+}
+
+func (l *Log) fail(err error) {
+	l.errMu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.errMu.Unlock()
+}
+
+// Err returns the log's sticky I/O error (nil while healthy). Once set, the
+// durable frontier stops advancing and durable acks fail.
+func (l *Log) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.err
+}
+
+// Close flushes and fsyncs everything appended, then closes the segment
+// files. The memory's persister must be detached (or all committers drained)
+// first.
+func (l *Log) Close() error {
+	l.errMu.Lock()
+	if l.closed {
+		l.errMu.Unlock()
+		return errClosed
+	}
+	l.closed = true
+	l.errMu.Unlock()
+	l.syncMu.Lock()
+	l.syncLocked()
+	l.syncMu.Unlock()
+	err := l.Err()
+	for _, f := range l.files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// CountersSnapshot copies the log's ledger.
+func (l *Log) CountersSnapshot() Counters {
+	return Counters{
+		Appends:     l.nAppends.Load(),
+		Records:     l.nRecords.Load(),
+		FsyncGroups: l.nFsyncGroups.Load(),
+		Fsyncs:      l.nFsyncs.Load(),
+		Appended:    l.appended.Load(),
+		Durable:     l.durable.Load(),
+		Recovery:    l.recovery,
+	}
+}
+
+// fnv64a is the record checksum: FNV-64a over p.
+func fnv64a(p []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Backend == nil {
+		if o.Dir == "" {
+			return o, fmt.Errorf("persist: Options needs Dir or Backend")
+		}
+		b, err := NewFileBackend(o.Dir)
+		if err != nil {
+			return o, err
+		}
+		o.Backend = b
+	}
+	if o.Segments <= 0 {
+		o.Segments = DefaultSegments
+	}
+	if o.Hi < o.Lo {
+		return o, fmt.Errorf("persist: inverted range [%d,%d)", o.Lo, o.Hi)
+	}
+	return o, nil
+}

@@ -1,0 +1,300 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+
+	"rhnorec/internal/mem"
+)
+
+const (
+	checkpointName = "checkpoint"
+	segPrefix      = "seg-"
+
+	// ckptMagic is "RHCKPT01" as a little-endian u64.
+	ckptMagic = uint64(0x313054504b434852)
+)
+
+// RecoveryStats reports what Open's boot-time recovery did.
+type RecoveryStats struct {
+	// CheckpointSeq is the sequence the loaded checkpoint already covered
+	// (zero when no checkpoint existed).
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Commits is the number of complete sequence numbers replayed from the
+	// segments on top of the checkpoint.
+	Commits uint64 `json:"commits"`
+	// Records is the number of per-segment records those commits carried.
+	Records uint64 `json:"records"`
+	// TornTails counts segments whose tail bytes failed to parse (short or
+	// checksum-corrupt) and were discarded.
+	TornTails int `json:"torn_tails"`
+	// Dropped counts parsed records discarded because their sequence lies
+	// beyond the last consistent cut (a later commit outran a lost earlier
+	// one, or a multi-segment commit lost a sibling record).
+	Dropped uint64 `json:"dropped"`
+	// Seq is the recovered sequence frontier: the state equals executing
+	// commits 1..Seq, and new appends continue from Seq+1.
+	Seq uint64 `json:"seq"`
+}
+
+// Open runs crash recovery over the backend and returns a Log ready for
+// appends. apply stores one recovered word (typically mem.Memory.StorePlain)
+// and read returns a word's current value (mem.Memory.LoadPlain); both are
+// only called during Open, single-threaded, over [Lo, Hi).
+//
+// The boot protocol makes repeated crash-restart cycles idempotent:
+//
+//  1. load the checkpoint (atomic-replace file: whole or absent), apply its
+//     image, note its sequence base;
+//  2. scan every segment, drop torn/corrupt tails, group records by
+//     sequence, and replay the longest consistent prefix above the base —
+//     a sequence replays only if all its per-segment records survived;
+//  3. write a fresh checkpoint of the recovered image, then truncate the
+//     segments. Replay applies absolute values, so a crash between those
+//     two steps just replays the same records onto the same image next boot.
+func Open(opts Options, apply func(mem.Addr, uint64), read func(a mem.Addr) uint64) (*Log, RecoveryStats, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, RecoveryStats{}, err
+	}
+	b := opts.Backend
+	stats, err := recoverState(b, opts.Lo, opts.Hi, apply)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := writeCheckpoint(b, opts.Lo, opts.Hi, stats.Seq, read); err != nil {
+		return nil, stats, fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	// Reset every segment that exists plus the ones this log will write.
+	names, err := b.List(segPrefix)
+	if err != nil {
+		return nil, stats, err
+	}
+	reset := map[string]bool{}
+	for _, n := range names {
+		reset[n] = true
+	}
+	for s := 0; s < opts.Segments; s++ {
+		reset[segName(s)] = true
+	}
+	for n := range reset {
+		if err := b.WriteAtomic(n, nil); err != nil {
+			return nil, stats, err
+		}
+	}
+	l := &Log{
+		b:         b,
+		lo:        opts.Lo,
+		hi:        opts.Hi,
+		nseg:      opts.Segments,
+		syncEvery: opts.SyncEveryAppend,
+		onEvent:   opts.OnEvent,
+		seq:       stats.Seq,
+		bufs:      make([][]byte, opts.Segments),
+		segPairs:  make([]int, opts.Segments),
+		touched:   make([]int, 0, opts.Segments),
+		segStart:  make([]int, opts.Segments),
+		flush:     make([][]byte, opts.Segments),
+		files:     make([]File, opts.Segments),
+		recovery:  stats,
+	}
+	l.appended.Store(stats.Seq)
+	l.durable.Store(stats.Seq)
+	for s := 0; s < opts.Segments; s++ {
+		f, err := b.OpenAppend(segName(s))
+		if err != nil {
+			return nil, stats, err
+		}
+		l.files[s] = f
+	}
+	return l, stats, nil
+}
+
+func segName(s int) string { return fmt.Sprintf("%s%03d.log", segPrefix, s) }
+
+// segRecord is one parsed segment record (pairs alias the scanned buffer).
+type segRecord struct {
+	seq       uint64
+	nsegments uint32
+	npairs    uint32
+	pairs     []byte
+}
+
+// recoverState performs steps 1–2 of the boot protocol.
+func recoverState(b Backend, lo, hi mem.Addr, apply func(mem.Addr, uint64)) (RecoveryStats, error) {
+	var stats RecoveryStats
+	base, err := loadCheckpoint(b, lo, hi, apply)
+	if err != nil {
+		return stats, err
+	}
+	stats.CheckpointSeq = base
+	stats.Seq = base
+
+	names, err := b.List(segPrefix)
+	if err != nil {
+		return stats, err
+	}
+	groups := map[uint64][]segRecord{}
+	for _, name := range names {
+		data, err := b.ReadFile(name)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return stats, err
+		}
+		recs, torn := scanSegment(data)
+		if torn {
+			stats.TornTails++
+		}
+		for _, r := range recs {
+			if r.seq <= base {
+				// Already covered by the checkpoint: a crash between
+				// checkpoint write and segment truncate leaves these behind.
+				continue
+			}
+			groups[r.seq] = append(groups[r.seq], r)
+		}
+	}
+
+	// The consistent cut: the longest run of sequences base+1, base+2, ...
+	// where every sequence has all of its per-segment records.
+	cut := base
+	for {
+		g, ok := groups[cut+1]
+		if !ok || !complete(g) {
+			break
+		}
+		cut++
+	}
+	for seq := base + 1; seq <= cut; seq++ {
+		for _, r := range groups[seq] {
+			if err := replayRecord(r, lo, hi, apply); err != nil {
+				return stats, err
+			}
+			stats.Records++
+		}
+		stats.Commits++
+	}
+	for seq, g := range groups {
+		if seq > cut {
+			stats.Dropped += uint64(len(g))
+		}
+	}
+	stats.Seq = cut
+	return stats, nil
+}
+
+// complete reports whether a sequence's record group is whole: every record
+// agrees on the segment count and all of them are present.
+func complete(g []segRecord) bool {
+	want := g[0].nsegments
+	if uint32(len(g)) != want {
+		return false
+	}
+	for _, r := range g {
+		if r.nsegments != want {
+			return false
+		}
+	}
+	return true
+}
+
+// scanSegment parses records until the data runs out or stops verifying;
+// torn reports whether unparseable tail bytes were discarded.
+func scanSegment(data []byte) (recs []segRecord, torn bool) {
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < 4 {
+			return recs, true
+		}
+		size := binary.LittleEndian.Uint32(rest)
+		if size < recHeadBytes+recSumBytes || uint64(size) > uint64(len(rest)-4) {
+			return recs, true
+		}
+		payload := rest[4 : 4+size-recSumBytes]
+		sum := binary.LittleEndian.Uint64(rest[4+size-recSumBytes : 4+size])
+		if fnv64a(payload) != sum {
+			return recs, true
+		}
+		npairs := binary.LittleEndian.Uint32(payload[24:])
+		if uint64(recHeadBytes)+uint64(npairs)*recPairBytes+recSumBytes != uint64(size) {
+			return recs, true
+		}
+		recs = append(recs, segRecord{
+			seq:       binary.LittleEndian.Uint64(payload),
+			nsegments: binary.LittleEndian.Uint32(payload[20:]),
+			npairs:    npairs,
+			pairs:     payload[recHeadBytes:],
+		})
+		off += 4 + int(size)
+	}
+	return recs, false
+}
+
+func replayRecord(r segRecord, lo, hi mem.Addr, apply func(mem.Addr, uint64)) error {
+	for i := uint32(0); i < r.npairs; i++ {
+		p := r.pairs[i*recPairBytes:]
+		a := mem.Addr(binary.LittleEndian.Uint64(p))
+		if a < lo || a >= hi {
+			return fmt.Errorf("persist: recovered address %d outside range [%d,%d) — log written under a different layout?", a, lo, hi)
+		}
+		apply(a, binary.LittleEndian.Uint64(p[8:]))
+	}
+	return nil
+}
+
+// Checkpoint layout (little-endian): magic, lo, hi, seq, (hi-lo) values,
+// FNV-64a checksum of everything preceding. Written only via WriteAtomic.
+func writeCheckpoint(b Backend, lo, hi mem.Addr, seq uint64, read func(mem.Addr) uint64) error {
+	data := make([]byte, 0, 32+(int(hi)-int(lo))*8+8)
+	data = binary.LittleEndian.AppendUint64(data, ckptMagic)
+	data = binary.LittleEndian.AppendUint64(data, uint64(lo))
+	data = binary.LittleEndian.AppendUint64(data, uint64(hi))
+	data = binary.LittleEndian.AppendUint64(data, seq)
+	for a := lo; a < hi; a++ {
+		data = binary.LittleEndian.AppendUint64(data, read(a))
+	}
+	data = binary.LittleEndian.AppendUint64(data, fnv64a(data))
+	return b.WriteAtomic(checkpointName, data)
+}
+
+// loadCheckpoint applies the checkpoint image (if one exists) and returns
+// its sequence base. A checkpoint that exists but fails validation is an
+// error, not a skip: WriteAtomic can't tear, so corruption means operator
+// trouble (wrong directory, changed key-space size) that silent zeroing
+// would turn into data loss.
+func loadCheckpoint(b Backend, lo, hi mem.Addr, apply func(mem.Addr, uint64)) (uint64, error) {
+	data, err := b.ReadFile(checkpointName)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	want := 32 + (int(hi)-int(lo))*8 + 8
+	if len(data) != want {
+		return 0, fmt.Errorf("persist: checkpoint is %d bytes, want %d — log written under a different layout?", len(data), want)
+	}
+	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if fnv64a(body) != sum {
+		return 0, fmt.Errorf("persist: checkpoint checksum mismatch")
+	}
+	if binary.LittleEndian.Uint64(body) != ckptMagic {
+		return 0, fmt.Errorf("persist: bad checkpoint magic")
+	}
+	ckLo := mem.Addr(binary.LittleEndian.Uint64(body[8:]))
+	ckHi := mem.Addr(binary.LittleEndian.Uint64(body[16:]))
+	if ckLo != lo || ckHi != hi {
+		return 0, fmt.Errorf("persist: checkpoint range [%d,%d) does not match configured [%d,%d)", ckLo, ckHi, lo, hi)
+	}
+	seq := binary.LittleEndian.Uint64(body[24:])
+	vals := body[32:]
+	for a := lo; a < hi; a++ {
+		apply(a, binary.LittleEndian.Uint64(vals[(a-lo)*8:]))
+	}
+	return seq, nil
+}

@@ -218,6 +218,7 @@ type binSession struct {
 	bw       *bufio.Writer
 	identity string
 	w        *worker
+	durable  bool // OpcodeDurable toggle: write replies wait for fsync
 	slots    []*binSlot
 	inBuf    []byte
 	outBuf   []byte
@@ -315,6 +316,11 @@ func (sess *binSession) prep(i int, frame []byte) {
 		sl.status = StatusOK
 	case OpcodePing:
 		sl.status = StatusPong
+	case OpcodeDurable:
+		// Takes effect mid-drain: frames after this one in the same drain
+		// already carry the new mode, mirroring Hello's identity move.
+		sess.durable = sl.preq.Durable
+		sl.status = StatusOK
 	default:
 		ep, ok := opcodeEndpoint(sl.preq.Opcode)
 		if !ok {
@@ -332,6 +338,7 @@ func (sess *binSession) prep(i int, frame []byte) {
 		r.ep = ep
 		r.ops = sl.preq.Ops
 		r.readOnly = readOnlyOps(sl.preq.Ops)
+		r.durable = sess.durable
 		r.res = growResults(r.res, len(sl.preq.Ops))
 		r.err = nil
 		r.shed = false

@@ -81,6 +81,20 @@ func (s *Server) Snapshot() *bench.ServeDump {
 			Fallbacks: sscan.fallbacks,
 		}
 	}
+	if s.log != nil {
+		c := s.log.CountersSnapshot()
+		d.Persist = &bench.ServePersist{
+			LogAppends:       c.Appends,
+			LogRecords:       c.Records,
+			FsyncGroups:      c.FsyncGroups,
+			Fsyncs:           c.Fsyncs,
+			Appended:         c.Appended,
+			Durable:          c.Durable,
+			RecoveryReplayed: c.Recovery.Commits,
+			RecoveryDropped:  uint64(c.Recovery.Dropped),
+			TornTails:        uint64(c.Recovery.TornTails),
+		}
+	}
 	for e := Endpoint(0); e < numEndpoints; e++ {
 		c := eps[e]
 		if c.requests == 0 {
@@ -131,6 +145,12 @@ func writeMetricsText(w io.Writer, d *bench.ServeDump) {
 	if sc := d.SnapScan; sc != nil {
 		fmt.Fprintf(w, "snapscan: attempts=%d hits=%d fallbacks=%d\n",
 			sc.Attempts, sc.Hits, sc.Fallbacks)
+	}
+	if p := d.Persist; p != nil {
+		fmt.Fprintf(w, "persist: log-append=%d log-record=%d fsync-group=%d fsync=%d appended=%d durable=%d\n",
+			p.LogAppends, p.LogRecords, p.FsyncGroups, p.Fsyncs, p.Appended, p.Durable)
+		fmt.Fprintf(w, "persist-recovery: recovery-replayed=%d recovery-dropped=%d torn-tail=%d\n",
+			p.RecoveryReplayed, p.RecoveryDropped, p.TornTails)
 	}
 	if d.Obs == nil {
 		return

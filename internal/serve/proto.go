@@ -47,6 +47,12 @@ const (
 	OpcodeTxn = 6
 	// OpcodePing is a liveness no-op (empty body).
 	OpcodePing = 7
+	// OpcodeDurable toggles the connection's durable-ack mode (body: u8
+	// 0 or 1). While on, every write request on this connection is answered
+	// only after its redo record is fsynced (see docs/PERSIST.md); on a
+	// server without persistence armed the toggle is accepted and inert.
+	// Replies with StatusOK and zero results.
+	OpcodeDurable = 8
 )
 
 // Response status codes.
@@ -77,6 +83,8 @@ type ProtoRequest struct {
 	ReqID uint64
 	// Hello is the routing identity (OpcodeHello only).
 	Hello string
+	// Durable is the durable-ack toggle value (OpcodeDurable only).
+	Durable bool
 	// Ops is the normalized op list (get/put/cas/scan/txn).
 	Ops []Op
 }
@@ -189,6 +197,12 @@ func AppendRequest(buf []byte, req *ProtoRequest) ([]byte, error) {
 			buf = binary.BigEndian.AppendUint32(buf, op.Count)
 		}
 	case OpcodePing:
+	case OpcodeDurable:
+		var b byte
+		if req.Durable {
+			b = 1
+		}
+		buf = append(buf, b)
 	default:
 		return nil, fmt.Errorf("proto: unknown opcode %d", req.Opcode)
 	}
@@ -226,6 +240,7 @@ func ParseRequestInto(frame []byte, req *ProtoRequest) error {
 	req.Opcode = frame[0]
 	req.ReqID = binary.BigEndian.Uint64(frame[1:9])
 	req.Hello = ""
+	req.Durable = false
 	req.Ops = req.Ops[:0]
 	body := frame[9:]
 	switch req.Opcode {
@@ -291,6 +306,11 @@ func ParseRequestInto(frame []byte, req *ProtoRequest) error {
 		if len(body) != 0 {
 			return fmt.Errorf("proto: ping body of %d bytes, want 0", len(body))
 		}
+	case OpcodeDurable:
+		if len(body) != 1 || body[0] > 1 {
+			return fmt.Errorf("proto: durable body must be one byte 0/1")
+		}
+		req.Durable = body[0] == 1
 	default:
 		return fmt.Errorf("proto: unknown opcode %d", req.Opcode)
 	}

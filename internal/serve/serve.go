@@ -40,6 +40,7 @@ import (
 	"rhnorec/internal/htm"
 	"rhnorec/internal/mem"
 	"rhnorec/internal/obs"
+	"rhnorec/internal/persist"
 	"rhnorec/internal/tm"
 )
 
@@ -153,6 +154,18 @@ type Config struct {
 	// path tries before falling back to the transactional read (default 3;
 	// negative disables the fast path).
 	SnapScanAttempts int
+	// DataDir, when non-empty, arms the durable persistence plane
+	// (internal/persist): boot-time crash recovery replays the directory's
+	// redo logs into the key arena, and every committing write transaction
+	// appends its write set. Only the rh-norec system is persistence-wired
+	// (its eager full-software stores are instrumented); other algos reject
+	// a DataDir. Policy.Persist (or RHNOREC_PERSIST) picks group fsync vs
+	// fsync-per-commit.
+	DataDir string
+	// DurableAcks, when true, makes EVERY write request wait for its redo
+	// record to be fsynced before the reply (as if each connection had sent
+	// OpcodeDurable). No effect without DataDir.
+	DurableAcks bool
 }
 
 func (c Config) withDefaults() Config {
@@ -221,6 +234,10 @@ type request struct {
 	ep       Endpoint
 	ops      []Op
 	readOnly bool
+	// durable asks for a durable ack: the reply waits until the request's
+	// redo record is fsynced (binary protocol OpcodeDurable, or
+	// Config.DurableAcks). Meaningless on read-only requests.
+	durable  bool
 	res      []OpResult
 	err      error
 	shed     bool
@@ -274,6 +291,11 @@ type Server struct {
 	stop    chan struct{}
 	once    sync.Once
 
+	// log is the durable redo log (nil without Config.DataDir); recovery is
+	// what boot-time replay found in DataDir before the workers started.
+	log      *persist.Log
+	recovery persist.RecoveryStats
+
 	admission admissionCounters
 	pipeline  pipelineCounters
 
@@ -320,6 +342,28 @@ func New(cfg Config) (*Server, error) {
 		stop:       make(chan struct{}),
 		finalSnaps: make([]*workerSnap, cfg.Workers),
 	}
+	if cfg.DataDir != "" {
+		// Persistence rides the write-commit paths; only rh-norec has its
+		// eager full-software stores instrumented (internal/core), so other
+		// algos would silently lose those writes from the log.
+		if cfg.Algo != "rh-norec" {
+			return nil, fmt.Errorf("serve: -data persistence requires algo rh-norec, not %q", cfg.Algo)
+		}
+		// Recovery replays into the arena here, before any worker exists:
+		// the plain stores need no synchronization and no commit can race
+		// the replay.
+		log, stats, err := persist.Open(persist.Options{
+			Dir:             cfg.DataDir,
+			Lo:              s.base,
+			Hi:              s.base + mem.Addr(cfg.Keys*mem.LineWords),
+			SyncEveryAppend: cfg.Policy.WithDefaults().Persist == tm.PersistSync,
+		}, m.StorePlain, m.LoadPlain)
+		if err != nil {
+			return nil, fmt.Errorf("serve: persistence: %w", err)
+		}
+		s.log, s.recovery = log, stats
+		m.SetPersister(log)
+	}
 	if eh, ok := sys.(engineHolder); ok {
 		s.engine = eh.Engine()
 	}
@@ -342,8 +386,17 @@ func (s *Server) Keys() int { return s.cfg.Keys }
 // Workers reports the sticky worker pool size.
 func (s *Server) Workers() int { return len(s.workers) }
 
+// Recovery reports what boot-time crash recovery replayed from
+// Config.DataDir (zero stats, false when persistence is off).
+func (s *Server) Recovery() (persist.RecoveryStats, bool) {
+	return s.recovery, s.log != nil
+}
+
 // Close stops the workers and the listener (idempotent). In-flight and
-// queued requests are answered with ErrClosed.
+// queued requests are answered with ErrClosed. With persistence armed, Close
+// drains the workers FIRST and only then fsyncs and closes the redo log, so
+// every commit a worker acked before shutdown is durable on return — a
+// Close-then-reopen loses nothing.
 func (s *Server) Close() {
 	s.once.Do(func() { close(s.stop) })
 	s.mu.Lock()
@@ -354,6 +407,9 @@ func (s *Server) Close() {
 	}
 	for _, w := range s.workers {
 		<-w.done
+	}
+	if s.log != nil {
+		s.log.Close() // final group fsync + file close
 	}
 }
 

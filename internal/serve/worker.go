@@ -244,6 +244,13 @@ func (w *worker) execBatch(batch []*request) {
 		run = w.runRO
 	}
 	err := run(w.body)
+	if err == nil && !readOnly && w.s.log != nil && w.wantDurable(batch) {
+		// Durable ack: hold the replies until the batch's redo records are
+		// fsynced. Appended() is read after the commit returned, so it covers
+		// this batch's sequence; concurrent workers waiting here ride one
+		// group-fsync pass together.
+		err = w.s.log.WaitDurable(w.s.log.Appended())
+	}
 	fused := len(batch) > 1
 	if fused {
 		if ring := w.rec.Ring(); ring != nil {
@@ -263,6 +270,21 @@ func (w *worker) execBatch(batch []*request) {
 		w.lat.Record(int(r.ep), uint64(done-r.enq))
 		r.finish()
 	}
+}
+
+// wantDurable reports whether any request in the batch asked for a durable
+// ack (or the server forces them). A fused batch is one transaction — one
+// redo record — so a single durable request upgrades the whole batch.
+func (w *worker) wantDurable(batch []*request) bool {
+	if w.s.cfg.DurableAcks {
+		return true
+	}
+	for _, r := range batch {
+		if r.durable {
+			return true
+		}
+	}
+	return false
 }
 
 // snapScans peels snapshot-eligible requests — read-only, exactly one scan

@@ -73,6 +73,63 @@ const PolicyEnvVar = "RHNOREC_POLICY"
 // the conformance suite with flat combining on without new harness knobs.
 const CombineEnvVar = "RHNOREC_COMBINE"
 
+// PersistEnvVar is the environment variable WithDefaults consults for
+// RetryPolicy.Persist when it is PersistDefault: "group" (or "1"/"true")
+// selects group-fsync durability, "sync" fsync-per-commit, "off" none.
+const PersistEnvVar = "RHNOREC_PERSIST"
+
+// PersistMode selects the durability mode of the persistence plane
+// (internal/persist): whether committed write sets are redo-logged and how
+// eagerly the log reaches stable storage. It lives on RetryPolicy because
+// the policy is the per-deployment tuning surface every layer already
+// threads through (rhbench -persist, rhserve -persist, RHNOREC_PERSIST).
+type PersistMode uint8
+
+const (
+	// PersistDefault means "unset": WithDefaults resolves it from the
+	// RHNOREC_PERSIST environment variable, falling back to PersistOff.
+	PersistDefault PersistMode = iota
+	// PersistOff runs without a redo log — the pre-durability behavior.
+	PersistOff
+	// PersistGroup appends redo records at commit and fsyncs in groups: a
+	// durable ack waits for the group-fsync frontier, batching every
+	// concurrent waiter behind one fsync pass.
+	PersistGroup
+	// PersistSync fsyncs inside every commit's append — the
+	// fsync-per-commit ablation.
+	PersistSync
+
+	numPersistModes
+)
+
+var persistModeNames = [numPersistModes]string{
+	PersistDefault: "default",
+	PersistOff:     "off",
+	PersistGroup:   "group",
+	PersistSync:    "sync",
+}
+
+// String returns the mode's stable name (the rhbench/rhserve -persist
+// vocabulary).
+func (m PersistMode) String() string {
+	if m < numPersistModes {
+		return persistModeNames[m]
+	}
+	return "invalid"
+}
+
+// PersistModeByName parses a mode name as accepted by the -persist flags
+// and RHNOREC_PERSIST ("default" is not accepted: it names the unset
+// state).
+func PersistModeByName(name string) (PersistMode, bool) {
+	for m, n := range persistModeNames {
+		if n == name && PersistMode(m) != PersistDefault {
+			return PersistMode(m), true
+		}
+	}
+	return PersistDefault, false
+}
+
 // RetryPolicy captures the static retry policy of paper §3.3–§3.4, shared
 // by Hybrid NOrec and RH NOrec (Lock Elision uses only the fast-path part).
 type RetryPolicy struct {
@@ -153,6 +210,12 @@ type RetryPolicy struct {
 	// the RHNOREC_COMBINE environment variable ("1"/"true" enables) so CI
 	// can sweep the conformance suite with combining on.
 	Combine bool
+	// Persist selects the durability mode (see PersistMode). PersistDefault
+	// resolves from RHNOREC_PERSIST, then PersistOff. The TM drivers ignore
+	// it — persistence attaches at the memory substrate — but it rides on
+	// the policy so every harness that threads a policy (serve, bench, the
+	// CLIs) inherits the knob without new plumbing.
+	Persist PersistMode
 }
 
 // Backoff yields the processor according to the policy for the given retry
@@ -186,6 +249,7 @@ func DefaultPolicy() RetryPolicy {
 		BackoffMaxYields:     1024,
 		PromotionProbePeriod: 64,
 		ContentionWindow:     2,
+		Persist:              PersistOff,
 	}
 }
 
@@ -237,6 +301,16 @@ func (p RetryPolicy) WithDefaults() RetryPolicy {
 	if !p.Combine {
 		if v := os.Getenv(CombineEnvVar); v == "1" || v == "true" {
 			p.Combine = true
+		}
+	}
+	if p.Persist == PersistDefault {
+		switch v := os.Getenv(PersistEnvVar); v {
+		case "group", "1", "true":
+			p.Persist = PersistGroup
+		case "sync":
+			p.Persist = PersistSync
+		default:
+			p.Persist = PersistOff
 		}
 	}
 	return p

@@ -24,9 +24,11 @@ func TestIsRestartRejectsOthers(t *testing.T) {
 }
 
 func TestPolicyWithDefaults(t *testing.T) {
-	// Zero-policy resolution reads RHNOREC_POLICY; pin it empty so the
-	// expectations hold under the CI policy-conformance sweep.
+	// Zero-policy resolution reads RHNOREC_POLICY and RHNOREC_PERSIST;
+	// pin both empty so the expectations hold under the CI
+	// policy-conformance and crash-recovery sweeps.
 	t.Setenv(PolicyEnvVar, "")
+	t.Setenv(PersistEnvVar, "")
 	p := RetryPolicy{}.WithDefaults()
 	d := DefaultPolicy()
 	if p != d {
