@@ -13,6 +13,7 @@
 //	rhbench -experiment contention      # hotspot vs disjoint under policy variants
 //	rhbench -experiment signature       # sig-filter / group-commit ablation grid
 //	rhbench -experiment persist         # durability overhead: off vs group fsync vs fsync-per-commit
+//	rhbench -experiment scenarios       # conformance-registry scenarios, invariant-checked
 //	rhbench -experiment all             # fig4+fig5+fig6+extra
 //	rhbench -experiment list            # list workloads and algorithms
 //
@@ -72,7 +73,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | contention | signature | persist | all | list (comma-separated ok)")
+		experiment = flag.String("experiment", "list", "fig4 | fig5 | fig6 | extra | structures | ablation | disjoint | contention | signature | persist | scenarios | all | list (comma-separated ok)")
 		duration   = flag.Duration("duration", 150*time.Millisecond, "measurement time per benchmark point")
 		threadsCSV = flag.String("threads", "1,2,4,8,12,16", "thread counts to sweep")
 		algosCSV   = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's five)")
@@ -103,7 +104,7 @@ func main() {
 	tm.SetSoftwareAccessCost(*swcost)
 
 	if *experiment == "list" {
-		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint contention signature persist all")
+		fmt.Println("experiments: fig4 fig5 fig6 extra structures ablation disjoint contention signature persist scenarios all")
 		fmt.Print("algorithms:")
 		for _, a := range bench.StandardAlgos() {
 			fmt.Printf(" %s", a.Name)
@@ -239,6 +240,8 @@ func main() {
 			return bench.SignatureFigure(os.Stdout, cfg)
 		case "persist":
 			return bench.PersistFigure(os.Stdout, cfg)
+		case "scenarios":
+			return bench.ScenariosFigure(os.Stdout, cfg)
 		case "ablation":
 			acfg := cfg
 			if *algosCSV == "" {

@@ -1,13 +1,16 @@
 // Command rhstress is a randomized correctness harness: it drives every TM
-// algorithm through high-contention invariant workloads (bank transfers
-// with in-transaction invariant observation, a shared red-black tree with
-// structural validation) and reports any safety violation. Use it for long
-// soak runs beyond what `go test` exercises; for deterministic exploration
-// of the same workloads, see cmd/rhexplore.
+// algorithm through the shared conformance registry's high-contention
+// invariant workloads (internal/conformance: bank transfers, the red-black
+// tree, the session store, the rate limiter, the inventory checkout, the
+// graph fan-out) and reports any safety violation. Use it for long soak
+// runs beyond what `go test` exercises; for deterministic exploration of
+// the same workloads, see cmd/rhexplore.
 //
 // Usage:
 //
-//	rhstress -duration 10s -threads 8 [-algos rh-norec,hy-norec] [-spurious 0.001] [-seed 1]
+//	rhstress -duration 10s -threads 8 [-algos rh-norec,hy-norec] \
+//	         [-scenarios bank,session] [-spurious 0.001] [-seed 1]
+//	rhstress -list
 //
 // Every run prints its seed so a failure reproduces with the same flags.
 // A panic in a worker goroutine is recovered, counted as a violation and
@@ -18,31 +21,37 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"runtime/debug"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"rhnorec/internal/bench"
+	"rhnorec/internal/conformance"
 	"rhnorec/internal/htm"
 	"rhnorec/internal/mem"
 	"rhnorec/internal/tm"
-	"rhnorec/internal/tmtest"
 )
 
 func main() {
 	var (
-		duration = flag.Duration("duration", 2*time.Second, "soak time per algorithm per scenario")
-		threads  = flag.Int("threads", 8, "worker threads")
-		algosCSV = flag.String("algos", "", "comma-separated algorithm subset (default: all)")
-		spurious = flag.Float64("spurious", 0.001, "spurious HTM abort probability")
-		tinyHTM  = flag.Bool("tiny-htm", false, "use tiny HTM capacities to force the slow paths")
-		seed     = flag.Int64("seed", 1, "base RNG seed (worker i uses seed+i)")
+		duration  = flag.Duration("duration", 2*time.Second, "soak time per algorithm per scenario")
+		threads   = flag.Int("threads", 8, "worker threads")
+		algosCSV  = flag.String("algos", "", "comma-separated algorithm subset (default: all)")
+		scensCSV  = flag.String("scenarios", "", "comma-separated scenario subset (default: the whole registry)")
+		listScens = flag.Bool("list", false, "list the registered scenarios and exit")
+		spurious  = flag.Float64("spurious", 0.001, "spurious HTM abort probability")
+		tinyHTM   = flag.Bool("tiny-htm", false, "use tiny HTM capacities to force the slow paths")
+		seed      = flag.Int64("seed", 1, "base RNG seed (worker i uses seed+i)")
 	)
 	flag.Parse()
+
+	if *listScens {
+		for _, sc := range conformance.Scenarios() {
+			fmt.Printf("%-10s %s\n", sc.Name, sc.Description)
+			fmt.Printf("%-10s contention: %s\n", "", sc.Profile.Contention)
+		}
+		return
+	}
 
 	algos := bench.StandardAlgos()
 	algos = append(algos,
@@ -54,6 +63,18 @@ func main() {
 			algos = append(algos, mustVariant(strings.TrimSpace(name)))
 		}
 	}
+	scenarios := conformance.Scenarios()
+	if *scensCSV != "" {
+		scenarios = nil
+		for _, name := range strings.Split(*scensCSV, ",") {
+			sc, ok := conformance.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "rhstress: unknown scenario %q (have %v)\n", name, conformance.Names())
+				os.Exit(2)
+			}
+			scenarios = append(scenarios, sc)
+		}
+	}
 	hcfg := htm.Config{SpuriousAbortProb: *spurious}
 	if *tinyHTM {
 		hcfg.ReadCapacityLines = 16
@@ -63,25 +84,19 @@ func main() {
 	fmt.Printf("rhstress: seed=%d threads=%d spurious=%g\n", *seed, *threads, *spurious)
 	failures := 0
 	for _, algo := range algos {
-		for _, scenario := range []struct {
-			name string
-			run  func(sys tm.System, threads int, d time.Duration, seed int64) error
-		}{
-			{"bank", bankScenario},
-			{"rbtree", treeScenario},
-		} {
+		for _, sc := range scenarios {
 			m := mem.New(1 << 22)
 			dev := htm.NewDevice(m, hcfg)
 			dev.SetActiveThreads(*threads)
 			sys := algo.New(m, dev, tm.RetryPolicy{})
 			start := time.Now()
-			err := scenario.run(sys, *threads, *duration, *seed)
+			err := sc.Drive(sys, conformance.ScaleSoak, *threads, -1, *duration, *seed)
 			status := "ok"
 			if err != nil {
 				status = "FAIL: " + err.Error()
 				failures++
 			}
-			fmt.Printf("%-14s %-8s %8s  %s\n", algo.Name, scenario.name, time.Since(start).Round(time.Millisecond), status)
+			fmt.Printf("%-14s %-10s %8s  %s\n", algo.Name, sc.Name, time.Since(start).Round(time.Millisecond), status)
 		}
 	}
 	if failures > 0 {
@@ -97,117 +112,4 @@ func mustVariant(name string) bench.Algo {
 		os.Exit(2)
 	}
 	return a
-}
-
-// violationLog collects safety violations across workers; a worker panic is
-// a violation too (a crashed worker proves nothing about the survivors, and
-// the old behaviour — the panic killing the process before the summary —
-// hid which algorithm and scenario was at fault).
-type violationLog struct {
-	count atomic.Uint64
-	mu    sync.Mutex
-	first string
-}
-
-func (v *violationLog) report(msg string) {
-	if v.count.Add(1) == 1 {
-		v.mu.Lock()
-		v.first = msg
-		v.mu.Unlock()
-	}
-}
-
-func (v *violationLog) err(scenario string) error {
-	n := v.count.Load()
-	if n == 0 {
-		return nil
-	}
-	v.mu.Lock()
-	first := v.first
-	v.mu.Unlock()
-	return fmt.Errorf("%s: %d violation(s); first: %s", scenario, n, first)
-}
-
-// guard recovers a worker panic into the violation log.
-func guard(v *violationLog, fn func()) {
-	defer func() {
-		if r := recover(); r != nil {
-			v.report(fmt.Sprintf("worker panic: %v\n%s", r, debug.Stack()))
-		}
-	}()
-	fn()
-}
-
-// bankScenario: transfers must preserve the total, and every transaction
-// (including read-only observers) must see a consistent snapshot.
-func bankScenario(sys tm.System, threads int, d time.Duration, seed int64) error {
-	cfg := tmtest.BankConfig{Accounts: 64, TransferMax: 20, ObserverEvery: 4}
-	setup := sys.NewThread()
-	base, err := tmtest.BankSetup(setup, cfg)
-	setup.Close()
-	if err != nil {
-		return err
-	}
-	var stop atomic.Bool
-	var vlog violationLog
-	var wg sync.WaitGroup
-	for i := 0; i < threads; i++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			guard(&vlog, func() {
-				th := sys.NewThread()
-				defer th.Close()
-				rng := rand.New(rand.NewSource(seed))
-				if err := tmtest.BankWorker(th, cfg, base, rng, -1, stop.Load, vlog.report); err != nil {
-					vlog.report(err.Error())
-				}
-			})
-		}(seed + int64(i))
-	}
-	time.Sleep(d)
-	stop.Store(true)
-	wg.Wait()
-	if err := vlog.err("bank"); err != nil {
-		return err
-	}
-	return tmtest.BankCheck(sys.Memory(), cfg, base)
-}
-
-// treeScenario: concurrent tree mutation must preserve the red-black
-// invariants.
-func treeScenario(sys tm.System, threads int, d time.Duration, seed int64) error {
-	setup := sys.NewThread()
-	cfg := tmtest.TreeConfig{}
-	tree, err := tmtest.TreeSetup(setup, cfg)
-	setup.Close()
-	if err != nil {
-		return err
-	}
-	var stop atomic.Bool
-	var vlog violationLog
-	var wg sync.WaitGroup
-	for i := 0; i < threads; i++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			guard(&vlog, func() {
-				th := sys.NewThread()
-				defer th.Close()
-				rng := rand.New(rand.NewSource(seed))
-				if err := tmtest.TreeWorker(th, tree, cfg, rng, -1, stop.Load); err != nil {
-					vlog.report(err.Error())
-				}
-			})
-		}(seed + int64(i))
-	}
-	time.Sleep(d)
-	stop.Store(true)
-	wg.Wait()
-	if err := vlog.err("rbtree"); err != nil {
-		return err
-	}
-	check := sys.NewThread()
-	defer check.Close()
-	return tmtest.TreeCheck(check, tree)
 }

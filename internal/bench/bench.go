@@ -262,6 +262,26 @@ type Result struct {
 	// Trace holds each worker's drained event ring, sorted by thread
 	// index; nil unless RunConfig.ObsRing was set.
 	Trace []obs.ThreadRing
+	// Violations counts invariant violations the workload observed; nil
+	// unless the workload carries an oracle (see InvariantWorkload).
+	Violations *uint64
+	// CheckError is the end-of-run invariant check's failure message,
+	// empty on a clean pass; set only for oracle-carrying workloads.
+	CheckError string
+}
+
+// InvariantWorkload is implemented by workloads that carry a correctness
+// oracle (the conformance-registry scenarios): Run calls Check once the
+// workers stop and surfaces the violation count in the Result, so a
+// benchmark sweep doubles as a conformance pass and the SLO gate can
+// enforce a zero-violations budget.
+type InvariantWorkload interface {
+	Workload
+	// Check validates the end state over a quiesced system.
+	Check(sys tm.System) error
+	// Violations reports how many invariant violations workers observed
+	// in-flight (read-only audits, in-transaction conservation checks).
+	Violations() uint64
 }
 
 // Run executes one benchmark point.
@@ -406,6 +426,16 @@ func Run(cfg RunConfig) (Result, error) {
 	if len(rings) > 0 {
 		sort.Slice(rings, func(i, j int) bool { return rings[i].Thread < rings[j].Thread })
 		res.Trace = rings
+	}
+	if iw, ok := cfg.Workload.(InvariantWorkload); ok {
+		if err := iw.Check(sys); err != nil {
+			res.CheckError = err.Error()
+		}
+		v := iw.Violations()
+		if res.CheckError != "" {
+			v++
+		}
+		res.Violations = &v
 	}
 	return res, nil
 }

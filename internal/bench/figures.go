@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"rhnorec/internal/conformance"
 	"rhnorec/internal/htm"
 	"rhnorec/internal/tm"
 )
@@ -105,12 +106,33 @@ func (s *Sweep) Print(w io.Writer) {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "throughput (ops/sec):")
+	checked := false
 	for _, name := range s.Order {
 		fmt.Fprintf(w, "%-14s", name)
 		for _, r := range s.Results[name] {
 			fmt.Fprintf(w, "%12.3g", r.Throughput)
+			if r.Violations != nil {
+				checked = true
+			}
 		}
 		fmt.Fprintln(w)
+	}
+	if checked {
+		fmt.Fprintln(w, "invariant violations:")
+		for _, name := range s.Order {
+			fmt.Fprintf(w, "%-14s", name)
+			for _, r := range s.Results[name] {
+				switch {
+				case r.Violations == nil:
+					fmt.Fprintf(w, "%12s", "-")
+				case *r.Violations == 0:
+					fmt.Fprintf(w, "%12s", "ok")
+				default:
+					fmt.Fprintf(w, "%12d", *r.Violations)
+				}
+			}
+			fmt.Fprintln(w)
+		}
 	}
 	for _, name := range s.Order {
 		if name != "hy-norec" && name != "rh-norec" {
@@ -359,6 +381,30 @@ func PersistFigure(w io.Writer, cfg FigureConfig) error {
 	}
 	return runAndPrint(w, "Persist: durable-acked hotspot (off vs group fsync vs fsync-per-commit)", cfg,
 		[]WorkloadFactory{Hotspot(HotspotConfig{Lines: 2})})
+}
+
+// ScenariosFigure runs every conformance-registry scenario (bank, rbtree,
+// session, ratelimit, inventory, graph) at soak scale under a hybrid/STM
+// cross-section. Each point doubles as a conformance pass: the scenario's
+// oracle runs alongside the workers and at the end of the point, and the
+// violation count rides into the JSON dump for cmd/rhgate's
+// zero-violations budget. This is the sweep behind the checked-in
+// BENCH_8.json baseline and the CI conformance-matrix gate.
+func ScenariosFigure(w io.Writer, cfg FigureConfig) error {
+	if len(cfg.Algos) == 0 {
+		cfg.Algos = []Algo{}
+		for _, name := range []string{"lock-elision", "hy-norec", "rh-norec"} {
+			a, _ := AlgoByName(name)
+			cfg.Algos = append(cfg.Algos, a)
+		}
+	}
+	if cfg.MemWords == 0 {
+		// Every scenario's soak footprint is at most a few hundred lines; the
+		// default multi-megabyte arena only adds GC noise to short CI points.
+		cfg.MemWords = 1 << 18
+	}
+	return runAndPrint(w, "Scenarios: conformance registry at soak scale (invariant-checked)", cfg,
+		ScenarioWorkloads(conformance.ScaleSoak))
 }
 
 // Extra reproduces the workloads the paper folds into the SSCA2 discussion

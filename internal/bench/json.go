@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rhnorec/internal/obs"
+	"rhnorec/internal/tm"
 )
 
 // SchemaVersion identifies the rhbench JSON dump format. Versioning
@@ -39,6 +40,31 @@ type JSONPoint struct {
 	// and the abort-cause taxonomy); present only when the run was made
 	// with -obs.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
+	// TM summarizes the point's transactional counters; present whenever
+	// the harness ran a TM system underneath (absent from rhload's
+	// client-side cells, whose server publishes its own rhserve.v1 dump).
+	TM *JSONTM `json:"tm,omitempty"`
+	// Violations counts invariant violations the workload's oracle
+	// observed; present (zero included) only for workloads that carry an
+	// invariant check — the conformance registry scenarios. The SLO gate
+	// (cmd/rhgate) keys its zero-violations budget on this field.
+	Violations *uint64 `json:"violations,omitempty"`
+	// CheckError is the end-of-run invariant check's failure message
+	// (empty on a clean pass). A failed check also counts in Violations.
+	CheckError string `json:"check_error,omitempty"`
+}
+
+// JSONTM is a benchmark point's transactional summary: enough for the SLO
+// gate's abort-rate budgets without shipping the whole obs snapshot.
+type JSONTM struct {
+	Commits     uint64 `json:"commits"`
+	ReadOnly    uint64 `json:"read_only_commits"`
+	HTMAborts   uint64 `json:"htm_aborts"`
+	STMRestarts uint64 `json:"stm_restarts"`
+	Fallbacks   uint64 `json:"fallbacks"`
+	// AbortRate is HTMAborts/(HTMAborts+Commits), the serve-layer
+	// definition (internal/serve metrics).
+	AbortRate float64 `json:"abort_rate"`
 }
 
 // JSONRecorder accumulates benchmark points for a machine-readable dump.
@@ -58,7 +84,31 @@ func (rec *JSONRecorder) Record(r Result) {
 		ElapsedSec: r.Elapsed.Seconds(),
 		OpsPerSec:  r.Throughput,
 		Obs:        r.Obs,
+		TM:         tmBlock(&r.Stats),
+		Violations: r.Violations,
+		CheckError: r.CheckError,
 	})
+}
+
+// tmBlock summarizes a point's counters; nil when the point ran no
+// transactions (e.g. rhload's client-side cells).
+func tmBlock(st *tm.Stats) *JSONTM {
+	aborts := st.HTMAborts()
+	if st.Commits == 0 && st.ReadOnlyCommits == 0 && aborts == 0 && st.STMRestarts == 0 {
+		return nil
+	}
+	var rate float64
+	if aborts+st.Commits > 0 {
+		rate = float64(aborts) / float64(aborts+st.Commits)
+	}
+	return &JSONTM{
+		Commits:     st.Commits,
+		ReadOnly:    st.ReadOnlyCommits,
+		HTMAborts:   aborts,
+		STMRestarts: st.STMRestarts,
+		Fallbacks:   st.Fallbacks,
+		AbortRate:   rate,
+	}
 }
 
 // Len reports how many points have been recorded.

@@ -70,6 +70,18 @@ func validatePoint(p *JSONPoint) error {
 			return fmt.Errorf("obs: %w", err)
 		}
 	}
+	if p.TM != nil {
+		t := p.TM
+		if t.AbortRate < 0 || t.AbortRate > 1 {
+			return fmt.Errorf("tm: abort_rate = %g, want in [0,1]", t.AbortRate)
+		}
+		if t.Commits == 0 && t.ReadOnly == 0 && t.HTMAborts == 0 && t.STMRestarts == 0 {
+			return fmt.Errorf("tm: all-zero block (zero blocks are omitted)")
+		}
+	}
+	if p.CheckError != "" && p.Violations == nil {
+		return fmt.Errorf("check_error set without violations (a failed check counts as one)")
+	}
 	return nil
 }
 

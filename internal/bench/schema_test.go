@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -47,6 +48,35 @@ func TestValidateDumpFile(t *testing.T) {
 	// The obs run must actually have produced observability data.
 	if !strings.Contains(buf.String(), `"obs"`) {
 		t.Fatal("obs-enabled dump carries no obs snapshots")
+	}
+}
+
+// TestCheckedInBaselines validates every checked-in BENCH_*.json baseline
+// against its schema, so a stale or hand-edited baseline cannot drift from
+// the format the perf gates (rhbench -compare, cmd/rhgate) parse.
+func TestCheckedInBaselines(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no checked-in BENCH_*.json baselines found")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// BENCH_1.json predates the versioned envelope (a bare point
+			// array); it is kept as a historical record and gates nothing.
+			if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+				t.Skip("legacy pre-versioned dump")
+			}
+			if err := ValidateDump(data); err != nil {
+				t.Error(err)
+			}
+		})
 	}
 }
 

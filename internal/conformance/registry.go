@@ -1,0 +1,240 @@
+// Package conformance is the shared workload registry: every invariant
+// scenario the repository's harnesses drive — the tmtest conformance suite,
+// the rhstress soak harness, the rhexplore schedule explorer, the rhbench
+// sweeps and (through traffic profiles) the rhload service generator — is
+// registered here once, as a named, self-describing entry with a setup
+// phase, a per-operation worker, and an end-of-run invariant check.
+//
+// Keeping one copy matters beyond hygiene: the explorer replays recorded
+// schedules, so the worker logic driving a trace must be byte-for-byte the
+// logic the other harnesses run, or a shrunk counterexample would not
+// reproduce outside the explorer. Scenario workers therefore draw all
+// randomness from the seeded RNG handed to NewWorker, draw it outside the
+// transaction closures (a restart replays the same operation), and never
+// read clocks or global state.
+//
+// The registry is also the row axis of the CI gate matrix: cmd/rhgate
+// evaluates per-(scenario × algo) SLO specs over rhbench dumps produced by
+// sweeping these entries (see internal/conformance/gate and
+// docs/CONFORMANCE.md).
+package conformance
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rhnorec/internal/tm"
+)
+
+// Scale selects a scenario's parameter set. The same worker logic runs at
+// every scale; only footprint and mix knobs change.
+type Scale int
+
+const (
+	// ScaleExplore is the tiny deterministic shape the schedule explorer
+	// drives: a handful of lines, so few schedules cover the interesting
+	// interleavings. Changing an explore-scale config invalidates recorded
+	// trace fixtures (internal/explore/testdata) — treat it as frozen.
+	ScaleExplore Scale = iota
+	// ScaleTest is the shape `go test` drives: small enough for six TM
+	// drivers × every scenario in seconds, large enough to exercise real
+	// conflict paths.
+	ScaleTest
+	// ScaleSoak is the full-contention shape rhstress and rhbench drive.
+	ScaleSoak
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case ScaleExplore:
+		return "explore"
+	case ScaleTest:
+		return "test"
+	case ScaleSoak:
+		return "soak"
+	}
+	return fmt.Sprintf("Scale(%d)", int(s))
+}
+
+// Report is the violation sink handed to scenario workers. Workers call it
+// for safety violations observed in-transaction (opacity breaches, torn
+// invariants); the harness decides whether that aborts a test, increments a
+// bench counter, or fails an explored schedule.
+type Report func(msg string)
+
+// Instance is one materialized scenario run: Setup seeds the shared state,
+// NewWorker returns one worker's single-operation closure (the harness
+// loops it — a fixed count for tests and exploration, until a stop flag for
+// soaks and bench sweeps), and Check is the end-of-run invariant oracle,
+// run after every worker has finished.
+type Instance interface {
+	Setup(th tm.Thread) error
+	// NewWorker must derive all randomness from seed so runs replay; the
+	// returned closure performs exactly one logical operation per call.
+	NewWorker(th tm.Thread, seed int64, report Report) func() error
+	Check(sys tm.System) error
+}
+
+// Profile is a scenario's contention-shape metadata: free-text,
+// human-facing fields surfaced by the CLIs' -list output and the
+// EXPERIMENTS.md writeups, so a reader can predict which TM path a
+// scenario stresses before running it.
+type Profile struct {
+	// Contention describes the hot-spot structure (what conflicts, how often).
+	Contention string
+	// Footprint describes the read/write-set sizes per transaction.
+	Footprint string
+	// ReadShare is the approximate fraction of read-only transactions.
+	ReadShare float64
+}
+
+// Traffic maps a scenario onto the KV service's request stream so rhload
+// can replay its contention shape over the network (zipfian skew plus an
+// endpoint mix). Fields mirror tmtest.RequestMix but stay plain so the
+// registry does not import the harness packages that import it.
+type Traffic struct {
+	ZipfSkew  float64
+	GetFrac   float64
+	CasFrac   float64
+	ScanFrac  float64
+	TxnFrac   float64 // remainder of the four fractions is PUT
+	TxnOps    int
+	ScanCount int
+}
+
+// Scenario is one registry entry.
+type Scenario struct {
+	Name        string
+	Description string
+	Profile     Profile
+
+	// ExploreWorkers/ExploreOps are the schedule explorer's default shape.
+	ExploreWorkers int
+	ExploreOps     int
+	// MemWords sizes an explorer run's arena (0 = the explorer default).
+	MemWords int
+
+	// Traffic, when non-nil, is the scenario's service-level shape for
+	// rhload -scenario.
+	Traffic *Traffic
+
+	// New materializes a fresh instance at the given scale.
+	New func(scale Scale) Instance
+}
+
+// Scenarios returns the registry in presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		bankScenario,
+		rbtreeScenario,
+		sessionScenario,
+		ratelimitScenario,
+		inventoryScenario,
+		graphScenario,
+	}
+}
+
+// Names lists the registered scenario names in order.
+func Names() []string {
+	var names []string
+	for _, sc := range Scenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}
+
+// ByName finds a scenario.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Drive runs one instance of the scenario end to end against sys: setup,
+// then threads workers — each looping its operation closure ops times, or
+// until duration elapses when ops < 0 — then the invariant check. Worker
+// panics are recovered and counted as violations (a crashed worker proves
+// nothing about the survivors), so a Drive caller always gets a summary
+// error instead of a dead process. Worker i seeds its RNG with seed+i.
+func (sc Scenario) Drive(sys tm.System, scale Scale, threads, ops int, duration time.Duration, seed int64) error {
+	inst := sc.New(scale)
+	setup := sys.NewThread()
+	err := inst.Setup(setup)
+	setup.Close()
+	if err != nil {
+		return fmt.Errorf("%s setup: %w", sc.Name, err)
+	}
+	var (
+		stop atomic.Bool
+		vlog violationLog
+		wg   sync.WaitGroup
+	)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					vlog.report(fmt.Sprintf("worker panic: %v", r))
+				}
+			}()
+			th := sys.NewThread()
+			defer th.Close()
+			op := inst.NewWorker(th, seed, vlog.report)
+			for j := 0; ops < 0 || j < ops; j++ {
+				if ops < 0 && stop.Load() {
+					return
+				}
+				if err := op(); err != nil {
+					vlog.report(err.Error())
+					return
+				}
+			}
+		}(seed + int64(i))
+	}
+	if ops < 0 {
+		time.Sleep(duration)
+		stop.Store(true)
+	}
+	wg.Wait()
+	if err := vlog.err(sc.Name); err != nil {
+		return err
+	}
+	if err := inst.Check(sys); err != nil {
+		return fmt.Errorf("%s check: %w", sc.Name, err)
+	}
+	return nil
+}
+
+// violationLog collects safety violations across workers, keeping the first
+// message for the summary error.
+type violationLog struct {
+	count atomic.Uint64
+	mu    sync.Mutex
+	first string
+}
+
+func (v *violationLog) report(msg string) {
+	if v.count.Add(1) == 1 {
+		v.mu.Lock()
+		v.first = msg
+		v.mu.Unlock()
+	}
+}
+
+func (v *violationLog) err(scenario string) error {
+	n := v.count.Load()
+	if n == 0 {
+		return nil
+	}
+	v.mu.Lock()
+	first := v.first
+	v.mu.Unlock()
+	return fmt.Errorf("%s: %d violation(s); first: %s", scenario, n, first)
+}

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 
+	"rhnorec/internal/conformance"
 	"rhnorec/internal/linearize"
 	"rhnorec/internal/mem"
 	"rhnorec/internal/persist"
 	"rhnorec/internal/tm"
-	"rhnorec/internal/tmtest"
 )
 
 // Scenario is one explorable workload. Build runs single-threaded with the
@@ -33,9 +33,60 @@ type Scenario struct {
 	Build    func(env *Env, cfg Config) (bodies []func(), finish func() error, err error)
 }
 
-// Scenarios returns the registry, in presentation order.
+// Scenarios returns the registry, in presentation order: every workload in
+// the shared conformance registry (internal/conformance) at its frozen
+// explore scale, then the explorer-specific scenarios — the persistence
+// crash plane, the linearizability oracle and the raw-device opacity demo —
+// whose oracles need explorer machinery the generic adapter cannot express.
 func Scenarios() []Scenario {
-	return []Scenario{bankScenario, bankCrashScenario, rbtreeScenario, kvScenario, htmOpacityScenario}
+	scs := make([]Scenario, 0, len(conformance.Scenarios())+3)
+	for _, sc := range conformance.Scenarios() {
+		scs = append(scs, conformanceScenario(sc))
+	}
+	return append(scs, bankCrashScenario, kvScenario, htmOpacityScenario)
+}
+
+// conformanceScenario adapts a registry entry: the instance's seeded worker
+// closure is looped cfg.Ops times per body, violations route to the
+// explorer's oracle, and the end-of-run invariant check is the finish
+// oracle. Worker i seeds with i+1, matching every other harness — and the
+// recorded trace fixtures, which certify that this traffic is byte-for-byte
+// the traffic the fixtures were recorded against.
+func conformanceScenario(sc conformance.Scenario) Scenario {
+	return Scenario{
+		Name:           sc.Name,
+		NeedsTM:        true,
+		DefaultWorkers: sc.ExploreWorkers,
+		DefaultOps:     sc.ExploreOps,
+		MemWords:       sc.MemWords,
+		Build: func(env *Env, cfg Config) ([]func(), func() error, error) {
+			inst := sc.New(conformance.ScaleExplore)
+			setup := env.Sys.NewThread()
+			err := inst.Setup(setup)
+			setup.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+			report := func(msg string) { env.Violatef("%s", msg) }
+			bodies := make([]func(), cfg.Workers)
+			for i := range bodies {
+				i := i
+				bodies[i] = func() {
+					th := env.Sys.NewThread()
+					defer th.Close()
+					op := inst.NewWorker(th, int64(i)+1, report)
+					for j := 0; j < cfg.Ops; j++ {
+						if err := op(); err != nil {
+							env.Violatef("%s worker %d: %v", sc.Name, i, err)
+							return
+						}
+					}
+				}
+			}
+			finish := func() error { return inst.Check(env.Sys) }
+			return bodies, finish, nil
+		},
+	}
 }
 
 // ScenarioNames lists the registered scenario names.
@@ -55,40 +106,6 @@ func ScenarioByName(name string) (Scenario, bool) {
 		}
 	}
 	return Scenario{}, false
-}
-
-// bankScenario explores the shared bank-transfer workload (with observers
-// asserting the in-transaction invariant) over any TM system: the tmtest
-// conformance check, but against chosen schedules instead of lucky ones.
-var bankScenario = Scenario{
-	Name:           "bank",
-	NeedsTM:        true,
-	DefaultWorkers: 3,
-	DefaultOps:     4,
-	Build: func(env *Env, cfg Config) ([]func(), func() error, error) {
-		wcfg := tmtest.BankConfig{Accounts: 4, Initial: 100, TransferMax: 10, ObserverEvery: 3}
-		setup := env.Sys.NewThread()
-		base, err := tmtest.BankSetup(setup, wcfg)
-		setup.Close()
-		if err != nil {
-			return nil, nil, err
-		}
-		report := func(msg string) { env.Violatef("%s", msg) }
-		bodies := make([]func(), cfg.Workers)
-		for i := range bodies {
-			i := i
-			bodies[i] = func() {
-				th := env.Sys.NewThread()
-				defer th.Close()
-				rng := rand.New(rand.NewSource(int64(i) + 1))
-				if err := tmtest.BankWorker(th, wcfg, base, rng, cfg.Ops, nil, report); err != nil {
-					env.Violatef("bank worker %d: %v", i, err)
-				}
-			}
-		}
-		finish := func() error { return tmtest.BankCheck(env.M, wcfg, base) }
-		return bodies, finish, nil
-	},
 }
 
 // bankCrashScenario explores the durable persistence plane (internal/persist)
@@ -255,43 +272,6 @@ var bankCrashScenario = Scenario{
 				}
 			}
 			return nil
-		}
-		return bodies, finish, nil
-	},
-}
-
-// rbtreeScenario explores the shared red-black tree workload; the oracle is
-// the structural invariant check.
-var rbtreeScenario = Scenario{
-	Name:           "rbtree",
-	NeedsTM:        true,
-	DefaultWorkers: 2,
-	DefaultOps:     3,
-	MemWords:       1 << 18,
-	Build: func(env *Env, cfg Config) ([]func(), func() error, error) {
-		wcfg := tmtest.TreeConfig{InitialKeys: 8, KeySpace: 32}
-		setup := env.Sys.NewThread()
-		tree, err := tmtest.TreeSetup(setup, wcfg)
-		setup.Close()
-		if err != nil {
-			return nil, nil, err
-		}
-		bodies := make([]func(), cfg.Workers)
-		for i := range bodies {
-			i := i
-			bodies[i] = func() {
-				th := env.Sys.NewThread()
-				defer th.Close()
-				rng := rand.New(rand.NewSource(int64(i) + 1))
-				if err := tmtest.TreeWorker(th, tree, wcfg, rng, cfg.Ops, nil); err != nil {
-					env.Violatef("rbtree worker %d: %v", i, err)
-				}
-			}
-		}
-		finish := func() error {
-			check := env.Sys.NewThread()
-			defer check.Close()
-			return tmtest.TreeCheck(check, tree)
 		}
 		return bodies, finish, nil
 	},

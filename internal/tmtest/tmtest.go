@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"rhnorec/internal/conformance"
 	"rhnorec/internal/mem"
 	"rhnorec/internal/tm"
 )
@@ -56,7 +57,7 @@ func RunConformance(t *testing.T, f Factory, opts Options) {
 	t.Run("UserAbortRollsBack", func(t *testing.T) { userAbortRollsBack(t, f, opts) })
 	t.Run("ReadOnlyStorePanics", func(t *testing.T) { readOnlyStorePanics(t, f) })
 	t.Run("ConcurrentCounter", func(t *testing.T) { concurrentCounter(t, f, opts) })
-	t.Run("BankInvariant", func(t *testing.T) { bankInvariant(t, f, opts) })
+	t.Run("Scenarios", func(t *testing.T) { registryScenarios(t, f, opts) })
 	t.Run("OpacityWithinTransaction", func(t *testing.T) { opacityWithin(t, f, opts) })
 	t.Run("WriteSkewPrevented", func(t *testing.T) { writeSkew(t, f, opts) })
 	t.Run("AllocFreeUnderLoad", func(t *testing.T) { allocFree(t, f, opts) })
@@ -260,35 +261,21 @@ func concurrentCounter(t *testing.T, f Factory, opts Options) {
 	}
 }
 
-// bankInvariant: concurrent transfers preserve the total balance. The
-// workload itself lives in workloads.go, shared with rhstress and the
-// schedule explorer.
-func bankInvariant(t *testing.T, f Factory, opts Options) {
-	cfg := BankConfig{}
-	m := newMem()
-	sys := f(m)
-	setup := sys.NewThread()
-	base, err := BankSetup(setup, cfg)
-	setup.Close()
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < opts.Threads; i++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			th := sys.NewThread()
-			defer th.Close()
-			rng := rand.New(rand.NewSource(seed))
-			if err := BankWorker(th, cfg, base, rng, opts.Ops, nil, nil); err != nil {
-				t.Errorf("transfer error: %v", err)
+// registryScenarios: every workload in the shared conformance registry
+// (internal/conformance) — bank transfers, the red-black tree, the session
+// store, the rate limiter, the inventory checkout, the graph fan-out —
+// passes setup → workers → invariant check under this system. The same
+// entries drive rhstress soaks, rhbench sweeps and the schedule explorer.
+func registryScenarios(t *testing.T, f Factory, opts Options) {
+	for _, sc := range conformance.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			m := newMem()
+			sys := f(m)
+			if err := sc.Drive(sys, conformance.ScaleTest, opts.Threads, opts.Ops, 0, 1); err != nil {
+				t.Error(err)
 			}
-		}(int64(i + 1))
-	}
-	wg.Wait()
-	if err := BankCheck(m, cfg, base); err != nil {
-		t.Error(err)
+		})
 	}
 }
 
